@@ -1,0 +1,13 @@
+"""Benchmark fixtures: the full-scale experiment context, built once."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.harness import build_context
+
+
+@pytest.fixture(scope="session")
+def full_context():
+    """Paper-scale context: 200 DBs, 1034 dev questions, AEP traffic."""
+    return build_context(scale="full")

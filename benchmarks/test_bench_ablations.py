@@ -1,0 +1,103 @@
+"""Ablation benches beyond the paper's tables (DESIGN.md extensions).
+
+* Trap-rate sweep — how zero-shot accuracy degrades as the planted
+  difficulty rate rises (sensitivity of Figure 2 to the calibration knob).
+* Retrieval on/off — the value of the RAG demonstration pool (the gap
+  between Figure 2's zero-shot model and the Assistant).
+* User-noise sweep — how FISQL's correction rate responds to annotator
+  misalignment (the paper's residual-error cause (c)).
+"""
+
+from repro.core.nl2sql import Nl2SqlModel
+from repro.core.retrieval import DemonstrationRetriever
+from repro.core.user import AnnotatorConfig
+from repro.datasets.base import demonstrations_from_examples
+from repro.datasets.spider import generate_spider_suite
+from repro.eval.experiments import _run_fisql
+from repro.eval.harness import build_context
+from repro.eval.metrics import correction_rate, evaluate_model
+
+
+def test_bench_trap_rate_sweep(benchmark):
+    def sweep():
+        accuracies = {}
+        for trap_rate in (0.0, 0.2, 0.4):
+            suite = generate_spider_suite(
+                n_databases=24, n_dev=150, n_train=40, trap_rate=trap_rate
+            )
+            report = evaluate_model(Nl2SqlModel(), suite.benchmark)
+            accuracies[trap_rate] = 100 * report.accuracy
+        return accuracies
+
+    accuracies = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("Ablation — zero-shot accuracy vs trap rate")
+    for rate, accuracy in accuracies.items():
+        print(f"  trap_rate={rate:.1f}: {accuracy:.1f}%")
+    benchmark.extra_info.update({str(k): v for k, v in accuracies.items()})
+    # Accuracy must fall monotonically as traps are added.
+    assert accuracies[0.0] > accuracies[0.2] > accuracies[0.4]
+    # With no traps the parser is essentially perfect.
+    assert accuracies[0.0] >= 97.0
+
+
+def test_bench_retrieval_ablation(full_context, benchmark):
+    def run():
+        zero_shot = evaluate_model(
+            full_context.zero_shot_model(), full_context.spider.benchmark
+        )
+        rag = full_context.assistant_report("spider")
+        return 100 * zero_shot.accuracy, 100 * rag.accuracy
+
+    zero_shot_acc, rag_acc = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Ablation — RAG demonstrations on SPIDER")
+    print(f"  zero-shot: {zero_shot_acc:.1f}%   with RAG: {rag_acc:.1f}%")
+    benchmark.extra_info["zero_shot"] = zero_shot_acc
+    benchmark.extra_info["rag"] = rag_acc
+    assert rag_acc > zero_shot_acc + 3
+
+
+def test_bench_user_noise_sweep(full_context, benchmark):
+    from repro.eval.harness import _MultiDbAnnotator
+
+    errors = full_context.error_set("spider")[:60]
+
+    def sweep():
+        rates = {}
+        for misaligned in (0.0, 0.3, 0.6):
+            config = AnnotatorConfig(
+                annotate_rate=1.0, vague_rate=0.02, misaligned_rate=misaligned
+            )
+            annotator = _MultiDbAnnotator(full_context.spider.benchmark, config)
+            from repro.core.session import FisqlPipeline
+
+            pipeline = FisqlPipeline(
+                model=full_context.spider_assistant_model(),
+                llm=full_context.llm,
+                routing=True,
+            )
+            outcomes = []
+            for record in errors:
+                database = full_context.spider.benchmark.database(
+                    record.example.db_id
+                )
+                outcomes.append(
+                    pipeline.correct(
+                        example=record.example,
+                        database=database,
+                        initial_sql=record.predicted_sql,
+                        annotator=annotator,
+                        max_rounds=1,
+                    )
+                )
+            rates[misaligned] = correction_rate(outcomes, within_rounds=1)
+        return rates
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("Ablation — FISQL round-1 correction vs annotator misalignment")
+    for rate, corrected in rates.items():
+        print(f"  misaligned={rate:.1f}: {corrected:.1f}%")
+    benchmark.extra_info.update({str(k): v for k, v in rates.items()})
+    assert rates[0.0] > rates[0.3] > rates[0.6]

@@ -1,0 +1,70 @@
+"""SQL-engine microbenchmarks (substrate performance, not a paper figure)."""
+
+import pytest
+
+from repro.datasets.aep import build_aep_database
+from repro.sql.parser import parse_query
+from repro.sql.printer import print_query
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_aep_database()
+
+
+def test_bench_parse(benchmark):
+    sql = (
+        "SELECT T2.destinationname FROM hkg_fact_activation AS T1 "
+        "JOIN hkg_dim_destination AS T2 ON T1.destinationid = T2.destinationid "
+        "JOIN hkg_dim_segment AS T3 ON T1.segmentid = T3.segmentid "
+        "WHERE T3.segmentname = 'ABC' ORDER BY T2.destinationname LIMIT 10"
+    )
+    query = benchmark(parse_query, sql)
+    assert query is not None
+
+
+def test_bench_print(benchmark):
+    query = parse_query(
+        "SELECT a, COUNT(*) FROM t WHERE b > 1 AND c = 'x' GROUP BY a "
+        "HAVING COUNT(*) > 2 ORDER BY a DESC LIMIT 5"
+    )
+    text = benchmark(print_query, query)
+    assert text.startswith("SELECT")
+
+
+def test_bench_point_query(db, benchmark):
+    result = benchmark(
+        db.query,
+        "SELECT segmentname FROM hkg_dim_segment WHERE segmentid = 7",
+    )
+    assert len(result.rows) == 1
+
+
+def test_bench_aggregate_query(db, benchmark):
+    result = benchmark(
+        db.query,
+        "SELECT status, COUNT(*), SUM(profilecount) FROM hkg_dim_segment "
+        "GROUP BY status",
+    )
+    assert result.rows
+
+
+def test_bench_join_query(db, benchmark):
+    result = benchmark(
+        db.query,
+        "SELECT T3.segmentname, T2.destinationname FROM hkg_fact_activation "
+        "AS T1 JOIN hkg_dim_destination AS T2 ON T1.destinationid = "
+        "T2.destinationid JOIN hkg_dim_segment AS T3 ON T1.segmentid = "
+        "T3.segmentid",
+    )
+    assert result.rows
+
+
+def test_bench_correlated_subquery(db, benchmark):
+    result = benchmark(
+        db.query,
+        "SELECT segmentname FROM hkg_dim_segment WHERE EXISTS "
+        "(SELECT 1 FROM hkg_fact_activation WHERE "
+        "hkg_fact_activation.segmentid = hkg_dim_segment.segmentid)",
+    )
+    assert result.rows

@@ -1,0 +1,26 @@
+"""Figure 2 — zero-shot NL2SQL accuracy, SPIDER vs Experience Platform.
+
+Regenerates the paper's bar chart as a table::
+
+    pytest benchmarks/test_bench_figure2.py --benchmark-only -s
+"""
+
+from repro.eval.experiments import run_figure2
+from repro.eval.reporting import render_figure2
+
+
+def test_bench_figure2(full_context, benchmark):
+    result = benchmark.pedantic(
+        run_figure2, args=(full_context,), rounds=1, iterations=1
+    )
+    print()
+    print(render_figure2(result))
+    benchmark.extra_info["spider_accuracy"] = result.spider_accuracy
+    benchmark.extra_info["aep_accuracy"] = result.aep_accuracy
+    benchmark.extra_info["paper_spider"] = result.paper_spider
+    benchmark.extra_info["paper_aep"] = result.paper_aep
+
+    # Shape constraints the paper's Figure 2 establishes.
+    assert result.spider_accuracy > result.aep_accuracy + 25
+    assert 58 <= result.spider_accuracy <= 80
+    assert 12 <= result.aep_accuracy <= 38

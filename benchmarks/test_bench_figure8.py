@@ -1,0 +1,20 @@
+"""Figure 8 — correction % over two feedback rounds (SPIDER errors)."""
+
+from repro.eval.experiments import run_figure8
+from repro.eval.reporting import render_figure8
+
+
+def test_bench_figure8(full_context, benchmark):
+    result = benchmark.pedantic(
+        run_figure8, args=(full_context,), rounds=1, iterations=1
+    )
+    print()
+    print(render_figure8(result))
+    benchmark.extra_info["fisql_by_round"] = result.fisql_by_round
+    benchmark.extra_info["no_routing_by_round"] = result.no_routing_by_round
+
+    # A second feedback round adds a double-digit improvement (paper ~15%).
+    gain = result.fisql_by_round[1] - result.fisql_by_round[0]
+    assert 5 <= gain <= 30
+    # The no-routing ablation converges to FISQL by round two.
+    assert abs(result.fisql_by_round[1] - result.no_routing_by_round[1]) <= 6

@@ -1,0 +1,34 @@
+"""Table 2 — % instances corrected with one round of NL feedback.
+
+Methods: Query Rewrite baseline, FISQL (- Routing) ablation, FISQL.
+"""
+
+from repro.eval.experiments import run_table2
+from repro.eval.reporting import render_table2
+
+
+def test_bench_table2(full_context, benchmark):
+    result = benchmark.pedantic(
+        run_table2, args=(full_context,), rounds=1, iterations=1
+    )
+    print()
+    print(render_table2(result))
+    for cell in result.cells:
+        key = f"{cell.method}/{cell.dataset}"
+        benchmark.extra_info[key] = round(cell.corrected_percent, 2)
+        benchmark.extra_info[f"{key}/n"] = cell.n_errors
+
+    # FISQL corrects roughly 2x the instances Query Rewrite does.
+    assert result.percent("FISQL", "spider") >= 1.6 * result.percent(
+        "Query Rewrite", "spider"
+    )
+    assert result.percent("FISQL", "aep") >= 1.4 * result.percent(
+        "Query Rewrite", "aep"
+    )
+    # Routing contributes a (small) advantage.
+    assert (
+        result.percent("FISQL", "spider")
+        >= result.percent("FISQL (- Routing)", "spider")
+    )
+    # The Experience Platform errors are easier to correct than SPIDER's.
+    assert result.percent("FISQL", "aep") > result.percent("FISQL", "spider")

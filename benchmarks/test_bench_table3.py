@@ -1,0 +1,22 @@
+"""Table 3 — highlights as additional grounding for NL feedback."""
+
+from repro.eval.experiments import run_table3
+from repro.eval.reporting import render_table3
+
+
+def test_bench_table3(full_context, benchmark):
+    result = benchmark.pedantic(
+        run_table3, args=(full_context,), rounds=1, iterations=1
+    )
+    print()
+    print(render_table3(result))
+    benchmark.extra_info["fisql_aep"] = result.fisql_aep
+    benchmark.extra_info["highlighting_aep"] = result.highlighting_aep
+    benchmark.extra_info["fisql_spider"] = result.fisql_spider
+    benchmark.extra_info["highlighting_spider"] = result.highlighting_spider
+
+    # Highlights improve the Experience Platform and never hurt.
+    assert result.highlighting_aep >= result.fisql_aep
+    assert result.highlighting_spider >= result.fisql_spider
+    # On SPIDER the effect is neutral (paper: exactly zero).
+    assert abs(result.highlighting_spider - result.fisql_spider) <= 5

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The Assistant chat experience, as a scripted conversation.
+
+Uses :class:`repro.core.ChatSession` — the stateful ask/feedback loop the
+paper's tool exposes. Run with ``--interactive`` to drive it yourself from
+the terminal (type a question; prefix feedback with ``!``; ``quit`` exits).
+
+Run:  python examples/assistant_chat.py
+      python examples/assistant_chat.py --interactive
+"""
+
+import argparse
+
+from repro.core import ChatSession, DemonstrationRetriever, Nl2SqlModel
+from repro.datasets import build_aep_database, generate_aep_suite
+from repro.llm import SimulatedLLM
+
+
+def build_session() -> ChatSession:
+    database = build_aep_database()
+    _traffic, demos = generate_aep_suite(n_questions=10)
+    model = Nl2SqlModel(
+        llm=SimulatedLLM(), retriever=DemonstrationRetriever(demos)
+    )
+    return ChatSession(database, model)
+
+
+def scripted(session: ChatSession) -> None:
+    session.ask("How many audiences were created in January?")
+    session.give_feedback("we are in 2024")
+    session.ask("List the audiences created in June.")
+    session.give_feedback("do not give descriptions")
+    session.give_feedback("we are in 2024")
+    print(session.transcript())
+
+
+def interactive(session: ChatSession) -> None:
+    print("Ask questions; prefix feedback with '!'; 'quit' to exit.")
+    while True:
+        try:
+            line = input("> ").strip()
+        except EOFError:
+            return
+        if not line:
+            continue
+        if line.lower() in ("quit", "exit"):
+            return
+        if line.startswith("!"):
+            try:
+                response = session.give_feedback(line[1:].strip())
+            except Exception as exc:  # noqa: BLE001 - REPL surface
+                print(f"(error: {exc})")
+                continue
+        else:
+            response = session.ask(line)
+        print(response.render())
+        print(f"\n[Show Source] {response.sql}\n")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--interactive", action="store_true")
+    args = parser.parse_args()
+    session = build_session()
+    if args.interactive:
+        interactive(session)
+    else:
+        scripted(session)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""A marketing-analyst session on the Experience Platform.
+
+Walks through three closed-domain interactions the paper motivates:
+
+1. Jargon vocabulary — "live segments" (status filter the zero-shot model
+   cannot know), fixed with a clarifying sentence.
+2. The activation relation — "which destinations is the 'ABC' segment
+   activated to?" (a fact-table join), fixed by feedback naming the
+   activation table.
+3. Highlight grounding — terse feedback ("change to 'active'") that is
+   only actionable once the user highlights where it applies (Figure 9).
+
+Run:  python examples/marketing_analytics.py
+"""
+
+from repro.core import Assistant, FisqlPipeline, Nl2SqlModel, SimulatedAnnotator
+from repro.core.user import AnnotatorConfig
+from repro.datasets import build_aep_database
+from repro.datasets.base import Example
+from repro.llm import SimulatedLLM
+
+
+def correct_and_report(pipeline, example, database, initial_sql, annotator):
+    outcome = pipeline.correct(
+        example=example,
+        database=database,
+        initial_sql=initial_sql,
+        annotator=annotator,
+        max_rounds=2,
+    )
+    for record in outcome.rounds:
+        print(f"  round {record.round_index} feedback: {record.feedback_text}")
+        if record.highlight:
+            print(f"    (highlighted: {record.highlight})")
+        print(f"    revised: {record.sql_after}")
+        print(f"    corrected: {record.corrected}")
+    return outcome
+
+
+def main() -> None:
+    database = build_aep_database()
+    llm = SimulatedLLM()
+    model = Nl2SqlModel(llm=llm)  # zero-shot: the enterprise cold-start case
+    assistant = Assistant(model)
+    annotator = SimulatedAnnotator(
+        database.schema, AnnotatorConfig(vague_rate=0.0, misaligned_rate=0.0)
+    )
+    pipeline = FisqlPipeline(model=model, llm=llm, routing=True)
+
+    # -- 1. jargon value ------------------------------------------------------
+    print("=" * 72)
+    question = "How many live segments do we have?"
+    example = Example(
+        example_id="session-1",
+        db_id="experience_platform",
+        question=question,
+        gold_sql="SELECT COUNT(*) FROM hkg_dim_segment WHERE status = 'active'",
+    )
+    print(f"User: {question}")
+    response = assistant.answer(question, database)
+    print(f"Assistant SQL: {response.sql}")
+    print("('live' was silently ignored — every segment got counted)")
+    correct_and_report(pipeline, example, database, response.sql, annotator)
+
+    # -- 2. the activation join -----------------------------------------------
+    print("=" * 72)
+    question = "Which destinations is the 'ABC' segment activated to?"
+    example = Example(
+        example_id="session-2",
+        db_id="experience_platform",
+        question=question,
+        gold_sql=(
+            "SELECT T2.destinationname FROM hkg_fact_activation AS T1 "
+            "JOIN hkg_dim_destination AS T2 ON T1.destinationid = "
+            "T2.destinationid JOIN hkg_dim_segment AS T3 "
+            "ON T1.segmentid = T3.segmentid WHERE T3.segmentname = 'ABC'"
+        ),
+    )
+    print(f"User: {question}")
+    response = assistant.answer(question, database)
+    print(f"Assistant SQL: {response.sql}")
+    print("('activated' was not understood — it listed every destination)")
+    correct_and_report(pipeline, example, database, response.sql, annotator)
+
+    # -- 3. highlight-grounded terse feedback (Figure 9) ------------------------
+    print("=" * 72)
+    question = "List the names of the datasets that are ready to use."
+    example = Example(
+        example_id="session-3",
+        db_id="experience_platform",
+        question=question,
+        gold_sql=(
+            "SELECT datasetname FROM hkg_dim_dataset WHERE status = 'active'"
+        ),
+    )
+    terse_annotator = SimulatedAnnotator(
+        database.schema, AnnotatorConfig(vague_rate=1.0, misaligned_rate=0.0)
+    )
+    print(f"User: {question}")
+    response = assistant.answer(question, database)
+    print(f"Assistant SQL: {response.sql}")
+
+    print("Without highlights (terse feedback cannot be grounded):")
+    plain = FisqlPipeline(model=model, llm=llm, routing=True, highlights=False)
+    correct_and_report(plain, example, database, response.sql, terse_annotator)
+
+    print("With highlights (the user marks the clause to change):")
+    highlighted = FisqlPipeline(
+        model=model, llm=llm, routing=True, highlights=True
+    )
+    correct_and_report(
+        highlighted, example, database, response.sql, terse_annotator
+    )
+
+
+if __name__ == "__main__":
+    main()

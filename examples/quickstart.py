@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: ask → wrong answer → feedback → fixed answer.
+
+Recreates the paper's running example (Figure 4): a user asks how many
+audiences were created in January, the Assistant assumes the wrong year,
+the user replies "we are in 2024", and FISQL repairs the SQL in place.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    Assistant,
+    FeedbackDemoStore,
+    FeedbackRouter,
+    Nl2SqlModel,
+    DemonstrationRetriever,
+)
+from repro.core.feedback import Feedback
+from repro.datasets import build_aep_database, generate_aep_suite
+from repro.llm import SimulatedLLM, feedback_prompt
+
+
+def main() -> None:
+    # The closed-domain database and its in-house demonstration pool.
+    database = build_aep_database()
+    _traffic, demos = generate_aep_suite(n_questions=10)
+
+    llm = SimulatedLLM()
+    model = Nl2SqlModel(llm=llm, retriever=DemonstrationRetriever(demos))
+    assistant = Assistant(model)
+
+    question = "How many audiences were created in January?"
+    print(f"User: {question}\n")
+
+    response = assistant.answer(question, database)
+    print("Assistant:")
+    print(response.render())
+    print(f"\n[Show Source]\n{response.sql}\n")
+
+    # The user knows it is 2024; the Assistant assumed its default year.
+    feedback = Feedback(text="we are in 2024")
+    print(f"User feedback: {feedback.text}\n")
+
+    # FISQL step 1 — routing: classify the feedback type and fetch the
+    # type-specific revision demonstrations (the paper's Figure 5 blocks).
+    router = FeedbackRouter(llm)
+    feedback_type = router.route(feedback.text)
+    demo_store = FeedbackDemoStore.default()
+    print(f"[routing] feedback type: {feedback_type}")
+
+    # FISQL step 2 — re-prompt the NL2SQL model with the previous SQL, the
+    # feedback, and those demonstrations (the paper's Figure 6 prompt).
+    prompt = feedback_prompt(
+        schema=database.schema,
+        question=question,
+        previous_sql=response.sql,
+        feedback=feedback.text,
+        feedback_demos=demo_store.for_type(feedback_type),
+        feedback_type=feedback_type,
+    )
+    completion = llm.complete(prompt)
+    print(f"[revision] {'; '.join(completion.notes)}\n")
+
+    revised_sql = completion.text
+    print(f"Revised SQL: {revised_sql}")
+    result = database.query(revised_sql)
+    print(f"Answer: {result.scalar()} segments created in January 2024")
+
+    # The paper's Table 1 taxonomy, for reference.
+    from repro.core import FEEDBACK_TYPE_EXAMPLES
+
+    print("\nFeedback types (Table 1):")
+    for label, text in FEEDBACK_TYPE_EXAMPLES.items():
+        print(f"  {label:>6}: {text}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""FISQL reproduction: feedback-infused SQL generation.
+
+An offline, from-scratch reproduction of *FISQL: Enhancing Text-to-SQL
+Systems with Rich Interactive Feedback* (EDBT 2025): an in-memory SQL
+engine, synthetic SPIDER-like and Experience-Platform-like benchmarks, a
+simulated GPT-class NL2SQL model with realistic failure modes, and the
+FISQL interactive correction pipeline with routing and highlights.
+
+Quickstart::
+
+    from repro import build_context, run_table2, render_table2
+
+    context = build_context(scale="small")
+    print(render_table2(run_table2(context)))
+"""
+
+from repro.core import (
+    Assistant,
+    AssistantResponse,
+    Feedback,
+    FeedbackDemoStore,
+    FisqlPipeline,
+    Nl2SqlModel,
+    QueryRewriteBaseline,
+    SimulatedAnnotator,
+)
+from repro.datasets import (
+    Benchmark,
+    Example,
+    build_aep_database,
+    generate_aep_suite,
+    generate_spider_suite,
+)
+from repro.eval import (
+    build_context,
+    render_figure2,
+    render_figure8,
+    render_table2,
+    render_table3,
+    run_figure2,
+    run_figure8,
+    run_table2,
+    run_table3,
+)
+from repro.llm import SimulatedLLM
+from repro.sql import Database
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assistant",
+    "AssistantResponse",
+    "Benchmark",
+    "Database",
+    "Example",
+    "Feedback",
+    "FeedbackDemoStore",
+    "FisqlPipeline",
+    "Nl2SqlModel",
+    "QueryRewriteBaseline",
+    "SimulatedAnnotator",
+    "SimulatedLLM",
+    "build_aep_database",
+    "build_context",
+    "generate_aep_suite",
+    "generate_spider_suite",
+    "render_figure2",
+    "render_figure8",
+    "render_table2",
+    "render_table3",
+    "run_figure2",
+    "run_figure8",
+    "run_table2",
+    "run_table3",
+    "__version__",
+]

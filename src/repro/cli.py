@@ -1,0 +1,90 @@
+"""Command-line entry point: regenerate any of the paper's artifacts.
+
+Usage::
+
+    fisql-repro figure2 --scale medium
+    fisql-repro table2  --scale full
+    fisql-repro figure8
+    fisql-repro table3
+    fisql-repro all --scale small
+    python -m repro.cli all
+
+Scales: ``small`` (seconds), ``medium`` (default), ``full`` (the paper's
+sizes: 200 databases, 1034 dev questions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.eval.experiments import (
+    run_figure2,
+    run_figure8,
+    run_table2,
+    run_table3,
+)
+from repro.eval.harness import build_context
+from repro.eval.reporting import (
+    render_figure2,
+    render_figure2_chart,
+    render_figure8,
+    render_figure8_chart,
+    render_table2,
+    render_table3,
+)
+
+_ARTIFACTS = {
+    "figure2": (run_figure2, render_figure2),
+    "table2": (run_table2, render_table2),
+    "figure8": (run_figure8, render_figure8),
+    "table3": (run_table3, render_table3),
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the requested experiment(s) and print the paper-format output."""
+    parser = argparse.ArgumentParser(
+        prog="fisql-repro",
+        description="Regenerate the FISQL paper's tables and figures.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=sorted(_ARTIFACTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("small", "medium", "full"),
+        default="medium",
+        help="experiment scale (full = the paper's sizes; default: medium)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=20250325, help="generator seed"
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="render figures as ASCII bar charts instead of tables",
+    )
+    args = parser.parse_args(argv)
+
+    context = build_context(scale=args.scale, seed=args.seed)
+    chart_renderers = {
+        "figure2": render_figure2_chart,
+        "figure8": render_figure8_chart,
+    }
+    names = sorted(_ARTIFACTS) if args.artifact == "all" else [args.artifact]
+    for index, name in enumerate(names):
+        if index:
+            print()
+        runner, renderer = _ARTIFACTS[name]
+        if args.chart and name in chart_renderers:
+            renderer = chart_renderers[name]
+        print(renderer(runner(context)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

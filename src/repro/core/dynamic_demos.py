@@ -1,0 +1,264 @@
+"""Dynamic feedback-demonstration selection (the paper's §5 future work).
+
+The paper proposes enhancing the routing mechanism "with dynamic example
+selection based on query structure and feedback". This module implements
+that: instead of appending the full fixed demonstration set for the routed
+type (:class:`~repro.core.feedback.FeedbackDemoStore`), the dynamic store
+ranks a pool of feedback demonstrations by
+
+* textual similarity between the user's feedback and the demonstration's
+  feedback (TF-IDF cosine), and
+* structural overlap between the previous SQL and the demonstration's SQL
+  (which clauses each query has: where/group/order/limit/aggregate/join),
+
+and returns only the top-k most relevant revision examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.feedback import ADD, EDIT, REMOVE
+from repro.errors import SqlError
+from repro.llm.prompts import render_feedback_demo
+from repro.nlp.vectorize import TfidfVectorizer, cosine_top_k
+from repro.sql import ast
+from repro.sql.parser import parse_query
+
+#: Structure tags used for query-shape matching.
+STRUCTURE_TAGS = ("where", "group", "order", "limit", "aggregate", "join", "distinct")
+
+
+def query_structure(query: ast.Select) -> frozenset:
+    """The set of structural features a query exhibits."""
+    tags = set()
+    if query.where is not None:
+        tags.add("where")
+    if query.group_by:
+        tags.add("group")
+    if query.order_by:
+        tags.add("order")
+    if query.limit is not None:
+        tags.add("limit")
+    if query.distinct:
+        tags.add("distinct")
+    for item in query.items:
+        if any(ast.is_aggregate_call(n) for n in ast.walk_expressions(item.expression)):
+            tags.add("aggregate")
+    source = query.source
+    while isinstance(source, ast.Join):
+        tags.add("join")
+        source = source.left
+    return frozenset(tags)
+
+
+@dataclass
+class FeedbackDemonstration:
+    """One revision example: question, SQL before/after, and the feedback."""
+
+    question: str
+    sql_before: str
+    feedback: str
+    sql_after: str
+    feedback_type: str
+
+    structure: frozenset = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not self.structure:
+            try:
+                parsed = parse_query(self.sql_before)
+            except SqlError:
+                return
+            if isinstance(parsed, ast.Select):
+                self.structure = query_structure(parsed)
+
+    def render(self) -> str:
+        """The Figure 5 demonstration block."""
+        return render_feedback_demo(
+            question=self.question,
+            sql=self.sql_before,
+            feedback=self.feedback,
+            revised_sql=self.sql_after,
+        )
+
+
+def default_pool() -> list[FeedbackDemonstration]:
+    """A demonstration pool covering the revision patterns FISQL handles."""
+    return [
+        FeedbackDemonstration(
+            question="how many audiences were created in January?",
+            sql_before=(
+                "SELECT COUNT(*) FROM hkg_dim_segment WHERE createdtime >= "
+                "'2023-01-01' AND createdtime < '2023-02-01'"
+            ),
+            feedback="we are in 2024",
+            sql_after=(
+                "SELECT COUNT(*) FROM hkg_dim_segment WHERE createdtime >= "
+                "'2024-01-01' AND createdtime < '2024-02-01'"
+            ),
+            feedback_type=EDIT,
+        ),
+        FeedbackDemonstration(
+            question=(
+                "Show the name and the release year of the song by the "
+                "youngest singer."
+            ),
+            sql_before=(
+                "SELECT Name, Song_release_year FROM singer WHERE Age = "
+                "(SELECT min(Age) FROM singer)"
+            ),
+            feedback="Provide song name instead of singer name",
+            sql_after=(
+                "SELECT Song_Name, Song_release_year FROM singer WHERE Age = "
+                "(SELECT min(Age) FROM singer)"
+            ),
+            feedback_type=EDIT,
+        ),
+        FeedbackDemonstration(
+            question="List the segments created in March 2024.",
+            sql_before=(
+                "SELECT segmentname, description FROM hkg_dim_segment WHERE "
+                "createdtime >= '2024-03-01' AND createdtime < '2024-04-01'"
+            ),
+            feedback="do not give descriptions",
+            sql_after=(
+                "SELECT segmentname FROM hkg_dim_segment WHERE createdtime "
+                ">= '2024-03-01' AND createdtime < '2024-04-01'"
+            ),
+            feedback_type=REMOVE,
+        ),
+        FeedbackDemonstration(
+            question="List the names of all destinations.",
+            sql_before="SELECT destinationname FROM hkg_dim_destination",
+            feedback="order the names in ascending order.",
+            sql_after=(
+                "SELECT destinationname FROM hkg_dim_destination "
+                "ORDER BY destinationname ASC"
+            ),
+            feedback_type=ADD,
+        ),
+        FeedbackDemonstration(
+            question="How many datasets do we have?",
+            sql_before="SELECT COUNT(*) FROM hkg_dim_dataset",
+            feedback="only include datasets whose status is 'active'",
+            sql_after=(
+                "SELECT COUNT(*) FROM hkg_dim_dataset WHERE status = 'active'"
+            ),
+            feedback_type=ADD,
+        ),
+        FeedbackDemonstration(
+            question="How many countries do the singers come from?",
+            sql_before="SELECT COUNT(Country) FROM singer",
+            feedback="count each country only once",
+            sql_after="SELECT COUNT(DISTINCT Country) FROM singer",
+            feedback_type=EDIT,
+        ),
+        FeedbackDemonstration(
+            question="List the names of the top 5 products by price.",
+            sql_before=(
+                "SELECT name FROM product ORDER BY price ASC LIMIT 5"
+            ),
+            feedback="sort in descending order, please",
+            sql_after=(
+                "SELECT name FROM product ORDER BY price DESC LIMIT 5"
+            ),
+            feedback_type=EDIT,
+        ),
+        FeedbackDemonstration(
+            question="What are the color values of the cars?",
+            sql_before="SELECT color FROM car",
+            feedback="remove duplicates from the results",
+            sql_after="SELECT DISTINCT color FROM car",
+            feedback_type=ADD,
+        ),
+    ]
+
+
+class DynamicFeedbackDemoStore:
+    """Selects the k most relevant revision demonstrations.
+
+    Drop-in alternative to the static
+    :class:`~repro.core.feedback.FeedbackDemoStore`: ``select`` combines
+    feedback-text similarity with query-structure overlap; ``for_type``
+    keeps the static interface for compatibility.
+    """
+
+    #: Weight of textual similarity vs structural overlap.
+    TEXT_WEIGHT = 0.7
+
+    def __init__(
+        self, pool: Optional[Sequence[FeedbackDemonstration]] = None, top_k: int = 2
+    ) -> None:
+        self._pool = list(pool) if pool is not None else default_pool()
+        self._top_k = top_k
+        self._vectorizer = TfidfVectorizer()
+        if self._pool:
+            self._matrix = self._vectorizer.fit_transform(
+                [demo.feedback for demo in self._pool]
+            )
+        else:
+            self._matrix = np.zeros((0, 0))
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def select(
+        self,
+        feedback_text: str,
+        previous_sql: str = "",
+        feedback_type: Optional[str] = None,
+        top_k: Optional[int] = None,
+    ) -> list[str]:
+        """Rank the pool and return the top-k rendered Figure 5 blocks."""
+        if not self._pool:
+            return []
+        k = top_k or self._top_k
+        structure: frozenset = frozenset()
+        if previous_sql:
+            try:
+                parsed = parse_query(previous_sql)
+                if isinstance(parsed, ast.Select):
+                    structure = query_structure(parsed)
+            except SqlError:
+                pass
+
+        query_vec = self._vectorizer.transform([feedback_text])[0]
+        text_scores = self._matrix @ query_vec
+        scored = []
+        for index, demo in enumerate(self._pool):
+            text_score = float(text_scores[index])
+            if structure or demo.structure:
+                union = structure | demo.structure
+                overlap = (
+                    len(structure & demo.structure) / len(union) if union else 1.0
+                )
+            else:
+                overlap = 1.0
+            score = self.TEXT_WEIGHT * text_score + (1 - self.TEXT_WEIGHT) * overlap
+            if feedback_type is not None and demo.feedback_type == feedback_type:
+                score += 0.25  # routing prior, refined by relevance
+            scored.append((score, index))
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [self._pool[index].render() for _score, index in scored[:k]]
+
+    def for_type(self, feedback_type: str) -> list[str]:
+        """Static-interface compatibility: all demos of one type."""
+        return [
+            demo.render()
+            for demo in self._pool
+            if demo.feedback_type == feedback_type
+        ]
+
+    def generic(self) -> list[str]:
+        """Static-interface compatibility: one demo per type."""
+        seen = set()
+        out = []
+        for demo in self._pool:
+            if demo.feedback_type not in seen:
+                seen.add(demo.feedback_type)
+                out.append(demo.render())
+        return out

@@ -1,0 +1,152 @@
+"""Step-by-step natural-language explanations of SQL queries.
+
+The Assistant's response includes "(c) a natural language explanation of
+the steps undertaken to answer the user query" — this module generates it
+from the AST. The simulated user reads these explanations (it is part of
+the information annotators were allowed to see).
+"""
+
+from __future__ import annotations
+
+from repro.sql import ast
+from repro.sql.analysis import conjuncts
+from repro.sql.printer import print_expression
+
+_AGG_PHRASES = {
+    "COUNT": "count the number of rows",
+    "SUM": "sum the values",
+    "AVG": "average the values",
+    "MIN": "take the smallest value",
+    "MAX": "take the largest value",
+}
+
+
+def explain_query(query: ast.Query) -> list[str]:
+    """Return explanation steps for a query."""
+    if isinstance(query, ast.SetOperation):
+        return (
+            explain_query(query.left)
+            + [f"then combine with a second query ({query.op.value})"]
+            + explain_query(query.right)
+        )
+    return _explain_select(query)
+
+
+def _explain_select(select: ast.Select) -> list[str]:
+    steps: list[str] = []
+    steps.append(f"First, consider all the rows of {_source_phrase(select.source)}.")
+    if select.where is not None:
+        for condition in conjuncts(select.where):
+            steps.append(
+                f"Then, keep only those where {_condition_phrase(condition)}."
+            )
+    if select.group_by:
+        keys = ", ".join(print_expression(e) for e in select.group_by)
+        steps.append(f"Group the remaining rows by {keys}.")
+    if select.having is not None:
+        steps.append(
+            f"Keep only groups where {_condition_phrase(select.having)}."
+        )
+    steps.append(_projection_phrase(select))
+    if select.order_by:
+        parts = []
+        for item in select.order_by:
+            direction = (
+                "descending" if item.order is ast.SortOrder.DESC else "ascending"
+            )
+            parts.append(f"{print_expression(item.expression)} ({direction})")
+        steps.append("Sort the results by " + ", ".join(parts) + ".")
+    if select.limit is not None:
+        if select.limit == 1:
+            steps.append("Finally, return only the first result.")
+        else:
+            steps.append(f"Finally, return only the first {select.limit} results.")
+    return steps
+
+
+def _source_phrase(source) -> str:
+    if source is None:
+        return "(no table)"
+    if isinstance(source, ast.TableRef):
+        return f"the {source.name} table"
+    if isinstance(source, ast.Join):
+        tables = _tables_in(source)
+        if len(tables) == 2:
+            return f"the {tables[0]} table joined with the {tables[1]} table"
+        return "the joined tables " + ", ".join(tables)
+    if isinstance(source, ast.SubquerySource):
+        return "a derived sub-result"
+    return "the data"
+
+
+def _tables_in(source) -> list[str]:
+    found: list[str] = []
+    stack = [source]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.TableRef):
+            found.append(node.name)
+        elif isinstance(node, ast.Join):
+            stack.extend((node.right, node.left))
+    return list(reversed(found))
+
+
+_OP_PHRASES = {
+    ast.BinaryOperator.EQ: "equals",
+    ast.BinaryOperator.NE: "does not equal",
+    ast.BinaryOperator.LT: "is less than",
+    ast.BinaryOperator.LE: "is at most",
+    ast.BinaryOperator.GT: "is greater than",
+    ast.BinaryOperator.GE: "is at least",
+}
+
+
+def _condition_phrase(condition: ast.Expression) -> str:
+    if isinstance(condition, ast.BinaryOp) and condition.op in _OP_PHRASES:
+        left = print_expression(condition.left)
+        right = print_expression(condition.right)
+        if isinstance(condition.right, ast.ScalarSubquery):
+            right = "the computed sub-result"
+        return f"{left} {_OP_PHRASES[condition.op]} {right}"
+    if isinstance(condition, ast.Between):
+        return (
+            f"{print_expression(condition.operand)} is between "
+            f"{print_expression(condition.low)} and "
+            f"{print_expression(condition.high)}"
+        )
+    if isinstance(condition, ast.Like):
+        return (
+            f"{print_expression(condition.operand)} matches "
+            f"{print_expression(condition.pattern)}"
+        )
+    if isinstance(condition, (ast.InList, ast.InSubquery)):
+        return f"{print_expression(condition.operand)} is in the allowed set"
+    if isinstance(condition, ast.IsNull):
+        negation = "not " if condition.negated else ""
+        return f"{print_expression(condition.operand)} is {negation}missing"
+    return print_expression(condition)
+
+
+def _projection_phrase(select: ast.Select) -> str:
+    rendered = []
+    for item in select.items:
+        expr = item.expression
+        if isinstance(expr, ast.FunctionCall) and expr.name in _AGG_PHRASES:
+            if expr.args and isinstance(expr.args[0], ast.ColumnRef):
+                target = f" of {expr.args[0].column}"
+            else:
+                target = ""
+            distinct = " (distinct values only)" if expr.distinct else ""
+            rendered.append(f"{_AGG_PHRASES[expr.name]}{target}{distinct}")
+        elif isinstance(expr, ast.Star):
+            rendered.append("return every column")
+        else:
+            rendered.append(f"return {print_expression(expr)}")
+    head = "Next, " if select.where is not None or select.group_by else "Then, "
+    distinct_note = " keeping each distinct result once" if select.distinct else ""
+    return head + "; ".join(rendered) + distinct_note + "."
+
+
+def explanation_text(query: ast.Query) -> str:
+    """Explanation steps joined as a bulleted block."""
+    return "\n".join(f"- {step}" for step in explain_query(query))

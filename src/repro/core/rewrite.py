@@ -1,0 +1,43 @@
+"""The Query Rewrite baseline (Table 2's comparison system).
+
+Given the original question and the user's feedback, a paraphrasing model
+merges them into a new self-contained question, which is then re-answered
+from scratch by the NL2SQL model. No anchoring to the previous SQL — the
+baseline must re-derive everything, which is exactly where it loses to
+FISQL on operation-level feedback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.feedback import Feedback
+from repro.core.nl2sql import Nl2SqlModel, Nl2SqlPrediction
+from repro.llm.interface import ChatModel
+from repro.llm.prompts import rewrite_prompt
+from repro.sql.engine import Database
+
+
+@dataclass
+class RewriteStep:
+    """One rewrite-and-reanswer step."""
+
+    merged_question: str
+    prediction: Nl2SqlPrediction
+
+
+class QueryRewriteBaseline:
+    """Feedback incorporation by question reformulation."""
+
+    def __init__(self, llm: ChatModel, model: Nl2SqlModel) -> None:
+        self._llm = llm
+        self._model = model
+
+    def incorporate(
+        self, question: str, feedback: Feedback, database: Database
+    ) -> RewriteStep:
+        """Merge feedback into the question and re-generate SQL."""
+        prompt = rewrite_prompt(question, feedback.text)
+        merged = self._llm.complete(prompt).text.strip()
+        prediction = self._model.predict(merged, database)
+        return RewriteStep(merged_question=merged, prediction=prediction)

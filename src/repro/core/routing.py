@@ -1,0 +1,105 @@
+"""Feedback-type identification (the paper's "routing" step).
+
+A few-shot-prompted classifier mapping free-form feedback to Add / Remove /
+Edit. The simulated classifier uses lexical cues — which is also how the
+few-shot LLM classifier behaves in practice on this short-text task.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.feedback import ADD, EDIT, FEEDBACK_TYPE_EXAMPLES, REMOVE
+from repro.llm.interface import ChatModel
+from repro.llm.prompts import routing_prompt
+
+_REMOVE_CUES = (
+    r"\bdo not\b",
+    r"\bdon't\b",
+    r"\bremove\b",
+    r"\bdrop\b",
+    r"\bwithout\b",
+    r"\bexclude\b",
+    r"\bomit\b",
+    r"\bno need\b",
+    r"\bget rid of\b",
+    r"\bskip the\b",
+    r"\bleave out\b",
+)
+
+_EDIT_CUES = (
+    r"\binstead of\b",
+    r"\bshould be\b",
+    r"\bchange\b",
+    r"\bwe are in\b",
+    r"\bit is \d{4}\b",
+    r"\bmeans?\b",
+    r"\breplace\b",
+    r"\bwrong\b",
+    r"\bnot the\b",
+    r"\buse the\b",
+    r"\bswitch\b",
+    r"\bactually\b",
+    r"\brather than\b",
+    r"\bdescending\b",
+    r"\bascending\b.*\bnot\b",
+    r"\bsum\b.*\binstead\b",
+    r"\bdistinct\b.*\bcount\b",
+    r"\bcount\b.*\bdistinct\b",
+)
+
+_ADD_CUES = (
+    r"\balso\b",
+    r"\badd\b",
+    r"\binclude\b",
+    r"\bonly\b",
+    r"\border the\b",
+    r"\bsort the\b",
+    r"\bgroup\b",
+    r"\blimit\b",
+    r"\bfilter\b",
+    r"\bjoin\b",
+    r"\bremove duplicates\b",
+    r"\beach .* only once\b",
+    r"\brestrict\b",
+)
+
+
+def classify_feedback(text: str) -> str:
+    """Rule-of-thumb classification used by the simulated LLM."""
+    lowered = text.lower()
+    # "remove duplicates" asks to ADD a DISTINCT, not to remove a clause.
+    if re.search(r"\bremove duplicates\b", lowered) or re.search(
+        r"\bonly once\b", lowered
+    ):
+        return ADD
+    for cue in _REMOVE_CUES:
+        if re.search(cue, lowered):
+            return REMOVE
+    for cue in _EDIT_CUES:
+        if re.search(cue, lowered):
+            return EDIT
+    for cue in _ADD_CUES:
+        if re.search(cue, lowered):
+            return ADD
+    return EDIT
+
+
+class FeedbackRouter:
+    """Routes feedback to a type by prompting the (simulated) LLM."""
+
+    def __init__(self, llm: ChatModel) -> None:
+        self._llm = llm
+        self._examples = [
+            (text, label.capitalize())
+            for label, text in FEEDBACK_TYPE_EXAMPLES.items()
+        ]
+
+    def route(self, feedback_text: str) -> str:
+        """Classify feedback into add / remove / edit."""
+        prompt = routing_prompt(feedback_text, examples=self._examples)
+        completion = self._llm.complete(prompt)
+        label = completion.text.strip().lower()
+        if label in (ADD, REMOVE, EDIT):
+            return label
+        return EDIT

@@ -1,0 +1,191 @@
+"""FISQL correction sessions: the multi-round feedback loop.
+
+``FisqlPipeline`` implements the paper's two-step procedure per round:
+(1) routing — classify the feedback type and retrieve type-specific
+revision demonstrations (Figure 5); (2) re-prompt the NL2SQL model with the
+previous SQL, the feedback, and those demonstrations (Figure 6). The
+``routing=False`` ablation skips step (1) and uses the small generic
+demonstration set instead. ``highlights=True`` lets the simulated user
+attach a SQL-span highlight to ground the feedback (Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.feedback import FeedbackDemoStore
+from repro.core.nl2sql import Nl2SqlModel
+from repro.core.routing import FeedbackRouter
+from repro.core.user import SimulatedAnnotator
+from repro.datasets.base import Example
+from repro.errors import SqlError
+from repro.llm.interface import ChatModel
+from repro.llm.prompts import feedback_prompt
+from repro.sql import ast
+from repro.sql.comparison import query_is_ordered, results_match
+from repro.sql.engine import Database
+from repro.sql.executor import QueryResult
+from repro.sql.parser import parse_query
+
+
+@dataclass
+class RoundRecord:
+    """What happened in one feedback round."""
+
+    round_index: int
+    feedback_text: str
+    feedback_type: Optional[str]
+    highlight: Optional[str]
+    sql_before: str
+    sql_after: str
+    corrected: bool
+    notes: list[str] = field(default_factory=list)
+
+
+@dataclass
+class CorrectionOutcome:
+    """The result of a multi-round correction session."""
+
+    example_id: str
+    corrected_round: Optional[int]  # 1-based; None = never corrected
+    rounds: list[RoundRecord] = field(default_factory=list)
+
+    @property
+    def corrected(self) -> bool:
+        return self.corrected_round is not None
+
+    def corrected_by(self, round_index: int) -> bool:
+        """Whether the query was fixed within the first N rounds."""
+        return (
+            self.corrected_round is not None
+            and self.corrected_round <= round_index
+        )
+
+
+class FisqlPipeline:
+    """The FISQL feedback-incorporation pipeline."""
+
+    def __init__(
+        self,
+        model: Nl2SqlModel,
+        llm: Optional[ChatModel] = None,
+        routing: bool = True,
+        highlights: bool = False,
+        demo_store: Optional[FeedbackDemoStore] = None,
+    ) -> None:
+        self._model = model
+        self._llm = llm or model.llm
+        self._routing = routing
+        self._highlights = highlights
+        self._demo_store = demo_store or FeedbackDemoStore.default()
+        self._router = FeedbackRouter(self._llm)
+
+    def correct(
+        self,
+        example: Example,
+        database: Database,
+        initial_sql: str,
+        annotator: SimulatedAnnotator,
+        max_rounds: int = 1,
+    ) -> CorrectionOutcome:
+        """Run up to ``max_rounds`` of feedback-driven correction."""
+        gold = parse_query(example.gold_sql)
+        if not isinstance(gold, ast.Select):
+            raise SqlError("gold queries are expected to be plain SELECTs")
+        gold_result = _run(database, gold)
+        ordered = query_is_ordered(gold)
+
+        outcome = CorrectionOutcome(example_id=example.example_id, corrected_round=None)
+        current_sql = initial_sql
+        current = _try_parse(current_sql)
+
+        for round_index in range(1, max_rounds + 1):
+            if current is None:
+                break
+            feedback = annotator.give_feedback(
+                example_id=example.example_id,
+                question=example.question,
+                gold=gold,
+                predicted=current,
+                round_index=round_index,
+                use_highlights=self._highlights,
+            )
+            if feedback is None:
+                break
+
+            feedback_type: Optional[str] = None
+            feedback_demos: list[str]
+            if self._routing:
+                feedback_type = self._router.route(feedback.text)
+                feedback_demos = self._demo_store.for_type(feedback_type)
+            else:
+                feedback_demos = self._demo_store.generic()
+
+            rag_demos = []
+            if self._model.retriever is not None:
+                rag_demos = self._model.retriever.retrieve(
+                    example.question, db_id=database.schema.name
+                )
+            prompt = feedback_prompt(
+                schema=database.schema,
+                question=example.question,
+                previous_sql=current_sql,
+                feedback=feedback.text,
+                demos=rag_demos,
+                feedback_demos=feedback_demos,
+                feedback_type=feedback_type,
+                highlight=feedback.highlight.text if feedback.highlight else None,
+                context_key=f"{example.example_id}:{round_index}",
+            )
+            completion = self._llm.complete(prompt)
+            new_sql = completion.text.strip().rstrip(";")
+
+            corrected = _matches(database, gold_result, new_sql, ordered)
+            outcome.rounds.append(
+                RoundRecord(
+                    round_index=round_index,
+                    feedback_text=feedback.text,
+                    feedback_type=feedback_type,
+                    highlight=feedback.highlight.text if feedback.highlight else None,
+                    sql_before=current_sql,
+                    sql_after=new_sql,
+                    corrected=corrected,
+                    notes=list(completion.notes),
+                )
+            )
+            current_sql = new_sql
+            current = _try_parse(new_sql) or current
+            if corrected:
+                outcome.corrected_round = round_index
+                break
+        return outcome
+
+
+def _try_parse(sql: str) -> Optional[ast.Select]:
+    try:
+        parsed = parse_query(sql)
+    except SqlError:
+        return None
+    if isinstance(parsed, ast.Select):
+        return parsed
+    return None
+
+
+def _run(database: Database, query: ast.Query) -> QueryResult:
+    result = database.execute_ast(query)
+    assert isinstance(result, QueryResult)
+    return result
+
+
+def _matches(
+    database: Database, gold_result: QueryResult, sql: str, ordered: bool
+) -> bool:
+    try:
+        parsed = parse_query(sql)
+        result = database.execute_ast(parsed)
+    except SqlError:
+        return False
+    if not isinstance(result, QueryResult):
+        return False
+    return results_match(gold_result, result, ordered=ordered)

@@ -1,0 +1,463 @@
+"""Simulated feedback-providing user (the paper's annotator stand-in).
+
+The paper's feedback was written by the authors using only the information
+the tool shows: the question, the generated SQL, its natural-language
+explanation, and the execution result — never the gold SQL or schema
+internals. The simulator enforces the same protocol:
+
+* It knows the *intent* (the gold query's semantics — exactly what a user
+  who asked the question knows) and compares the visible behaviour against
+  it via the structural diff (:mod:`repro.sql.analysis`).
+* It verbalizes **one** error per round, as the paper observed users doing.
+* It is imperfect on purpose, with calibrated rates of *vague* feedback
+  (terse, ungrounded — "change to 2024") and *misaligned* feedback
+  (misdiagnosing the problem), the two residual-error causes in the
+  paper's error analysis besides multi-error queries.
+
+All stochasticity is deterministic per (example, round) via stable hashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.feedback import Feedback, Highlight
+from repro.sql import ast
+from repro.sql.analysis import QueryDelta, diff_queries
+from repro.sql.printer import print_expression, print_select
+from repro.sql.schema import DatabaseSchema
+from repro.util import stable_choice, stable_fraction
+
+#: Delta kinds the annotator addresses first when several are present.
+_PRIORITY = ("table", "select", "where", "group", "order", "distinct", "limit")
+
+
+@dataclass
+class AnnotatorConfig:
+    """Calibrated imperfection rates (all deterministic per example)."""
+
+    #: Probability a given error example gets annotated at all (the paper
+    #: annotated 101 of 243 SPIDER errors).
+    annotate_rate: float = 1.0
+    #: Probability the feedback is terse/ungrounded ("change to 2024").
+    vague_rate: float = 0.10
+    #: Probability the feedback misdiagnoses the error entirely.
+    misaligned_rate: float = 0.10
+    #: Cap on how many distinct errors a query may contain and still be
+    #: considered annotatable from the visible information.
+    max_expressible_deltas: int = 3
+
+
+class SimulatedAnnotator:
+    """Produces natural-language feedback for incorrect SQL."""
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        config: Optional[AnnotatorConfig] = None,
+        salt: str = "annotator",
+    ) -> None:
+        self._schema = schema
+        self._config = config or AnnotatorConfig()
+        self._salt = salt
+
+    # -- annotatability (the 101-of-243 selection) ------------------------------
+
+    def can_annotate(
+        self, example_id: str, gold: ast.Select, predicted: ast.Select
+    ) -> bool:
+        """Whether feedback can be written from the visible information."""
+        deltas = diff_queries(gold, predicted)
+        if not deltas:
+            return False
+        if any(d.kind == "structure" for d in deltas):
+            return False
+        if len(deltas) > self._config.max_expressible_deltas:
+            return False
+        if self._config.annotate_rate < 1.0:
+            keep = stable_fraction(self._salt, "annotate", example_id)
+            if keep >= self._config.annotate_rate:
+                return False
+        return True
+
+    # -- feedback generation --------------------------------------------------------
+
+    def give_feedback(
+        self,
+        example_id: str,
+        question: str,
+        gold: ast.Select,
+        predicted: ast.Select,
+        round_index: int = 0,
+        use_highlights: bool = False,
+    ) -> Optional[Feedback]:
+        """Produce one round of feedback, or None when satisfied/stuck."""
+        deltas = diff_queries(gold, predicted)
+        if not deltas:
+            return None
+        delta = self._pick_delta(deltas)
+
+        misaligned = (
+            stable_fraction(self._salt, "misaligned", example_id)
+            < self._config.misaligned_rate
+        )
+        if misaligned:
+            text = stable_choice(
+                [
+                    "these numbers do not look right to me",
+                    "this is not what I asked for",
+                    "the result seems off, can you double check",
+                ],
+                self._salt,
+                "misaligned-text",
+                example_id,
+                round_index,
+            )
+            return Feedback(text=text, intent_kind="misaligned")
+
+        vague = (
+            stable_fraction(self._salt, "vague", example_id)
+            < self._config.vague_rate
+        )
+        feedback = self._verbalize(delta, question, predicted, vague)
+        if feedback is None:
+            return None
+        if use_highlights:
+            feedback.highlight = self._make_highlight(delta, predicted)
+        return feedback
+
+    def _pick_delta(self, deltas: list[QueryDelta]) -> QueryDelta:
+        def rank(delta: QueryDelta) -> tuple[int, int]:
+            try:
+                base = _PRIORITY.index(delta.kind)
+            except ValueError:
+                base = len(_PRIORITY)
+            # Among missing tables, users describe the *relationship* —
+            # which lives in the fact/link table (the one with FKs).
+            fact_bonus = 1
+            if delta.kind == "table" and delta.action == "add":
+                name = delta.gold if isinstance(delta.gold, str) else ""
+                if self._schema.has_table(name) and self._schema.table(
+                    name
+                ).foreign_keys:
+                    fact_bonus = 0
+            return (base, fact_bonus)
+
+        return sorted(deltas, key=rank)[0]
+
+    # -- verbalization ------------------------------------------------------------
+
+    def _verbalize(
+        self,
+        delta: QueryDelta,
+        question: str,
+        predicted: ast.Select,
+        vague: bool,
+    ) -> Optional[Feedback]:
+        handler = getattr(self, f"_v_{delta.kind}", None)
+        if handler is None:
+            return None
+        return handler(delta, question, predicted, vague)
+
+    def _column_nl(self, table_name: Optional[str], column_name: str) -> str:
+        if table_name and self._schema.has_table(table_name):
+            table = self._schema.table(table_name)
+            if table.has_column(column_name):
+                return table.column(column_name).nl_name
+        return column_name.replace("_", " ")
+
+    def _v_select(self, delta, question, predicted, vague):
+        table_name = _main_table_name(predicted)
+        if delta.action == "edit":
+            gold_expr = delta.gold.expression
+            pred_expr = delta.pred.expression
+            # COUNT vs COUNT DISTINCT / SUM — aggregate-level feedback.
+            if isinstance(gold_expr, ast.FunctionCall) and isinstance(
+                pred_expr, ast.FunctionCall
+            ):
+                if (
+                    gold_expr.name == "COUNT"
+                    and pred_expr.name == "COUNT"
+                    and gold_expr.distinct
+                    and not pred_expr.distinct
+                ):
+                    column = _call_column(gold_expr) or "value"
+                    nl = self._column_nl(table_name, column)
+                    return Feedback(
+                        text=f"count each {nl} only once, not every row",
+                        intent_kind="count_distinct",
+                    )
+                if gold_expr.name == "SUM" and pred_expr.name == "COUNT":
+                    column = _call_column(gold_expr) or "value"
+                    nl = self._column_nl(table_name, column)
+                    return Feedback(
+                        text=f"sum the {nl} instead of counting rows",
+                        intent_kind="sum_not_count",
+                    )
+            gold_col = _expr_column(gold_expr)
+            pred_col = _expr_column(pred_expr)
+            if gold_col and pred_col:
+                gold_nl = self._column_nl(table_name, gold_col)
+                pred_nl = self._column_nl(table_name, pred_col)
+                return Feedback(
+                    text=f"provide the {gold_nl} instead of the {pred_nl}",
+                    intent_kind="select_edit",
+                )
+            return None
+        if delta.action == "remove":
+            pred_col = _expr_column(delta.pred.expression)
+            if pred_col is None:
+                return None
+            nl = self._column_nl(table_name, pred_col)
+            plural = nl if nl.endswith("s") else nl + "s"
+            return Feedback(
+                text=f"do not give {plural}", intent_kind="select_remove"
+            )
+        if delta.action == "add":
+            gold_col = _expr_column(delta.gold.expression)
+            if gold_col is None:
+                return None
+            nl = self._column_nl(table_name, gold_col)
+            return Feedback(
+                text=f"also show the {nl}", intent_kind="select_add"
+            )
+        return None
+
+    def _v_where(self, delta, question, predicted, vague):
+        table_name = _main_table_name(predicted)
+        if delta.action in ("edit", "add"):
+            gold_cond = delta.gold
+            # Year corrections get the paper's canonical phrasing.
+            year = _condition_year(gold_cond)
+            if year is not None and delta.action == "edit":
+                if vague:
+                    return Feedback(
+                        text=f"change to {year}", intent_kind="year_vague"
+                    )
+                return Feedback(
+                    text=f"we are in {year}", intent_kind="year"
+                )
+            column, value = _condition_column_value(gold_cond)
+            if column is not None and value is not None:
+                nl = self._column_nl(table_name, column)
+                if vague:
+                    return Feedback(
+                        text=f"change to '{value}'", intent_kind="filter_vague"
+                    )
+                phrase = stable_choice(
+                    [
+                        f"only include the ones whose {nl} is '{value}'",
+                        f"I meant only those with {nl} '{value}'",
+                        f"that means the {nl} is '{value}'",
+                    ],
+                    self._salt,
+                    "filter-phrase",
+                    question,
+                    column,
+                )
+                return Feedback(text=phrase, intent_kind="filter")
+            return None
+        if delta.action == "remove":
+            column, _value = _condition_column_value(delta.pred)
+            if column is None:
+                return None
+            nl = self._column_nl(table_name, column)
+            return Feedback(
+                text=f"remove the condition on {nl}", intent_kind="filter_remove"
+            )
+        return None
+
+    def _v_table(self, delta, question, predicted, vague):
+        if delta.action != "edit" or not isinstance(delta.gold, str):
+            # Missing join tables are expressed through the fact relation.
+            if delta.action == "add" and isinstance(delta.gold, str):
+                return self._v_fact_table(delta, question)
+            return None
+        gold_table = delta.gold
+        if self._schema.has_table(gold_table):
+            nl = self._schema.table(gold_table).nl_name
+        else:
+            nl = gold_table.replace("_", " ")
+        jargon = _jargon_word(question)
+        if jargon:
+            return Feedback(
+                text=f"by {jargon} I mean the {nl} table",
+                intent_kind="table_edit",
+            )
+        return Feedback(
+            text=f"use the {nl} table", intent_kind="table_edit"
+        )
+
+    def _v_fact_table(self, delta, question):
+        table_name = delta.gold
+        if not self._schema.has_table(table_name):
+            return None
+        table = self._schema.table(table_name)
+        if not table.foreign_keys:
+            return None
+        nl = table.nl_name
+        return Feedback(
+            text=(
+                f"they are linked through the {nl} table, "
+                f"look at the entries there"
+            ),
+            intent_kind="fact_join",
+        )
+
+    def _v_group(self, delta, question, predicted, vague):
+        if delta.action == "add":
+            column = _expr_column(delta.gold)
+            if column is None:
+                return None
+            nl = self._column_nl(_main_table_name(predicted), column)
+            return Feedback(
+                text=f"break the numbers down by {nl}", intent_kind="group_add"
+            )
+        return None
+
+    def _v_order(self, delta, question, predicted, vague):
+        if delta.action == "add":
+            items = delta.gold
+            if not items:
+                return None
+            column = _expr_column(items[0].expression) or "names"
+            nl = self._column_nl(_main_table_name(predicted), column)
+            direction = (
+                "ascending"
+                if items[0].order is ast.SortOrder.ASC
+                else "descending"
+            )
+            return Feedback(
+                text=f"order the {nl}s in {direction} order.",
+                intent_kind="order_add",
+            )
+        if delta.action == "edit":
+            items = delta.gold
+            direction = (
+                "descending"
+                if items and items[0].order is ast.SortOrder.DESC
+                else "ascending"
+            )
+            return Feedback(
+                text=f"sort in {direction} order, please",
+                intent_kind="order_edit",
+            )
+        if delta.action == "remove":
+            return Feedback(
+                text="no need to sort the results", intent_kind="order_remove"
+            )
+        return None
+
+    def _v_distinct(self, delta, question, predicted, vague):
+        if delta.action == "add":
+            return Feedback(
+                text="remove duplicates from the results",
+                intent_kind="distinct_add",
+            )
+        return Feedback(
+            text="keep all rows, including duplicates",
+            intent_kind="distinct_remove",
+        )
+
+    def _v_limit(self, delta, question, predicted, vague):
+        if delta.action in ("add", "edit"):
+            return Feedback(
+                text=f"limit it to {delta.gold}", intent_kind="limit"
+            )
+        return Feedback(
+            text="remove the limit, show all of them", intent_kind="limit_remove"
+        )
+
+    # -- highlights -------------------------------------------------------------
+
+    def _make_highlight(
+        self, delta: QueryDelta, predicted: ast.Select
+    ) -> Optional[Highlight]:
+        """Highlight the SQL span containing the part being discussed."""
+        sql_text = print_select(predicted)
+        target: Optional[str] = None
+        if delta.kind == "where" and delta.pred is not None:
+            target = print_expression(delta.pred)
+        elif delta.kind == "where" and delta.pred is None:
+            # Nothing wrong is *present*; the user highlights the FROM
+            # clause to show where the restriction belongs.
+            table_name = _main_table_name(predicted)
+            if table_name is not None:
+                target = f"FROM {table_name}"
+        elif delta.kind == "select" and delta.pred is not None:
+            target = print_expression(delta.pred.expression)
+        elif delta.kind == "order" and delta.pred:
+            target = print_expression(delta.pred[0].expression)
+        if target is None:
+            return None
+        start = sql_text.find(target)
+        if start == -1:
+            return None
+        return Highlight(text=target, start=start, end=start + len(target))
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _main_table_name(query: ast.Select) -> Optional[str]:
+    source = query.source
+    while isinstance(source, ast.Join):
+        source = source.left
+    if isinstance(source, ast.TableRef):
+        return source.name
+    return None
+
+
+def _expr_column(expr) -> Optional[str]:
+    if isinstance(expr, ast.ColumnRef):
+        return expr.column
+    if isinstance(expr, ast.FunctionCall):
+        return _call_column(expr)
+    return None
+
+
+def _call_column(call: ast.FunctionCall) -> Optional[str]:
+    if call.args and isinstance(call.args[0], ast.ColumnRef):
+        return call.args[0].column
+    return None
+
+
+def _condition_year(condition) -> Optional[str]:
+    """The year of a date-literal comparison, if that is what it is."""
+    import re
+
+    if not isinstance(condition, ast.Expression):
+        return None
+    for node in ast.walk_expressions(condition):
+        if isinstance(node, ast.Literal) and isinstance(node.value, str):
+            match = re.match(r"^((?:19|20)\d{2})-\d{2}-\d{2}", node.value)
+            if match:
+                return match.group(1)
+    return None
+
+
+def _condition_column_value(condition):
+    """(column, literal value) of a simple comparison condition."""
+    if isinstance(condition, ast.BinaryOp) and condition.op.is_comparison:
+        if isinstance(condition.left, ast.ColumnRef) and isinstance(
+            condition.right, ast.Literal
+        ):
+            return condition.left.column, condition.right.value
+    if isinstance(condition, ast.Like) and isinstance(
+        condition.operand, ast.ColumnRef
+    ):
+        if isinstance(condition.pattern, ast.Literal):
+            return condition.operand.column, condition.pattern.value
+    return None, None
+
+
+def _jargon_word(question: str) -> Optional[str]:
+    """The jargon noun in the question, if recognizable."""
+    lowered = question.lower()
+    for word in ("audiences", "audience"):
+        if word in lowered:
+            return word
+    return None

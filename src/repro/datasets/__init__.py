@@ -1,0 +1,44 @@
+"""Synthetic benchmark generators (SPIDER-like and AEP-like)."""
+
+from repro.datasets.aep import (
+    AEP_DB_ID,
+    AEP_GLOSSARY,
+    AepGenerator,
+    build_aep_database,
+    generate_aep_suite,
+)
+from repro.datasets.base import Benchmark, Demonstration, Example
+from repro.datasets.spider import (
+    SpiderGenerator,
+    SpiderSuite,
+    generate_spider_suite,
+)
+from repro.datasets.stats import (
+    SuiteStats,
+    benchmark_stats,
+    matches_paper_shape,
+    suite_stats,
+)
+from repro.datasets.traps import ALL_TRAPS, TrapKind, trap_for, traps_for_dataset
+
+__all__ = [
+    "AEP_DB_ID",
+    "AEP_GLOSSARY",
+    "ALL_TRAPS",
+    "AepGenerator",
+    "Benchmark",
+    "Demonstration",
+    "Example",
+    "SpiderGenerator",
+    "SpiderSuite",
+    "SuiteStats",
+    "benchmark_stats",
+    "matches_paper_shape",
+    "suite_stats",
+    "TrapKind",
+    "build_aep_database",
+    "generate_aep_suite",
+    "generate_spider_suite",
+    "trap_for",
+    "traps_for_dataset",
+]

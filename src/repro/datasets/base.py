@@ -1,0 +1,125 @@
+"""Dataset containers: examples, benchmarks, and JSON serialization."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.errors import DatasetError
+from repro.sql.engine import Database
+
+
+@dataclass
+class Example:
+    """One NL2SQL example.
+
+    Attributes:
+        example_id: Stable unique id within its benchmark.
+        db_id: Database the question targets.
+        question: The user's natural-language question.
+        gold_sql: Reference SQL whose execution defines correctness.
+        hardness: SPIDER-style bucket: easy / medium / hard / extra.
+        trap_kind: Name of the planted difficulty (None for clean examples).
+        trap_meta: Trap parameters (e.g. decoy column, intended year).
+    """
+
+    example_id: str
+    db_id: str
+    question: str
+    gold_sql: str
+    hardness: str = "easy"
+    trap_kind: Optional[str] = None
+    trap_meta: dict = field(default_factory=dict)
+
+    @property
+    def is_trapped(self) -> bool:
+        return self.trap_kind is not None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Example":
+        return cls(**data)
+
+
+@dataclass
+class Benchmark:
+    """A set of databases plus the examples asked against them."""
+
+    name: str
+    databases: dict[str, Database]
+    examples: list[Example]
+
+    def database(self, db_id: str) -> Database:
+        if db_id not in self.databases:
+            raise DatasetError(
+                f"benchmark {self.name!r} has no database {db_id!r}"
+            )
+        return self.databases[db_id]
+
+    def examples_for(self, db_id: str) -> list[Example]:
+        return [ex for ex in self.examples if ex.db_id == db_id]
+
+    def trapped_examples(self) -> list[Example]:
+        return [ex for ex in self.examples if ex.is_trapped]
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def save_examples(self, path: Path) -> None:
+        """Write the example list (not the databases) as JSON lines."""
+        with open(path, "w") as handle:
+            for example in self.examples:
+                handle.write(json.dumps(example.to_dict()) + "\n")
+
+    @staticmethod
+    def load_examples(path: Path) -> list[Example]:
+        examples = []
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    examples.append(Example.from_dict(json.loads(line)))
+        return examples
+
+
+@dataclass
+class Demonstration:
+    """A (question, SQL) pair used for in-context demonstrations.
+
+    ``glossary`` carries the closed-domain phrase→schema mappings that the
+    demonstration implicitly teaches. The simulated LLM 'reads' these when
+    the demonstration is present in its prompt — an executable stand-in for
+    in-context learning.
+    """
+
+    question: str
+    sql: str
+    db_id: str
+    glossary: dict[str, str] = field(default_factory=dict)
+
+    def render(self) -> str:
+        return f"Question: {self.question}\nQuery: {self.sql}"
+
+
+def demonstrations_from_examples(
+    examples: Iterable[Example], glossaries: Optional[dict[str, dict]] = None
+) -> list[Demonstration]:
+    """Turn clean examples into RAG demonstrations."""
+    demos = []
+    for example in examples:
+        glossary = {}
+        if glossaries and example.db_id in glossaries:
+            glossary = glossaries[example.db_id]
+        demos.append(
+            Demonstration(
+                question=example.question,
+                sql=example.gold_sql,
+                db_id=example.db_id,
+                glossary=glossary,
+            )
+        )
+    return demos

@@ -1,0 +1,266 @@
+"""Vocabulary pools for the synthetic SPIDER-like benchmark generator.
+
+Entities are grouped into four categories (person / object / event / org)
+that determine which attribute templates a generated table can carry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sql.types import DataType
+
+
+@dataclass(frozen=True)
+class AttrSpec:
+    """Template for a generated column.
+
+    Attributes:
+        column: SQL identifier.
+        nl: Natural-language name used in questions.
+        dtype: Column type.
+        kind: Semantic role — drives which question templates apply:
+            ``name`` / ``category`` / ``status`` / ``numeric`` / ``date`` /
+            ``description`` / ``measure`` (summable numeric).
+        pool: Name of a value pool (for category columns).
+        low/high: Range (for numeric columns).
+    """
+
+    column: str
+    nl: str
+    dtype: DataType
+    kind: str
+    pool: str = ""
+    low: int = 0
+    high: int = 100
+
+
+PERSON_ENTITIES = [
+    ("singer", "singers"),
+    ("student", "students"),
+    ("teacher", "teachers"),
+    ("employee", "employees"),
+    ("doctor", "doctors"),
+    ("pilot", "pilots"),
+    ("driver", "drivers"),
+    ("player", "players"),
+    ("coach", "coaches"),
+    ("author", "authors"),
+    ("director", "directors"),
+    ("actor", "actors"),
+    ("chef", "chefs"),
+    ("artist", "artists"),
+    ("farmer", "farmers"),
+    ("captain", "captains"),
+    ("architect", "architects"),
+    ("professor", "professors"),
+    ("nurse", "nurses"),
+    ("lawyer", "lawyers"),
+    ("manager", "managers"),
+    ("engineer", "engineers"),
+    ("journalist", "journalists"),
+    ("designer", "designers"),
+]
+
+OBJECT_ENTITIES = [
+    ("product", "products"),
+    ("car", "cars"),
+    ("book", "books"),
+    ("movie", "movies"),
+    ("song", "songs"),
+    ("album", "albums"),
+    ("device", "devices"),
+    ("machine", "machines"),
+    ("ship", "ships"),
+    ("train", "trains"),
+    ("painting", "paintings"),
+    ("dish", "dishes"),
+    ("medicine", "medicines"),
+    ("document", "documents"),
+    ("instrument", "instruments"),
+    ("gadget", "gadgets"),
+    ("vehicle", "vehicles"),
+    ("toy", "toys"),
+    ("appliance", "appliances"),
+]
+
+EVENT_ENTITIES = [
+    ("concert", "concerts"),
+    ("match", "matches"),
+    ("race", "races"),
+    ("festival", "festivals"),
+    ("exhibition", "exhibitions"),
+    ("tournament", "tournaments"),
+    ("conference", "conferences"),
+    ("workshop", "workshops"),
+    ("auction", "auctions"),
+    ("ceremony", "ceremonies"),
+    ("flight", "flights"),
+    ("voyage", "voyages"),
+]
+
+ORG_ENTITIES = [
+    ("company", "companies"),
+    ("department", "departments"),
+    ("school", "schools"),
+    ("hospital", "hospitals"),
+    ("library", "libraries"),
+    ("restaurant", "restaurants"),
+    ("hotel", "hotels"),
+    ("museum", "museums"),
+    ("airline", "airlines"),
+    ("store", "stores"),
+    ("studio", "studios"),
+    ("team", "teams"),
+    ("band", "bands"),
+    ("club", "clubs"),
+    ("agency", "agencies"),
+    ("factory", "factories"),
+    ("farm", "farms"),
+    ("theater", "theaters"),
+    ("college", "colleges"),
+    ("clinic", "clinics"),
+]
+
+ENTITY_CATEGORIES: dict[str, list[tuple[str, str]]] = {
+    "person": PERSON_ENTITIES,
+    "object": OBJECT_ENTITIES,
+    "event": EVENT_ENTITIES,
+    "org": ORG_ENTITIES,
+}
+
+FIRST_NAMES = [
+    "Alice", "Bruno", "Carla", "Derek", "Elena", "Felix", "Greta", "Hugo",
+    "Iris", "Jonas", "Karim", "Lena", "Marco", "Nadia", "Oscar", "Priya",
+    "Quinn", "Rosa", "Stefan", "Tara", "Umar", "Vera", "Wes", "Xenia",
+    "Yusuf", "Zoe", "Amara", "Boris", "Celine", "Dmitri",
+]
+
+LAST_NAMES = [
+    "Anders", "Brooks", "Castillo", "Dufour", "Eriksen", "Fontaine",
+    "Garcia", "Hopkins", "Ivanov", "Jensen", "Kowalski", "Laurent",
+    "Moreau", "Novak", "Okafor", "Petrov", "Quintero", "Rossi", "Sato",
+    "Tanaka", "Ueda", "Varga", "Weber", "Xu", "Yamamoto", "Zhang",
+]
+
+CITIES = [
+    "Ashford", "Brookdale", "Cresthill", "Dunmore", "Eastvale", "Fairview",
+    "Glenrock", "Hartwell", "Ironbridge", "Juniper", "Kingsport",
+    "Lakewood", "Maplewood", "Northgate", "Oakridge", "Pinehurst",
+    "Quarry Bay", "Riverton", "Stonefield", "Thornbury",
+]
+
+COUNTRIES = [
+    "Avaria", "Borland", "Cestia", "Drevania", "Elandor", "Frestia",
+    "Gavania", "Hestria", "Ivoria", "Jorland", "Kestonia", "Lavonia",
+]
+
+COLORS = [
+    "red", "blue", "green", "black", "white", "silver", "gold", "orange",
+    "purple", "teal",
+]
+
+GENRES = [
+    "jazz", "rock", "classical", "folk", "electronic", "blues", "pop",
+    "ambient", "country", "reggae",
+]
+
+TYPES = [
+    "standard", "premium", "compact", "deluxe", "economy", "sport",
+    "classic", "limited", "digital", "hybrid",
+]
+
+MATERIALS = [
+    "steel", "oak", "glass", "carbon", "ceramic", "leather", "aluminum",
+    "bamboo", "granite", "titanium",
+]
+
+NAME_ADJECTIVES = [
+    "Silver", "Crimson", "Golden", "Velvet", "Northern", "Silent",
+    "Radiant", "Emerald", "Midnight", "Amber", "Cobalt", "Ivory",
+    "Scarlet", "Obsidian", "Luminous", "Wandering",
+]
+
+NAME_NOUNS = [
+    "Falcon", "Harbor", "Meadow", "Summit", "Canyon", "Lantern", "Compass",
+    "Anchor", "Beacon", "Orchid", "Thistle", "Raven", "Aurora", "Cascade",
+    "Horizon", "Pinnacle",
+]
+
+#: Status pools with the vague adjectives users attach to the first value.
+#: (values, vague_phrase_for_first_value)
+STATUS_POOLS: list[tuple[tuple[str, ...], str]] = [
+    (("active", "inactive", "archived"), "currently running"),
+    (("open", "closed", "suspended"), "currently operating"),
+    (("available", "unavailable", "discontinued"), "currently offered"),
+    (("in_stock", "sold_out", "backordered"), "currently obtainable"),
+    (("published", "draft", "retired"), "currently public"),
+]
+
+MONTH_NAMES = [
+    "January", "February", "March", "April", "May", "June", "July",
+    "August", "September", "October", "November", "December",
+]
+
+#: The benchmark's "now": questions that omit the year mean this one.
+CURRENT_YEAR = 2024
+
+#: The base model's prior: with no other signal it assumes this year
+#: (mirroring an LLM whose training data predates the current year).
+MODEL_DEFAULT_YEAR = 2023
+
+
+def attribute_pool(category: str) -> list[AttrSpec]:
+    """Attribute templates available to tables of a given category."""
+    common = [
+        AttrSpec("status", "status", DataType.TEXT, "status"),
+        AttrSpec("description", "description", DataType.TEXT, "description"),
+        AttrSpec("created_date", "creation date", DataType.DATE, "date"),
+        AttrSpec("rating", "rating", DataType.REAL, "numeric", low=1, high=10),
+    ]
+    if category == "person":
+        return common + [
+            AttrSpec("age", "age", DataType.INTEGER, "numeric", low=18, high=79),
+            AttrSpec("salary", "salary", DataType.INTEGER, "measure", low=20000, high=190000),
+            AttrSpec("nationality", "nationality", DataType.TEXT, "category", pool="countries"),
+            AttrSpec("city", "city", DataType.TEXT, "category", pool="cities"),
+            AttrSpec("height", "height", DataType.INTEGER, "numeric", low=150, high=208),
+            AttrSpec("experience_years", "years of experience", DataType.INTEGER, "numeric", low=0, high=40),
+        ]
+    if category == "object":
+        return common + [
+            AttrSpec("price", "price", DataType.INTEGER, "measure", low=5, high=9500),
+            AttrSpec("weight", "weight", DataType.INTEGER, "numeric", low=1, high=800),
+            AttrSpec("color", "color", DataType.TEXT, "category", pool="colors"),
+            AttrSpec("category", "category", DataType.TEXT, "category", pool="types"),
+            AttrSpec("release_year", "release year", DataType.INTEGER, "numeric", low=1970, high=2024),
+            AttrSpec("stock_count", "stock count", DataType.INTEGER, "measure", low=0, high=500),
+        ]
+    if category == "event":
+        return common + [
+            AttrSpec("attendance", "attendance", DataType.INTEGER, "measure", low=50, high=90000),
+            AttrSpec("duration_minutes", "duration in minutes", DataType.INTEGER, "numeric", low=30, high=600),
+            AttrSpec("city", "city", DataType.TEXT, "category", pool="cities"),
+            AttrSpec("event_year", "year", DataType.INTEGER, "numeric", low=2015, high=2024),
+            AttrSpec("ticket_price", "ticket price", DataType.INTEGER, "measure", low=5, high=900),
+            AttrSpec("theme", "theme", DataType.TEXT, "category", pool="genres"),
+        ]
+    # org
+    return common + [
+        AttrSpec("city", "city", DataType.TEXT, "category", pool="cities"),
+        AttrSpec("country", "country", DataType.TEXT, "category", pool="countries"),
+        AttrSpec("founded_year", "founding year", DataType.INTEGER, "numeric", low=1880, high=2020),
+        AttrSpec("employee_count", "number of employees", DataType.INTEGER, "measure", low=3, high=20000),
+        AttrSpec("revenue", "revenue", DataType.INTEGER, "measure", low=10000, high=9000000),
+        AttrSpec("branch_count", "number of branches", DataType.INTEGER, "measure", low=1, high=120),
+    ]
+
+
+VALUE_POOLS: dict[str, list[str]] = {
+    "cities": CITIES,
+    "countries": COUNTRIES,
+    "colors": COLORS,
+    "genres": GENRES,
+    "types": TYPES,
+    "materials": MATERIALS,
+}

@@ -1,0 +1,55 @@
+"""Row population for generated tables."""
+
+from __future__ import annotations
+
+import random
+
+from repro.datasets.names import (
+    FIRST_NAMES,
+    LAST_NAMES,
+    NAME_ADJECTIVES,
+    NAME_NOUNS,
+    VALUE_POOLS,
+    AttrSpec,
+)
+from repro.sql.types import DataType, SqlValue
+
+
+def make_entity_name(rng: random.Random, category: str) -> str:
+    """A display name appropriate for the entity category."""
+    if category == "person":
+        return f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+    return f"{rng.choice(NAME_ADJECTIVES)} {rng.choice(NAME_NOUNS)}"
+
+
+def make_date(rng: random.Random) -> str:
+    """An ISO date in 2023–2024, both years well represented."""
+    year = rng.choice((2023, 2023, 2024, 2024))
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+def make_value(
+    rng: random.Random,
+    spec: AttrSpec,
+    status_values: tuple[str, ...] = (),
+) -> SqlValue:
+    """Generate one value for an attribute template."""
+    if spec.kind == "status":
+        values = status_values or ("active", "inactive")
+        return rng.choice(values)
+    if spec.kind == "description":
+        adjective = rng.choice(NAME_ADJECTIVES).lower()
+        noun = rng.choice(NAME_NOUNS).lower()
+        return f"a {adjective} {noun} entry"
+    if spec.kind == "date":
+        return make_date(rng)
+    if spec.kind == "category":
+        pool = VALUE_POOLS.get(spec.pool, VALUE_POOLS["types"])
+        return rng.choice(pool)
+    if spec.kind in ("numeric", "measure"):
+        if spec.dtype is DataType.REAL:
+            return round(rng.uniform(spec.low, spec.high), 1)
+        return rng.randint(spec.low, spec.high)
+    raise ValueError(f"cannot populate attribute kind {spec.kind!r}")

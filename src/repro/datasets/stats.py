@@ -1,0 +1,113 @@
+"""Suite statistics: verify generated benchmarks match the paper's shapes.
+
+The paper describes SPIDER as "about 200 databases with 5-20 tables per
+database and 5-10 columns per table"; this module computes those statistics
+(and question-mix breakdowns) for any generated suite, so the match is
+checkable rather than asserted.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.datasets.base import Benchmark
+from repro.datasets.spider import SpiderSuite
+
+
+@dataclass
+class SuiteStats:
+    """Shape statistics of a generated suite."""
+
+    n_databases: int = 0
+    n_examples: int = 0
+    tables_per_db_min: int = 0
+    tables_per_db_max: int = 0
+    tables_per_db_mean: float = 0.0
+    columns_per_table_min: int = 0
+    columns_per_table_max: int = 0
+    columns_per_table_mean: float = 0.0
+    rows_per_table_mean: float = 0.0
+    hardness_mix: Counter = field(default_factory=Counter)
+    trap_mix: Counter = field(default_factory=Counter)
+
+    @property
+    def trap_rate(self) -> float:
+        trapped = sum(v for k, v in self.trap_mix.items() if k != "untrapped")
+        if not self.n_examples:
+            return 0.0
+        return trapped / self.n_examples
+
+    def render(self) -> str:
+        lines = [
+            f"databases: {self.n_databases}",
+            (
+                f"tables/db: {self.tables_per_db_min}-"
+                f"{self.tables_per_db_max} (mean {self.tables_per_db_mean:.1f})"
+            ),
+            (
+                f"columns/table: {self.columns_per_table_min}-"
+                f"{self.columns_per_table_max} "
+                f"(mean {self.columns_per_table_mean:.1f})"
+            ),
+            f"rows/table (mean): {self.rows_per_table_mean:.1f}",
+            f"examples: {self.n_examples} (trap rate {self.trap_rate:.2f})",
+            "hardness mix: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.hardness_mix.items())),
+            "trap mix: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.trap_mix.items())),
+        ]
+        return "\n".join(lines)
+
+
+def benchmark_stats(benchmark: Benchmark) -> SuiteStats:
+    """Compute shape statistics for any benchmark."""
+    stats = SuiteStats()
+    stats.n_databases = len(benchmark.databases)
+    stats.n_examples = len(benchmark.examples)
+
+    table_counts = []
+    column_counts = []
+    row_counts = []
+    for database in benchmark.databases.values():
+        table_counts.append(len(database.schema.tables))
+        for table in database.schema.tables:
+            column_counts.append(len(table.columns))
+            row_counts.append(database.row_count(table.name))
+
+    if table_counts:
+        stats.tables_per_db_min = min(table_counts)
+        stats.tables_per_db_max = max(table_counts)
+        stats.tables_per_db_mean = sum(table_counts) / len(table_counts)
+    if column_counts:
+        stats.columns_per_table_min = min(column_counts)
+        stats.columns_per_table_max = max(column_counts)
+        stats.columns_per_table_mean = sum(column_counts) / len(column_counts)
+    if row_counts:
+        stats.rows_per_table_mean = sum(row_counts) / len(row_counts)
+
+    for example in benchmark.examples:
+        stats.hardness_mix[example.hardness] += 1
+        stats.trap_mix[example.trap_kind or "untrapped"] += 1
+    return stats
+
+
+def suite_stats(suite: SpiderSuite) -> SuiteStats:
+    """Shape statistics of a SPIDER-like suite's dev environment."""
+    return benchmark_stats(suite.benchmark)
+
+
+def matches_paper_shape(stats: SuiteStats) -> list[str]:
+    """Check the paper's stated SPIDER shape; returns violations (empty=ok)."""
+    violations = []
+    if not (5 <= stats.tables_per_db_min and stats.tables_per_db_max <= 20):
+        violations.append(
+            f"tables/db {stats.tables_per_db_min}-{stats.tables_per_db_max} "
+            "outside the paper's 5-20"
+        )
+    if not (5 <= stats.columns_per_table_min and stats.columns_per_table_max <= 10):
+        violations.append(
+            f"columns/table {stats.columns_per_table_min}-"
+            f"{stats.columns_per_table_max} outside the paper's 5-10"
+        )
+    return violations

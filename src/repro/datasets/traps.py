@@ -1,0 +1,181 @@
+"""Trap taxonomy: the planted difficulties that make questions fail.
+
+Each trap corresponds to an error class the paper's error analysis (and the
+NL2SQL literature) attributes to LLM NL2SQL systems: ambiguous references,
+implicit context, closed-domain jargon, verbosity, etc. The question
+generators plant traps; the semantic parser falls into them for mechanistic
+reasons (its linking and defaults are defensible but wrong on the trapped
+reading); the user simulator then produces the natural feedback a user
+would give.
+
+The trap kind also determines the paper's feedback type taxonomy:
+
+* Add    — missing_filter, missing_distinct, missing_order
+* Remove — extra_description
+* Edit   — ambiguous_column, default_year, count_distinct, order_direction,
+           wrong_aggregate, jargon_* (after the jargon maps to a concrete fix)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TrapKind:
+    """Metadata about one trap family."""
+
+    name: str
+    feedback_type: str  # add / remove / edit
+    description: str
+    datasets: tuple[str, ...]  # which benchmarks plant it
+
+
+AMBIGUOUS_COLUMN = TrapKind(
+    name="ambiguous_column",
+    feedback_type="edit",
+    description=(
+        "The question's phrasing ('the name of the song') head-matches a "
+        "decoy column (Name) while gold wants a compound column (Song_Name)."
+    ),
+    datasets=("spider",),
+)
+
+DEFAULT_YEAR = TrapKind(
+    name="default_year",
+    feedback_type="edit",
+    description=(
+        "The question gives a month with no year; the model assumes its "
+        "prior-year default while the user means the current year."
+    ),
+    datasets=("spider", "aep"),
+)
+
+MISSING_FILTER = TrapKind(
+    name="missing_filter",
+    feedback_type="add",
+    description=(
+        "The question uses a vague qualifier ('currently available') whose "
+        "organization-specific meaning is a status filter the model omits."
+    ),
+    datasets=("spider", "aep"),
+)
+
+EXTRA_DESCRIPTION = TrapKind(
+    name="extra_description",
+    feedback_type="remove",
+    description=(
+        "Asked to 'list the X', the model helpfully includes the description "
+        "column; the user only wanted the names."
+    ),
+    datasets=("spider", "aep"),
+)
+
+COUNT_DISTINCT = TrapKind(
+    name="count_distinct",
+    feedback_type="edit",
+    description=(
+        "'How many X' over a non-unique column: the user means distinct "
+        "values, the model counts rows."
+    ),
+    datasets=("spider",),
+)
+
+ORDER_DIRECTION = TrapKind(
+    name="order_direction",
+    feedback_type="edit",
+    description=(
+        "'The first 5 by rating' — the user means best-first (DESC), the "
+        "model sorts ascending."
+    ),
+    datasets=("spider",),
+)
+
+MISSING_DISTINCT = TrapKind(
+    name="missing_distinct",
+    feedback_type="add",
+    description=(
+        "'What are the colors of the cars' — the user wants the distinct "
+        "values, the model returns duplicates."
+    ),
+    datasets=("spider",),
+)
+
+WRONG_AGGREGATE = TrapKind(
+    name="wrong_aggregate",
+    feedback_type="edit",
+    description=(
+        "'How much X in total' phrased as a how-many question: the model "
+        "counts rows instead of summing the measure."
+    ),
+    datasets=("spider",),
+)
+
+JARGON_TABLE = TrapKind(
+    name="jargon_table",
+    feedback_type="edit",
+    description=(
+        "Closed-domain vocabulary: the question says 'audiences', the table "
+        "is hkg_dim_segment. Zero-shot models cannot make the link."
+    ),
+    datasets=("aep",),
+)
+
+JARGON_VALUE = TrapKind(
+    name="jargon_value",
+    feedback_type="edit",
+    description=(
+        "Closed-domain value vocabulary: the user says 'live' but the "
+        "status column stores 'active'."
+    ),
+    datasets=("aep",),
+)
+
+JARGON_JOIN = TrapKind(
+    name="jargon_join",
+    feedback_type="add",
+    description=(
+        "Overloaded relation word ('activated to') that means a join through "
+        "a fact table; the model reads it as a state filter."
+    ),
+    datasets=("aep",),
+)
+
+MULTI = TrapKind(
+    name="multi",
+    feedback_type="edit",
+    description=(
+        "Two planted errors in one question; the paper's error analysis "
+        "attributes residual failures to such queries needing multiple "
+        "feedback rounds."
+    ),
+    datasets=("spider", "aep"),
+)
+
+ALL_TRAPS: dict[str, TrapKind] = {
+    trap.name: trap
+    for trap in (
+        AMBIGUOUS_COLUMN,
+        DEFAULT_YEAR,
+        MISSING_FILTER,
+        EXTRA_DESCRIPTION,
+        COUNT_DISTINCT,
+        ORDER_DIRECTION,
+        MISSING_DISTINCT,
+        WRONG_AGGREGATE,
+        JARGON_TABLE,
+        JARGON_VALUE,
+        JARGON_JOIN,
+        MULTI,
+    )
+}
+
+
+def trap_for(name: str) -> TrapKind:
+    """Look up a trap kind by name."""
+    return ALL_TRAPS[name]
+
+
+def traps_for_dataset(dataset: str) -> list[TrapKind]:
+    """Trap kinds planted by a given benchmark generator."""
+    return [trap for trap in ALL_TRAPS.values() if dataset in trap.datasets]

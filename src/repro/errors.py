@@ -1,0 +1,57 @@
+"""Exception hierarchy for the FISQL reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch one base class. Subsystems refine it: the SQL engine raises
+:class:`SqlError` subclasses, the dataset generators raise
+:class:`DatasetError`, and so on.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL engine errors."""
+
+
+class LexError(SqlError):
+    """Raised when the lexer encounters malformed SQL text."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(SqlError):
+    """Raised when SQL text does not match the supported grammar."""
+
+
+class CatalogError(SqlError):
+    """Raised for unknown tables/columns or schema violations."""
+
+
+class TypeMismatchError(SqlError):
+    """Raised when a value cannot be coerced to a column's declared type."""
+
+
+class ExecutionError(SqlError):
+    """Raised when a syntactically valid query fails during execution."""
+
+
+class EditError(ReproError):
+    """Raised when an AST edit operation cannot be applied."""
+
+
+class DatasetError(ReproError):
+    """Raised by the synthetic dataset generators."""
+
+
+class PromptError(ReproError):
+    """Raised when a prompt cannot be built or understood by the LLM sim."""
+
+
+class FeedbackError(ReproError):
+    """Raised when user feedback cannot be interpreted at all."""

@@ -1,0 +1,49 @@
+"""Evaluation harness: metrics, experiment contexts, per-figure runners."""
+
+from repro.eval.analysis import ErrorAnalysis, analyze_corrections
+from repro.eval.experiments import (
+    Figure2Result,
+    Figure8Result,
+    Table2Result,
+    Table3Result,
+    run_figure2,
+    run_figure8,
+    run_table2,
+    run_table3,
+)
+from repro.eval.harness import ExperimentContext, build_context
+from repro.eval.metrics import (
+    AccuracyReport,
+    correction_rate,
+    evaluate_model,
+    execution_correct,
+)
+from repro.eval.reporting import (
+    render_figure2,
+    render_figure8,
+    render_table2,
+    render_table3,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "ErrorAnalysis",
+    "analyze_corrections",
+    "ExperimentContext",
+    "Figure2Result",
+    "Figure8Result",
+    "Table2Result",
+    "Table3Result",
+    "build_context",
+    "correction_rate",
+    "evaluate_model",
+    "execution_correct",
+    "render_figure2",
+    "render_figure8",
+    "render_table2",
+    "render_table3",
+    "run_figure2",
+    "run_figure8",
+    "run_table2",
+    "run_table3",
+]

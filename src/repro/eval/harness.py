@@ -1,0 +1,199 @@
+"""Experiment harness: shared context construction and caching.
+
+Building the full SPIDER-like suite and running the Assistant over the
+1034-question dev split is the expensive part of every experiment, so the
+harness builds it once per (scale, seed) and caches it in-process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.nl2sql import Nl2SqlModel
+from repro.core.retrieval import DemonstrationRetriever
+from repro.core.user import AnnotatorConfig, SimulatedAnnotator
+from repro.datasets.base import (
+    Benchmark,
+    Demonstration,
+    demonstrations_from_examples,
+)
+from repro.datasets.aep import generate_aep_suite
+from repro.datasets.spider import SpiderSuite, generate_spider_suite
+from repro.eval.metrics import AccuracyReport, PredictionRecord, evaluate_model
+from repro.llm.simulated import SimulatedLLM
+from repro.sql import ast
+from repro.sql.parser import parse_query
+
+#: Scales: full reproduces the paper's sizes; small keeps tests fast.
+SCALES = {
+    "full": {"n_databases": 200, "n_dev": 1034, "n_train": 600, "aep_questions": 110},
+    "medium": {"n_databases": 60, "n_dev": 320, "n_train": 220, "aep_questions": 100},
+    "small": {"n_databases": 24, "n_dev": 120, "n_train": 90, "aep_questions": 60},
+}
+
+#: Annotator imperfection rates per dataset (see DESIGN.md calibration).
+SPIDER_ANNOTATOR = AnnotatorConfig(
+    annotate_rate=0.34, vague_rate=0.02, misaligned_rate=0.36
+)
+AEP_ANNOTATOR = AnnotatorConfig(
+    annotate_rate=1.0, vague_rate=0.26, misaligned_rate=0.14
+)
+
+
+@dataclass
+class ExperimentContext:
+    """Everything the per-table/figure experiments share."""
+
+    scale: str
+    seed: int
+    spider: SpiderSuite
+    aep_benchmark: Benchmark
+    aep_demos: list[Demonstration]
+    llm: SimulatedLLM = field(default_factory=SimulatedLLM)
+    _spider_retriever: Optional[DemonstrationRetriever] = None
+    _aep_retriever: Optional[DemonstrationRetriever] = None
+    _assistant_reports: dict = field(default_factory=dict)
+
+    # -- models -----------------------------------------------------------------
+
+    def zero_shot_model(self) -> Nl2SqlModel:
+        """The Figure 1 setup: schema only, no demonstrations."""
+        return Nl2SqlModel(llm=self.llm, retriever=None)
+
+    def spider_assistant_model(self) -> Nl2SqlModel:
+        """The Assistant's RAG pipeline over the SPIDER train pool."""
+        if self._spider_retriever is None:
+            demos = demonstrations_from_examples(self.spider.train_examples)
+            self._spider_retriever = DemonstrationRetriever(demos, top_k=4)
+        return Nl2SqlModel(llm=self.llm, retriever=self._spider_retriever)
+
+    def aep_assistant_model(self) -> Nl2SqlModel:
+        """The Assistant's RAG pipeline over the in-house AEP demos."""
+        if self._aep_retriever is None:
+            self._aep_retriever = DemonstrationRetriever(self.aep_demos, top_k=4)
+        return Nl2SqlModel(llm=self.llm, retriever=self._aep_retriever)
+
+    # -- assistant error sets -------------------------------------------------------
+
+    def assistant_report(self, dataset: str) -> AccuracyReport:
+        """Assistant predictions over a dataset's dev questions (cached)."""
+        if dataset not in self._assistant_reports:
+            if dataset == "spider":
+                report = evaluate_model(
+                    self.spider_assistant_model(), self.spider.benchmark
+                )
+            elif dataset == "aep":
+                report = evaluate_model(
+                    self.aep_assistant_model(), self.aep_benchmark
+                )
+            else:
+                raise ValueError(f"unknown dataset {dataset!r}")
+            self._assistant_reports[dataset] = report
+        return self._assistant_reports[dataset]
+
+    def benchmark(self, dataset: str) -> Benchmark:
+        if dataset == "spider":
+            return self.spider.benchmark
+        if dataset == "aep":
+            return self.aep_benchmark
+        raise ValueError(f"unknown dataset {dataset!r}")
+
+    def annotator_for(self, dataset: str) -> SimulatedAnnotator:
+        """A dataset-appropriate simulated annotator (shared across methods)."""
+        benchmark = self.benchmark(dataset)
+        # All databases in a benchmark share naming conventions; the
+        # annotator needs a schema for NL column names, chosen per example.
+        config = SPIDER_ANNOTATOR if dataset == "spider" else AEP_ANNOTATOR
+        return _MultiDbAnnotator(benchmark, config)
+
+    def error_set(self, dataset: str) -> list[PredictionRecord]:
+        """The *annotated* error set used by the correction experiments.
+
+        Mirrors the paper's protocol: take the Assistant's errors, keep the
+        ones the annotator can write feedback for (101 of 243 on SPIDER).
+        """
+        report = self.assistant_report(dataset)
+        annotator = self.annotator_for(dataset)
+        annotated = []
+        for record in report.errors():
+            gold = _as_select(record.example.gold_sql)
+            predicted = _try_select(record.predicted_sql)
+            if gold is None or predicted is None:
+                continue
+            if annotator.can_annotate(record.example.example_id, gold, predicted):
+                annotated.append(record)
+        return annotated
+
+
+class _MultiDbAnnotator:
+    """Annotator facade that picks the right schema per example."""
+
+    def __init__(self, benchmark: Benchmark, config: AnnotatorConfig) -> None:
+        self._benchmark = benchmark
+        self._config = config
+        self._per_db: dict[str, SimulatedAnnotator] = {}
+        self._example_db: dict[str, str] = {
+            example.example_id: example.db_id
+            for example in benchmark.examples
+        }
+
+    def _annotator(self, example_id: str) -> SimulatedAnnotator:
+        db_id = self._example_db[example_id]
+        if db_id not in self._per_db:
+            schema = self._benchmark.database(db_id).schema
+            self._per_db[db_id] = SimulatedAnnotator(schema, self._config)
+        return self._per_db[db_id]
+
+    def can_annotate(self, example_id, gold, predicted):
+        return self._annotator(example_id).can_annotate(
+            example_id, gold, predicted
+        )
+
+    def give_feedback(self, example_id, **kwargs):
+        return self._annotator(example_id).give_feedback(
+            example_id=example_id, **kwargs
+        )
+
+
+def _as_select(sql: str) -> Optional[ast.Select]:
+    parsed = parse_query(sql)
+    return parsed if isinstance(parsed, ast.Select) else None
+
+
+def _try_select(sql: str) -> Optional[ast.Select]:
+    from repro.errors import SqlError
+
+    try:
+        return _as_select(sql)
+    except SqlError:
+        return None
+
+
+_CONTEXT_CACHE: dict[tuple[str, int], ExperimentContext] = {}
+
+
+def build_context(scale: str = "full", seed: int = 20250325) -> ExperimentContext:
+    """Build (or fetch the cached) experiment context."""
+    key = (scale, seed)
+    if key in _CONTEXT_CACHE:
+        return _CONTEXT_CACHE[key]
+    params = SCALES[scale]
+    spider = generate_spider_suite(
+        seed=seed,
+        n_databases=params["n_databases"],
+        n_dev=params["n_dev"],
+        n_train=params["n_train"],
+    )
+    aep_benchmark, aep_demos = generate_aep_suite(
+        n_questions=params["aep_questions"]
+    )
+    context = ExperimentContext(
+        scale=scale,
+        seed=seed,
+        spider=spider,
+        aep_benchmark=aep_benchmark,
+        aep_demos=aep_demos,
+    )
+    _CONTEXT_CACHE[key] = context
+    return context

@@ -1,0 +1,131 @@
+"""Evaluation metrics: execution accuracy and correction rate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.core.nl2sql import Nl2SqlModel
+from repro.core.session import CorrectionOutcome
+from repro.datasets.base import Benchmark, Example
+from repro.errors import SqlError
+from repro.sql.comparison import query_is_ordered, results_match
+from repro.sql.engine import Database
+from repro.sql.executor import QueryResult
+from repro.sql.parser import parse_query
+
+
+@dataclass
+class PredictionRecord:
+    """One example's prediction and its execution verdict."""
+
+    example: Example
+    predicted_sql: str
+    correct: bool
+    notes: list[str] = field(default_factory=list)
+
+
+@dataclass
+class AccuracyReport:
+    """Execution accuracy over a benchmark."""
+
+    records: list[PredictionRecord] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    @property
+    def correct(self) -> int:
+        return sum(1 for record in self.records if record.correct)
+
+    @property
+    def accuracy(self) -> float:
+        if not self.records:
+            return 0.0
+        return self.correct / self.total
+
+    def errors(self) -> list[PredictionRecord]:
+        """The mispredicted examples (the raw error set)."""
+        return [record for record in self.records if not record.correct]
+
+    def by_hardness(self) -> dict[str, tuple[int, int]]:
+        """SPIDER-style breakdown: hardness → (correct, total)."""
+        buckets: dict[str, list[int]] = {}
+        for record in self.records:
+            bucket = buckets.setdefault(record.example.hardness, [0, 0])
+            bucket[1] += 1
+            if record.correct:
+                bucket[0] += 1
+        return {
+            hardness: (correct, total)
+            for hardness, (correct, total) in sorted(buckets.items())
+        }
+
+    def by_trap_kind(self) -> dict[str, tuple[int, int]]:
+        """Breakdown by planted difficulty: kind → (correct, total)."""
+        buckets: dict[str, list[int]] = {}
+        for record in self.records:
+            kind = record.example.trap_kind or "untrapped"
+            bucket = buckets.setdefault(kind, [0, 0])
+            bucket[1] += 1
+            if record.correct:
+                bucket[0] += 1
+        return {
+            kind: (correct, total)
+            for kind, (correct, total) in sorted(buckets.items())
+        }
+
+
+def execution_correct(
+    database: Database, gold_sql: str, predicted_sql: str
+) -> bool:
+    """Single-example execution-accuracy verdict."""
+    gold_ast = parse_query(gold_sql)
+    gold_result = database.execute_ast(gold_ast)
+    assert isinstance(gold_result, QueryResult)
+    try:
+        predicted_ast = parse_query(predicted_sql)
+        predicted_result = database.execute_ast(predicted_ast)
+    except SqlError:
+        return False
+    if not isinstance(predicted_result, QueryResult):
+        return False
+    return results_match(
+        gold_result, predicted_result, ordered=query_is_ordered(gold_ast)
+    )
+
+
+def evaluate_model(
+    model: Nl2SqlModel,
+    benchmark: Benchmark,
+    examples: Optional[Sequence[Example]] = None,
+) -> AccuracyReport:
+    """Run a model over a benchmark and score execution accuracy."""
+    report = AccuracyReport()
+    for example in examples if examples is not None else benchmark.examples:
+        database = benchmark.database(example.db_id)
+        prediction = model.predict(example.question, database)
+        correct = execution_correct(database, example.gold_sql, prediction.sql)
+        report.records.append(
+            PredictionRecord(
+                example=example,
+                predicted_sql=prediction.sql,
+                correct=correct,
+                notes=prediction.notes,
+            )
+        )
+    return report
+
+
+def correction_rate(
+    outcomes: Iterable[CorrectionOutcome], within_rounds: int = 1
+) -> float:
+    """Percentage of error instances corrected within N feedback rounds."""
+    outcomes = list(outcomes)
+    if not outcomes:
+        return 0.0
+    corrected = sum(
+        1 for outcome in outcomes if outcome.corrected_by(within_rounds)
+    )
+    return 100.0 * corrected / len(outcomes)

@@ -1,0 +1,37 @@
+"""Simulated LLM backend and prompt library."""
+
+from repro.llm.interface import (
+    KIND_FEEDBACK,
+    KIND_NL2SQL,
+    KIND_REWRITE,
+    KIND_ROUTING,
+    ChatModel,
+    Completion,
+    Prompt,
+)
+from repro.llm.prompts import (
+    feedback_prompt,
+    nl2sql_prompt,
+    render_feedback_demo,
+    rewrite_prompt,
+    routing_prompt,
+)
+from repro.llm.simulated import SimulatedLLM, derive_conventions, merge_glossaries
+
+__all__ = [
+    "ChatModel",
+    "Completion",
+    "KIND_FEEDBACK",
+    "KIND_NL2SQL",
+    "KIND_REWRITE",
+    "KIND_ROUTING",
+    "Prompt",
+    "SimulatedLLM",
+    "derive_conventions",
+    "feedback_prompt",
+    "merge_glossaries",
+    "nl2sql_prompt",
+    "render_feedback_demo",
+    "rewrite_prompt",
+    "routing_prompt",
+]

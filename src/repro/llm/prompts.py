@@ -1,0 +1,186 @@
+"""Prompt builders reproducing the paper's prompt skeletons.
+
+* :func:`nl2sql_prompt` — Figure 1's zero-shot skeleton, extended with the
+  RAG demonstration block when demonstrations are supplied.
+* :func:`feedback_prompt` — Figure 6's feedback-infused prompt (with the
+  Figure 5 demonstration format for feedback examples).
+* :func:`routing_prompt` — the feedback-type identification prompt.
+* :func:`rewrite_prompt` — the Query Rewrite baseline's paraphrase prompt.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.datasets.base import Demonstration
+from repro.llm.interface import (
+    KIND_FEEDBACK,
+    KIND_NL2SQL,
+    KIND_REWRITE,
+    KIND_ROUTING,
+    Prompt,
+)
+from repro.sql.schema import DatabaseSchema
+
+NL2SQL_INSTRUCTIONS = (
+    "You are a SQL expert. Given the database schema below, write a SQL "
+    "query that answers the user's question. Return only the SQL query."
+)
+
+FEEDBACK_INSTRUCTIONS = (
+    "You are a SQL expert. A SQL query you generated for the question "
+    "below has received user feedback. Taking the feedback into account, "
+    "rewrite the SQL query. Return only the SQL query."
+)
+
+ROUTING_INSTRUCTIONS = (
+    "Classify the user's feedback on a SQL query into exactly one of three "
+    "operation types: Add (the feedback asks for a SQL operation to be "
+    "added), Remove (the feedback asks for an operation to be removed), or "
+    "Edit (the feedback changes the arguments of an existing operation). "
+    "Answer with a single word."
+)
+
+REWRITE_INSTRUCTIONS = (
+    "Rewrite the user's question so that it is self-contained, merging in "
+    "the information from their follow-up feedback. Return only the "
+    "rewritten question."
+)
+
+
+def _render_demos(demos: Sequence[Demonstration]) -> str:
+    if not demos:
+        return ""
+    blocks = [demo.render() for demo in demos]
+    return "Here are some examples:\n\n" + "\n\n".join(blocks) + "\n\n"
+
+
+def nl2sql_prompt(
+    schema: DatabaseSchema,
+    question: str,
+    demos: Sequence[Demonstration] = (),
+) -> Prompt:
+    """Build the NL2SQL prompt (zero-shot when ``demos`` is empty)."""
+    text = (
+        f"{NL2SQL_INSTRUCTIONS}\n\n"
+        f"Schema:\n{schema.ddl()}\n\n"
+        f"{_render_demos(demos)}"
+        f"Here is the question you need to answer:\n"
+        f"Question: {question}\n"
+        f"Query:"
+    )
+    return Prompt(
+        kind=KIND_NL2SQL,
+        text=text,
+        payload={"schema": schema, "question": question, "demos": list(demos)},
+    )
+
+
+def render_feedback_demo(
+    question: str, sql: str, feedback: str, revised_sql: str
+) -> str:
+    """Render one feedback demonstration in the Figure 5 format."""
+    return (
+        f"Question: {question}\n"
+        f"Query: {sql}\n"
+        f"The SQL query you have generated has received the following "
+        f"feedback: {feedback}\n"
+        f"Taking into account the feedback, please rewrite the SQL query.\n"
+        f"Query: {revised_sql}"
+    )
+
+
+def feedback_prompt(
+    schema: DatabaseSchema,
+    question: str,
+    previous_sql: str,
+    feedback: str,
+    demos: Sequence[Demonstration] = (),
+    feedback_demos: Sequence[str] = (),
+    feedback_type: Optional[str] = None,
+    highlight: Optional[str] = None,
+    context_key: str = "",
+) -> Prompt:
+    """Build the Figure 6 feedback-incorporation prompt.
+
+    ``feedback_demos`` are pre-rendered Figure 5 blocks (retrieved per
+    feedback type when routing is on). ``highlight`` is the SQL span the
+    user marked, if any. ``context_key`` identifies the (example, round)
+    pair for the simulated model's deterministic behaviour.
+    """
+    blocks = []
+    if feedback_demos:
+        blocks.append(
+            "Here are examples of how to revise queries from feedback:\n\n"
+            + "\n\n".join(feedback_demos)
+        )
+    highlight_line = (
+        f"The user highlighted this part of the query: {highlight}\n"
+        if highlight
+        else ""
+    )
+    text = (
+        f"{FEEDBACK_INSTRUCTIONS}\n\n"
+        f"Schema:\n{schema.ddl()}\n\n"
+        f"{_render_demos(demos)}"
+        + ("\n\n".join(blocks) + "\n\n" if blocks else "")
+        + f"Here is the question you need to answer:\n"
+        f"Question: {question}\n"
+        f"Query: {previous_sql}\n"
+        f"The SQL query you have generated has received the following "
+        f"feedback: {feedback}\n"
+        f"{highlight_line}"
+        f"Taking into account the feedback, please rewrite the SQL query.\n"
+        f"Query:"
+    )
+    return Prompt(
+        kind=KIND_FEEDBACK,
+        text=text,
+        payload={
+            "schema": schema,
+            "question": question,
+            "previous_sql": previous_sql,
+            "feedback": feedback,
+            "demos": list(demos),
+            "feedback_demos": list(feedback_demos),
+            "feedback_type": feedback_type,
+            "highlight": highlight,
+            "context_key": context_key,
+        },
+    )
+
+
+def routing_prompt(feedback: str, examples: Sequence[tuple[str, str]] = ()) -> Prompt:
+    """Build the feedback-type identification prompt.
+
+    ``examples`` are (feedback, label) few-shot pairs; the defaults in
+    :data:`repro.core.feedback.FEEDBACK_TYPE_EXAMPLES` mirror Table 1.
+    """
+    shots = "\n".join(
+        f"Feedback: {text}\nType: {label}" for text, label in examples
+    )
+    text = (
+        f"{ROUTING_INSTRUCTIONS}\n\n"
+        + (shots + "\n\n" if shots else "")
+        + f"Feedback: {feedback}\nType:"
+    )
+    return Prompt(
+        kind=KIND_ROUTING,
+        text=text,
+        payload={"feedback": feedback, "examples": list(examples)},
+    )
+
+
+def rewrite_prompt(question: str, feedback: str) -> Prompt:
+    """Build the Query Rewrite baseline's merge prompt."""
+    text = (
+        f"{REWRITE_INSTRUCTIONS}\n\n"
+        f"Question: {question}\n"
+        f"Feedback: {feedback}\n"
+        f"Rewritten question:"
+    )
+    return Prompt(
+        kind=KIND_REWRITE,
+        text=text,
+        payload={"question": question, "feedback": feedback},
+    )

@@ -1,0 +1,19 @@
+"""Small self-contained NLP toolkit (tokenization, stemming, similarity,
+TF-IDF retrieval) used by the NL2SQL stack and the RAG retriever."""
+
+from repro.nlp.similarity import jaccard, levenshtein, string_similarity
+from repro.nlp.stem import stem, stem_tokens
+from repro.nlp.tokenize import ngrams, normalize, tokenize
+from repro.nlp.vectorize import TfidfVectorizer
+
+__all__ = [
+    "TfidfVectorizer",
+    "jaccard",
+    "levenshtein",
+    "ngrams",
+    "normalize",
+    "stem",
+    "stem_tokens",
+    "string_similarity",
+    "tokenize",
+]

@@ -1,0 +1,70 @@
+"""String and token-set similarity measures."""
+
+from __future__ import annotations
+
+from repro.nlp.stem import stem
+from repro.nlp.tokenize import tokenize
+
+
+def levenshtein(a: str, b: str) -> int:
+    """Classic edit distance (insert/delete/substitute, all cost 1)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, ca in enumerate(a, start=1):
+        current = [i]
+        for j, cb in enumerate(b, start=1):
+            cost = 0 if ca == cb else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+def normalized_edit_similarity(a: str, b: str) -> float:
+    """1 - edit_distance / max_len, in [0, 1]."""
+    if not a and not b:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / max(len(a), len(b))
+
+
+def jaccard(a: set, b: set) -> float:
+    """Jaccard similarity of two sets."""
+    if not a and not b:
+        return 1.0
+    union = a | b
+    if not union:
+        return 1.0
+    return len(a & b) / len(union)
+
+
+def string_similarity(a: str, b: str) -> float:
+    """Blend of stemmed-token Jaccard and character edit similarity.
+
+    Used for schema linking: 'release year' vs 'Song_release_year' should
+    score high; unrelated phrases should score near zero.
+    """
+    a_norm = a.lower().replace("_", " ")
+    b_norm = b.lower().replace("_", " ")
+    if a_norm == b_norm:
+        return 1.0
+    # Identifiers often squash words: "profile count" vs "profilecount".
+    if a_norm.replace(" ", "") == b_norm.replace(" ", ""):
+        return 1.0
+    a_tokens = {stem(t) for t in tokenize(a_norm)}
+    b_tokens = {stem(t) for t in tokenize(b_norm)}
+    token_score = jaccard(a_tokens, b_tokens)
+    # containment bonus: all of one side's tokens inside the other
+    containment = 0.0
+    if a_tokens and b_tokens:
+        overlap = len(a_tokens & b_tokens)
+        containment = overlap / min(len(a_tokens), len(b_tokens))
+    edit_score = normalized_edit_similarity(
+        a_norm.replace(" ", ""), b_norm.replace(" ", "")
+    )
+    return max(0.6 * token_score + 0.4 * edit_score, 0.85 * containment)

@@ -1,0 +1,466 @@
+"""Typed abstract syntax tree for the SQL dialect.
+
+Every node is a frozen-ish dataclass (mutable for editability by
+:mod:`repro.sql.edits`, but treated as immutable elsewhere). Nodes know how
+to deep-copy themselves via :func:`copy.deepcopy`; the pretty printer in
+:mod:`repro.sql.printer` renders them back to SQL text.
+
+Expression nodes implement structural equality through dataclass equality,
+which the analysis/diff machinery relies on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expression:
+    """Marker base class for expression nodes."""
+
+    __slots__ = ()
+
+
+@dataclass
+class Literal(Expression):
+    """A constant: integer, float, string, boolean or NULL (value=None)."""
+
+    value: Union[int, float, str, bool, None]
+
+
+@dataclass
+class Computed(Expression):
+    """Internal node: wraps an already-computed value during aggregation.
+
+    Never produced by the parser and never printed; the executor uses it to
+    re-enter the evaluator with partial aggregate results.
+    """
+
+    value: Union[int, float, str, bool, None]
+
+
+@dataclass
+class ColumnRef(Expression):
+    """Reference to a column, optionally qualified by table name or alias."""
+
+    column: str
+    table: Optional[str] = None
+
+    def key(self) -> str:
+        """Lower-cased ``table.column`` key used in matching heuristics."""
+        if self.table:
+            return f"{self.table.lower()}.{self.column.lower()}"
+        return self.column.lower()
+
+
+@dataclass
+class Star(Expression):
+    """``*`` or ``table.*`` in a select list or COUNT(*)."""
+
+    table: Optional[str] = None
+
+
+class BinaryOperator(enum.Enum):
+    """Binary operators, with their SQL spellings."""
+
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+    MOD = "%"
+    CONCAT = "||"
+    EQ = "="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    AND = "AND"
+    OR = "OR"
+
+    @property
+    def is_comparison(self) -> bool:
+        return self in _COMPARISONS
+
+    @property
+    def is_logical(self) -> bool:
+        return self in (BinaryOperator.AND, BinaryOperator.OR)
+
+
+_COMPARISONS = frozenset(
+    {
+        BinaryOperator.EQ,
+        BinaryOperator.NE,
+        BinaryOperator.LT,
+        BinaryOperator.LE,
+        BinaryOperator.GT,
+        BinaryOperator.GE,
+    }
+)
+
+
+@dataclass
+class BinaryOp(Expression):
+    """``left <op> right``."""
+
+    op: BinaryOperator
+    left: Expression
+    right: Expression
+
+
+class UnaryOperator(enum.Enum):
+    NOT = "NOT"
+    NEG = "-"
+    POS = "+"
+
+
+@dataclass
+class UnaryOp(Expression):
+    """``NOT expr`` or ``-expr``."""
+
+    op: UnaryOperator
+    operand: Expression
+
+
+@dataclass
+class FunctionCall(Expression):
+    """Scalar or aggregate function call.
+
+    ``COUNT(*)`` is represented as ``FunctionCall("COUNT", [Star()])``.
+    """
+
+    name: str
+    args: list[Expression] = field(default_factory=list)
+    distinct: bool = False
+
+    def __post_init__(self) -> None:
+        self.name = self.name.upper()
+
+
+#: Aggregate function names the executor understands.
+AGGREGATE_FUNCTIONS = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+def is_aggregate_call(expr: Expression) -> bool:
+    """Return True if ``expr`` is a call to an aggregate function."""
+    return isinstance(expr, FunctionCall) and expr.name in AGGREGATE_FUNCTIONS
+
+
+@dataclass
+class Like(Expression):
+    """``operand [NOT] LIKE pattern``."""
+
+    operand: Expression
+    pattern: Expression
+    negated: bool = False
+
+
+@dataclass
+class Between(Expression):
+    """``operand [NOT] BETWEEN low AND high``."""
+
+    operand: Expression
+    low: Expression
+    high: Expression
+    negated: bool = False
+
+
+@dataclass
+class InList(Expression):
+    """``operand [NOT] IN (item, item, ...)``."""
+
+    operand: Expression
+    items: list[Expression]
+    negated: bool = False
+
+
+@dataclass
+class InSubquery(Expression):
+    """``operand [NOT] IN (SELECT ...)``."""
+
+    operand: Expression
+    subquery: "Select"
+    negated: bool = False
+
+
+@dataclass
+class Exists(Expression):
+    """``[NOT] EXISTS (SELECT ...)``."""
+
+    subquery: "Select"
+    negated: bool = False
+
+
+@dataclass
+class ScalarSubquery(Expression):
+    """A parenthesized SELECT used as a scalar value."""
+
+    subquery: "Select"
+
+
+@dataclass
+class IsNull(Expression):
+    """``operand IS [NOT] NULL``."""
+
+    operand: Expression
+    negated: bool = False
+
+
+@dataclass
+class CaseWhen(Expression):
+    """``CASE WHEN cond THEN value ... [ELSE value] END``."""
+
+    branches: list[tuple[Expression, Expression]]
+    default: Optional[Expression] = None
+
+
+# ---------------------------------------------------------------------------
+# Table expressions
+# ---------------------------------------------------------------------------
+
+
+class TableExpression:
+    """Marker base class for FROM-clause items."""
+
+    __slots__ = ()
+
+
+@dataclass
+class TableRef(TableExpression):
+    """A base table reference with an optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        """The name this table is visible as (alias if given, else name)."""
+        return self.alias or self.name
+
+
+class JoinKind(enum.Enum):
+    INNER = "JOIN"
+    LEFT = "LEFT JOIN"
+    CROSS = "CROSS JOIN"
+
+
+@dataclass
+class Join(TableExpression):
+    """``left <kind> right ON condition`` (condition is None for CROSS)."""
+
+    kind: JoinKind
+    left: TableExpression
+    right: TableExpression
+    condition: Optional[Expression] = None
+
+
+@dataclass
+class SubquerySource(TableExpression):
+    """A derived table: ``(SELECT ...) AS alias``."""
+
+    subquery: "Select"
+    alias: str
+
+    @property
+    def binding(self) -> str:
+        return self.alias
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Statement:
+    """Marker base class for statements."""
+
+    __slots__ = ()
+
+
+@dataclass
+class SelectItem:
+    """One element of the select list: an expression plus optional alias."""
+
+    expression: Expression
+    alias: Optional[str] = None
+
+
+class SortOrder(enum.Enum):
+    ASC = "ASC"
+    DESC = "DESC"
+
+
+@dataclass
+class OrderItem:
+    """One ORDER BY key."""
+
+    expression: Expression
+    order: SortOrder = SortOrder.ASC
+
+
+@dataclass
+class Select(Statement):
+    """A single SELECT block (set operations live in :class:`SetOperation`)."""
+
+    items: list[SelectItem]
+    source: Optional[TableExpression] = None
+    where: Optional[Expression] = None
+    group_by: list[Expression] = field(default_factory=list)
+    having: Optional[Expression] = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+
+
+class SetOperator(enum.Enum):
+    UNION = "UNION"
+    UNION_ALL = "UNION ALL"
+    INTERSECT = "INTERSECT"
+    EXCEPT = "EXCEPT"
+
+
+@dataclass
+class SetOperation(Statement):
+    """``left UNION/INTERSECT/EXCEPT right`` with optional trailing ORDER BY."""
+
+    op: SetOperator
+    left: Union[Select, "SetOperation"]
+    right: Union[Select, "SetOperation"]
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+
+
+#: A query is either a plain SELECT or a tree of set operations.
+Query = Union[Select, SetOperation]
+
+
+@dataclass
+class ColumnDef:
+    """Column definition inside CREATE TABLE."""
+
+    name: str
+    type_name: str
+    primary_key: bool = False
+
+
+@dataclass
+class ForeignKeyDef:
+    """``FOREIGN KEY (col) REFERENCES table(col)``."""
+
+    column: str
+    ref_table: str
+    ref_column: str
+
+
+@dataclass
+class CreateTable(Statement):
+    name: str
+    columns: list[ColumnDef]
+    foreign_keys: list[ForeignKeyDef] = field(default_factory=list)
+
+
+@dataclass
+class Insert(Statement):
+    table: str
+    columns: list[str]
+    rows: list[list[Expression]] = field(default_factory=list)
+
+
+@dataclass
+class Update(Statement):
+    table: str
+    assignments: list[tuple[str, Expression]] = field(default_factory=list)
+    where: Optional[Expression] = None
+
+
+@dataclass
+class Delete(Statement):
+    table: str
+    where: Optional[Expression] = None
+
+
+@dataclass
+class DropTable(Statement):
+    name: str
+    if_exists: bool = False
+
+
+def walk_expressions(expr: Optional[Expression]):
+    """Yield ``expr`` and every expression nested inside it (pre-order).
+
+    Subqueries are *not* descended into; callers that need nested query
+    traversal should use :func:`walk_queries`.
+    """
+    if expr is None:
+        return
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, BinaryOp):
+            stack.extend((node.right, node.left))
+        elif isinstance(node, UnaryOp):
+            stack.append(node.operand)
+        elif isinstance(node, FunctionCall):
+            stack.extend(reversed(node.args))
+        elif isinstance(node, Like):
+            stack.extend((node.pattern, node.operand))
+        elif isinstance(node, Between):
+            stack.extend((node.high, node.low, node.operand))
+        elif isinstance(node, InList):
+            stack.extend(reversed(node.items))
+            stack.append(node.operand)
+        elif isinstance(node, InSubquery):
+            stack.append(node.operand)
+        elif isinstance(node, IsNull):
+            stack.append(node.operand)
+        elif isinstance(node, CaseWhen):
+            for cond, value in reversed(node.branches):
+                stack.extend((value, cond))
+            if node.default is not None:
+                stack.append(node.default)
+
+
+def walk_queries(query: Query):
+    """Yield every SELECT block in ``query``, including nested subqueries."""
+    stack: list[Query] = [query]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, SetOperation):
+            stack.extend((node.right, node.left))
+            continue
+        yield node
+        sources = [node.source] if node.source is not None else []
+        while sources:
+            src = sources.pop()
+            if isinstance(src, Join):
+                sources.extend((src.right, src.left))
+                if src.condition is not None:
+                    stack.extend(_subqueries_in(src.condition))
+            elif isinstance(src, SubquerySource):
+                stack.append(src.subquery)
+        for item in node.items:
+            stack.extend(_subqueries_in(item.expression))
+        for clause in (node.where, node.having):
+            stack.extend(_subqueries_in(clause))
+        for expr in node.group_by:
+            stack.extend(_subqueries_in(expr))
+        for order in node.order_by:
+            stack.extend(_subqueries_in(order.expression))
+
+
+def _subqueries_in(expr: Optional[Expression]) -> list[Query]:
+    found: list[Query] = []
+    for node in walk_expressions(expr):
+        if isinstance(node, (InSubquery, Exists)):
+            found.append(node.subquery)
+        elif isinstance(node, ScalarSubquery):
+            found.append(node.subquery)
+    return found

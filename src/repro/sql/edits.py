@@ -1,0 +1,474 @@
+"""Typed edit operations on SELECT ASTs.
+
+FISQL's feedback editor translates user feedback into these operations and
+applies them to the previous turn's SQL. Each operation is pure: ``apply``
+deep-copies the input and returns a new AST. Operations raise
+:class:`~repro.errors.EditError` when they cannot anchor to the query (e.g.
+replacing a column that is not present) — the session layer surfaces that as
+"could not interpret the feedback".
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import EditError
+from repro.sql import ast
+from repro.sql.analysis import conjuncts, join_conjuncts
+from repro.sql.printer import print_expression
+
+
+class EditOperation:
+    """Base class for edit operations."""
+
+    #: Paper feedback type this operation realizes: add / remove / edit.
+    feedback_type = "edit"
+
+    def apply(self, query: ast.Select) -> ast.Select:
+        """Return a new query with the edit applied."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable description (used in demonstrations/logs)."""
+        raise NotImplementedError
+
+
+def _clone(query: ast.Select) -> ast.Select:
+    return copy.deepcopy(query)
+
+
+def _replace_column_in(expr: ast.Expression, old: str, new: str) -> int:
+    """In-place column rename inside an expression tree; returns hit count."""
+    hits = 0
+    for node in ast.walk_expressions(expr):
+        if isinstance(node, ast.ColumnRef) and node.column.lower() == old.lower():
+            node.column = new
+            hits += 1
+    return hits
+
+
+@dataclass
+class ReplaceColumn(EditOperation):
+    """Rename ``old`` to ``new`` — in the select list only, or everywhere."""
+
+    old: str
+    new: str
+    everywhere: bool = False
+    new_table: Optional[str] = None
+
+    def apply(self, query: ast.Select) -> ast.Select:
+        out = _clone(query)
+        hits = 0
+        for item in out.items:
+            hits += _replace_column_in(item.expression, self.old, self.new)
+        if self.everywhere:
+            for expr in _clause_expressions(out):
+                hits += _replace_column_in(expr, self.old, self.new)
+        if hits == 0:
+            raise EditError(
+                f"column {self.old!r} does not appear in the query"
+            )
+        if self.new_table is not None:
+            for item in out.items:
+                for node in ast.walk_expressions(item.expression):
+                    if (
+                        isinstance(node, ast.ColumnRef)
+                        and node.column.lower() == self.new.lower()
+                    ):
+                        node.table = self.new_table
+        return out
+
+    def describe(self) -> str:
+        return f"replace column {self.old} with {self.new}"
+
+
+def _clause_expressions(query: ast.Select) -> list[ast.Expression]:
+    exprs: list[ast.Expression] = []
+    if query.where is not None:
+        exprs.append(query.where)
+    exprs.extend(query.group_by)
+    if query.having is not None:
+        exprs.append(query.having)
+    exprs.extend(order.expression for order in query.order_by)
+    return exprs
+
+
+def _all_expressions(query: ast.Select) -> list[ast.Expression]:
+    exprs = [item.expression for item in query.items]
+    exprs.extend(_clause_expressions(query))
+    return exprs
+
+
+@dataclass
+class ReplaceLiteral(EditOperation):
+    """Replace literal ``old`` with ``new`` wherever it occurs.
+
+    Matching on strings is case-insensitive and also substring-aware for
+    date literals (feedback "we are in 2024" edits '2023-01-01').
+    """
+
+    old: object
+    new: object
+
+    def apply(self, query: ast.Select) -> ast.Select:
+        out = _clone(query)
+        hits = 0
+        for expr in _all_expressions(out):
+            for node in ast.walk_expressions(expr):
+                if isinstance(node, ast.Literal) and self._matches(node.value):
+                    node.value = self._rewrite(node.value)
+                    hits += 1
+        if hits == 0:
+            raise EditError(f"literal {self.old!r} does not appear in the query")
+        return out
+
+    def _matches(self, value: object) -> bool:
+        if value is None:
+            return self.old is None
+        if isinstance(value, str) and isinstance(self.old, str):
+            if value.lower() == self.old.lower():
+                return True
+            return self.old.lower() in value.lower()
+        if isinstance(value, str) and not isinstance(self.old, str):
+            return str(self.old) in value
+        return value == self.old
+
+    def _rewrite(self, value: object) -> object:
+        if isinstance(value, str):
+            old_text = str(self.old)
+            new_text = str(self.new)
+            if value.lower() == old_text.lower():
+                return new_text if isinstance(self.new, str) else self.new
+            # substring replacement, case-insensitive location
+            lowered = value.lower()
+            index = lowered.find(old_text.lower())
+            if index >= 0:
+                return value[:index] + new_text + value[index + len(old_text):]
+            return value
+        return self.new
+
+    def describe(self) -> str:
+        return f"replace value {self.old!r} with {self.new!r}"
+
+
+@dataclass
+class ReplaceAggregate(EditOperation):
+    """Swap the aggregate function (and optionally its argument/DISTINCT)."""
+
+    new_function: str
+    new_argument: Optional[ast.Expression] = None
+    old_function: Optional[str] = None
+    distinct: Optional[bool] = None
+
+    def apply(self, query: ast.Select) -> ast.Select:
+        out = _clone(query)
+        hits = 0
+        for item in out.items:
+            for node in ast.walk_expressions(item.expression):
+                if not ast.is_aggregate_call(node):
+                    continue
+                if (
+                    self.old_function is not None
+                    and node.name != self.old_function.upper()
+                ):
+                    continue
+                node.name = self.new_function.upper()
+                if self.new_argument is not None:
+                    node.args = [copy.deepcopy(self.new_argument)]
+                if self.distinct is not None:
+                    if not node.args or isinstance(node.args[0], ast.Star):
+                        raise EditError(
+                            "cannot apply DISTINCT to a COUNT(*) without "
+                            "a column argument"
+                        )
+                    node.distinct = self.distinct
+                hits += 1
+        if hits == 0:
+            raise EditError("no matching aggregate call to replace")
+        return out
+
+    def describe(self) -> str:
+        extra = " DISTINCT" if self.distinct else ""
+        return f"use aggregate {self.new_function.upper()}{extra}"
+
+
+@dataclass
+class ReplaceQuery(EditOperation):
+    """Swap in an entirely new query (used for structural rebuilds)."""
+
+    new_query: ast.Select
+
+    def apply(self, query: ast.Select) -> ast.Select:
+        return copy.deepcopy(self.new_query)
+
+    def describe(self) -> str:
+        return "rebuild the query"
+
+
+@dataclass
+class AddSelectItem(EditOperation):
+    feedback_type = "add"
+
+    expression: ast.Expression
+    alias: Optional[str] = None
+
+    def apply(self, query: ast.Select) -> ast.Select:
+        out = _clone(query)
+        key = print_expression(self.expression).lower()
+        for item in out.items:
+            if print_expression(item.expression).lower() == key:
+                raise EditError("expression already in the select list")
+        out.items.append(
+            ast.SelectItem(expression=copy.deepcopy(self.expression), alias=self.alias)
+        )
+        return out
+
+    def describe(self) -> str:
+        return f"also select {print_expression(self.expression)}"
+
+
+@dataclass
+class RemoveSelectItem(EditOperation):
+    feedback_type = "remove"
+
+    column: str
+
+    def apply(self, query: ast.Select) -> ast.Select:
+        out = _clone(query)
+        if len(out.items) <= 1:
+            raise EditError("cannot remove the only select item")
+        kept = []
+        removed = 0
+        for item in out.items:
+            if self._mentions(item.expression):
+                removed += 1
+            else:
+                kept.append(item)
+        if removed == 0:
+            raise EditError(f"{self.column!r} is not in the select list")
+        if not kept:
+            raise EditError("removal would empty the select list")
+        out.items = kept
+        return out
+
+    def _mentions(self, expr: ast.Expression) -> bool:
+        for node in ast.walk_expressions(expr):
+            if (
+                isinstance(node, ast.ColumnRef)
+                and node.column.lower() == self.column.lower()
+            ):
+                return True
+        return False
+
+    def describe(self) -> str:
+        return f"do not select {self.column}"
+
+
+@dataclass
+class AddWhereConjunct(EditOperation):
+    feedback_type = "add"
+
+    condition: ast.Expression
+
+    def apply(self, query: ast.Select) -> ast.Select:
+        out = _clone(query)
+        new_condition = copy.deepcopy(self.condition)
+        key = print_expression(new_condition).lower()
+        for existing in conjuncts(out.where):
+            if print_expression(existing).lower() == key:
+                raise EditError("condition already present")
+        if out.where is None:
+            out.where = new_condition
+        else:
+            out.where = ast.BinaryOp(
+                ast.BinaryOperator.AND, out.where, new_condition
+            )
+        return out
+
+    def describe(self) -> str:
+        return f"add condition {print_expression(self.condition)}"
+
+
+@dataclass
+class RemoveWhereConjunct(EditOperation):
+    feedback_type = "remove"
+
+    matcher: Callable[[ast.Expression], bool]
+    description: str = "remove a condition"
+
+    def apply(self, query: ast.Select) -> ast.Select:
+        out = _clone(query)
+        parts = conjuncts(out.where)
+        kept = [part for part in parts if not self.matcher(part)]
+        if len(kept) == len(parts):
+            raise EditError("no matching condition to remove")
+        out.where = join_conjuncts(kept)
+        return out
+
+    def describe(self) -> str:
+        return self.description
+
+
+@dataclass
+class ReplaceWhereConjunct(EditOperation):
+    """Replace the conjunct(s) selected by ``matcher`` with ``condition``."""
+
+    matcher: Callable[[ast.Expression], bool]
+    condition: ast.Expression
+
+    def apply(self, query: ast.Select) -> ast.Select:
+        out = _clone(query)
+        parts = conjuncts(out.where)
+        replaced = False
+        new_parts: list[ast.Expression] = []
+        for part in parts:
+            if not replaced and self.matcher(part):
+                new_parts.append(copy.deepcopy(self.condition))
+                replaced = True
+            else:
+                new_parts.append(part)
+        if not replaced:
+            raise EditError("no matching condition to replace")
+        out.where = join_conjuncts(new_parts)
+        return out
+
+    def describe(self) -> str:
+        return f"condition should be {print_expression(self.condition)}"
+
+
+@dataclass
+class SetOrderBy(EditOperation):
+    items: list[ast.OrderItem] = field(default_factory=list)
+
+    @property
+    def feedback_type(self) -> str:  # type: ignore[override]
+        return "add" if self.items else "remove"
+
+    def apply(self, query: ast.Select) -> ast.Select:
+        out = _clone(query)
+        out.order_by = copy.deepcopy(self.items)
+        return out
+
+    def describe(self) -> str:
+        if not self.items:
+            return "remove the ordering"
+        rendered = ", ".join(
+            f"{print_expression(i.expression)} {i.order.value.lower()}"
+            for i in self.items
+        )
+        return f"order by {rendered}"
+
+
+@dataclass
+class SetLimit(EditOperation):
+    limit: Optional[int] = None
+
+    @property
+    def feedback_type(self) -> str:  # type: ignore[override]
+        return "remove" if self.limit is None else "edit"
+
+    def apply(self, query: ast.Select) -> ast.Select:
+        out = _clone(query)
+        out.limit = self.limit
+        return out
+
+    def describe(self) -> str:
+        if self.limit is None:
+            return "remove the limit"
+        return f"limit to {self.limit} rows"
+
+
+@dataclass
+class SetDistinct(EditOperation):
+    distinct: bool = True
+
+    @property
+    def feedback_type(self) -> str:  # type: ignore[override]
+        return "add" if self.distinct else "remove"
+
+    def apply(self, query: ast.Select) -> ast.Select:
+        out = _clone(query)
+        if out.distinct == self.distinct:
+            raise EditError("DISTINCT already in the requested state")
+        out.distinct = self.distinct
+        return out
+
+    def describe(self) -> str:
+        return "select distinct values" if self.distinct else "keep duplicates"
+
+
+@dataclass
+class ReplaceTable(EditOperation):
+    """Point the query at a different base table (single-table FROM)."""
+
+    old: str
+    new: str
+
+    def apply(self, query: ast.Select) -> ast.Select:
+        out = _clone(query)
+        hits = 0
+        sources: list[ast.TableExpression] = (
+            [out.source] if out.source is not None else []
+        )
+        while sources:
+            source = sources.pop()
+            if isinstance(source, ast.TableRef):
+                if source.name.lower() == self.old.lower():
+                    source.name = self.new
+                    hits += 1
+            elif isinstance(source, ast.Join):
+                sources.extend((source.left, source.right))
+        if hits == 0:
+            raise EditError(f"table {self.old!r} not in the FROM clause")
+        return out
+
+    def describe(self) -> str:
+        return f"use table {self.new} instead of {self.old}"
+
+
+@dataclass
+class AddJoin(EditOperation):
+    feedback_type = "add"
+
+    table: str
+    condition: ast.Expression
+    alias: Optional[str] = None
+
+    def apply(self, query: ast.Select) -> ast.Select:
+        out = _clone(query)
+        if out.source is None:
+            raise EditError("query has no FROM clause to join onto")
+        out.source = ast.Join(
+            kind=ast.JoinKind.INNER,
+            left=out.source,
+            right=ast.TableRef(name=self.table, alias=self.alias),
+            condition=copy.deepcopy(self.condition),
+        )
+        return out
+
+    def describe(self) -> str:
+        return f"join table {self.table} on {print_expression(self.condition)}"
+
+
+@dataclass
+class CompositeEdit(EditOperation):
+    """Apply several edits in sequence (used for multi-part feedback)."""
+
+    operations: list[EditOperation]
+
+    @property
+    def feedback_type(self) -> str:  # type: ignore[override]
+        if not self.operations:
+            return "edit"
+        return self.operations[0].feedback_type
+
+    def apply(self, query: ast.Select) -> ast.Select:
+        out = query
+        for operation in self.operations:
+            out = operation.apply(out)
+        return out
+
+    def describe(self) -> str:
+        return "; ".join(op.describe() for op in self.operations)

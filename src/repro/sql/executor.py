@@ -1,0 +1,554 @@
+"""Query executor: FROM/WHERE/GROUP BY/HAVING/ORDER BY/LIMIT and set ops.
+
+The executor is a straightforward iterator-free implementation (materialized
+row lists). It favors clarity and correctness over throughput; the engine's
+benchmarks show it is comfortably fast enough for SPIDER-scale databases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.errors import ExecutionError
+from repro.sql import ast
+from repro.sql.expressions import BoundColumn, Evaluator, RowFrame
+from repro.sql.functions import AGGREGATE_FACTORIES
+from repro.sql.printer import print_expression
+from repro.sql.types import SqlValue, sort_key
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sql.engine import Database
+
+
+@dataclass
+class QueryResult:
+    """Result of a query: column names plus row tuples."""
+
+    columns: list[str]
+    rows: list[tuple[SqlValue, ...]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def first(self) -> Optional[tuple[SqlValue, ...]]:
+        """The first row, or None for an empty result."""
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> SqlValue:
+        """The single value of a 1x1 result (None when empty)."""
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+    def to_dicts(self) -> list[dict[str, SqlValue]]:
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+class _RowSet:
+    """Intermediate bound rows produced by FROM-clause evaluation."""
+
+    __slots__ = ("columns", "rows")
+
+    def __init__(
+        self, columns: list[BoundColumn], rows: list[tuple[SqlValue, ...]]
+    ) -> None:
+        self.columns = columns
+        self.rows = rows
+
+
+_MAX_JOIN_ROWS = 2_000_000
+
+
+class Executor:
+    """Executes parsed queries against a :class:`~repro.sql.engine.Database`."""
+
+    def __init__(self, database: "Database") -> None:
+        self._db = database
+        self._evaluator = Evaluator(self)
+
+    # -- public API ----------------------------------------------------------
+
+    def execute_query(self, query: ast.Query) -> QueryResult:
+        """Execute a SELECT or a set-operation tree."""
+        if isinstance(query, ast.Select):
+            return self.execute_select(query)
+        return self._execute_set_operation(query)
+
+    def execute_select(
+        self, select: ast.Select, outer: Optional[RowFrame] = None
+    ) -> QueryResult:
+        """Execute one SELECT block (optionally correlated to ``outer``)."""
+        rowset = self._rows_from_source(select.source, outer)
+        frames = [
+            RowFrame(rowset.columns, row, outer) for row in rowset.rows
+        ]
+
+        if select.where is not None:
+            frames = [
+                frame
+                for frame in frames
+                if self._evaluator.truthy(select.where, frame)
+            ]
+
+        expanded_names = self._expand_star_names(select, rowset)
+        item_positions = self._item_positions(select, rowset)
+        is_aggregate = bool(select.group_by) or any(
+            _contains_aggregate(item.expression) for item in select.items
+        )
+        if select.having is not None:
+            is_aggregate = True
+
+        if is_aggregate:
+            rows = self._execute_aggregate(select, rowset, frames)
+        else:
+            rows = self._execute_plain(select, rowset, frames)
+
+        if select.distinct:
+            rows = _distinct(rows)
+
+        result_rows = [row for row, _context in rows]
+        if select.order_by:
+            result_rows = self._order_rows(
+                select.order_by, rows, expanded_names, item_positions, select
+            )
+        if select.limit is not None:
+            start = select.offset or 0
+            result_rows = result_rows[start : start + select.limit]
+        elif select.offset is not None:
+            result_rows = result_rows[select.offset :]
+
+        return QueryResult(columns=expanded_names, rows=result_rows)
+
+    # -- FROM ------------------------------------------------------------------
+
+    def _rows_from_source(
+        self, source: Optional[ast.TableExpression], outer: Optional[RowFrame]
+    ) -> _RowSet:
+        if source is None:
+            return _RowSet(columns=[], rows=[()])
+        if isinstance(source, ast.TableRef):
+            data = self._db.data(source.name)
+            binding = source.binding.lower()
+            columns = [
+                BoundColumn(binding=binding, name=col.key)
+                for col in data.table.columns
+            ]
+            return _RowSet(columns=columns, rows=list(data.rows))
+        if isinstance(source, ast.SubquerySource):
+            result = self.execute_select(source.subquery)
+            binding = source.alias.lower()
+            columns = [
+                BoundColumn(binding=binding, name=name.lower())
+                for name in result.columns
+            ]
+            return _RowSet(columns=columns, rows=list(result.rows))
+        if isinstance(source, ast.Join):
+            return self._execute_join(source, outer)
+        raise ExecutionError(
+            f"unsupported FROM item {type(source).__name__}"
+        )  # pragma: no cover
+
+    def _execute_join(self, join: ast.Join, outer: Optional[RowFrame]) -> _RowSet:
+        left = self._rows_from_source(join.left, outer)
+        right = self._rows_from_source(join.right, outer)
+        columns = left.columns + right.columns
+        if len(left.rows) * max(len(right.rows), 1) > _MAX_JOIN_ROWS:
+            raise ExecutionError("join would materialize too many rows")
+
+        rows: list[tuple[SqlValue, ...]] = []
+        if join.kind is ast.JoinKind.CROSS or join.condition is None:
+            for lrow in left.rows:
+                for rrow in right.rows:
+                    rows.append(lrow + rrow)
+            return _RowSet(columns, rows)
+
+        condition = join.condition
+        equi = self._equi_join_key(condition, left, right)
+        if equi is not None:
+            left_idx, right_idx = equi
+            index: dict[SqlValue, list[tuple[SqlValue, ...]]] = {}
+            for rrow in right.rows:
+                key = rrow[right_idx]
+                if key is None:
+                    continue
+                index.setdefault(key, []).append(rrow)
+            null_right = (None,) * len(right.columns)
+            for lrow in left.rows:
+                matches = index.get(lrow[left_idx], ()) if lrow[left_idx] is not None else ()
+                if matches:
+                    for rrow in matches:
+                        rows.append(lrow + rrow)
+                elif join.kind is ast.JoinKind.LEFT:
+                    rows.append(lrow + null_right)
+            return _RowSet(columns, rows)
+
+        null_right = (None,) * len(right.columns)
+        for lrow in left.rows:
+            matched = False
+            for rrow in right.rows:
+                frame = RowFrame(columns, lrow + rrow, outer)
+                if self._evaluator.truthy(condition, frame):
+                    rows.append(lrow + rrow)
+                    matched = True
+            if not matched and join.kind is ast.JoinKind.LEFT:
+                rows.append(lrow + null_right)
+        return _RowSet(columns, rows)
+
+    def _equi_join_key(
+        self, condition: ast.Expression, left: _RowSet, right: _RowSet
+    ) -> Optional[tuple[int, int]]:
+        """Detect ``a.x = b.y`` so the join can be hash-based."""
+        if not (
+            isinstance(condition, ast.BinaryOp)
+            and condition.op is ast.BinaryOperator.EQ
+            and isinstance(condition.left, ast.ColumnRef)
+            and isinstance(condition.right, ast.ColumnRef)
+        ):
+            return None
+        left_frame = RowFrame(left.columns, (None,) * len(left.columns))
+        right_frame = RowFrame(right.columns, (None,) * len(right.columns))
+        ll = left_frame.find(condition.left.table, condition.left.column)
+        rr = right_frame.find(condition.right.table, condition.right.column)
+        if ll is not None and rr is not None:
+            return (ll, rr)
+        lr = left_frame.find(condition.right.table, condition.right.column)
+        rl = right_frame.find(condition.left.table, condition.left.column)
+        if lr is not None and rl is not None:
+            return (lr, rl)
+        return None
+
+    # -- projection --------------------------------------------------------------
+
+    def _execute_plain(
+        self,
+        select: ast.Select,
+        rowset: _RowSet,
+        frames: list[RowFrame],
+    ) -> list[tuple[tuple[SqlValue, ...], Optional[RowFrame]]]:
+        rows: list[tuple[tuple[SqlValue, ...], Optional[RowFrame]]] = []
+        for frame in frames:
+            out: list[SqlValue] = []
+            for item in select.items:
+                expr = item.expression
+                if isinstance(expr, ast.Star):
+                    out.extend(self._star_values(expr, frame, rowset))
+                else:
+                    out.append(self._evaluator.evaluate(expr, frame))
+            rows.append((tuple(out), frame))
+        return rows
+
+    def _star_values(
+        self, star: ast.Star, frame: RowFrame, rowset: _RowSet
+    ) -> list[SqlValue]:
+        if star.table is None:
+            return list(frame.values)
+        binding = star.table.lower()
+        values = [
+            frame.values[index]
+            for index, bound in enumerate(rowset.columns)
+            if bound.binding == binding
+        ]
+        if not values:
+            raise ExecutionError(f"unknown table in {star.table}.*")
+        return values
+
+    def _expand_star_names(self, select: ast.Select, rowset: _RowSet) -> list[str]:
+        names: list[str] = []
+        for item in select.items:
+            expr = item.expression
+            if isinstance(expr, ast.Star) and item.alias is None:
+                if expr.table is None:
+                    names.extend(bound.name for bound in rowset.columns)
+                else:
+                    binding = expr.table.lower()
+                    names.extend(
+                        bound.name
+                        for bound in rowset.columns
+                        if bound.binding == binding
+                    )
+            else:
+                names.append(self._item_name(item))
+        return names
+
+    def _item_positions(self, select: ast.Select, rowset: _RowSet) -> list[int]:
+        """Row index of each select item's first output column.
+
+        Star items expand to several output columns; later items shift right.
+        """
+        positions: list[int] = []
+        cursor = 0
+        for item in select.items:
+            positions.append(cursor)
+            expr = item.expression
+            if isinstance(expr, ast.Star) and item.alias is None:
+                if expr.table is None:
+                    cursor += len(rowset.columns)
+                else:
+                    binding = expr.table.lower()
+                    cursor += sum(
+                        1 for bound in rowset.columns if bound.binding == binding
+                    )
+            else:
+                cursor += 1
+        return positions
+
+    @staticmethod
+    def _item_name(item: ast.SelectItem) -> str:
+        if item.alias:
+            return item.alias
+        expr = item.expression
+        if isinstance(expr, ast.ColumnRef):
+            return expr.column
+        return print_expression(expr)
+
+    # -- aggregation -----------------------------------------------------------
+
+    def _execute_aggregate(
+        self,
+        select: ast.Select,
+        rowset: _RowSet,
+        frames: list[RowFrame],
+    ) -> list[tuple[tuple[SqlValue, ...], list[RowFrame]]]:
+        groups: dict[tuple, list[RowFrame]] = {}
+        if select.group_by:
+            order: list[tuple] = []
+            for frame in frames:
+                key = tuple(
+                    _hashable(self._evaluator.evaluate(expr, frame))
+                    for expr in select.group_by
+                )
+                if key not in groups:
+                    groups[key] = []
+                    order.append(key)
+                groups[key].append(frame)
+            group_list = [groups[key] for key in order]
+        else:
+            group_list = [frames]
+
+        rows: list[tuple[tuple[SqlValue, ...], list[RowFrame]]] = []
+        for group in group_list:
+            if select.having is not None:
+                having_value = self._eval_in_group(select.having, group, rowset)
+                if not _sql_true(having_value):
+                    continue
+            out = tuple(
+                self._eval_in_group(item.expression, group, rowset)
+                for item in select.items
+            )
+            rows.append((out, group))
+        return rows
+
+    def _eval_in_group(
+        self,
+        expr: ast.Expression,
+        group: Sequence[RowFrame],
+        rowset: _RowSet,
+    ) -> SqlValue:
+        """Evaluate an expression in aggregate context.
+
+        Aggregate calls accumulate over the group's rows; bare columns take
+        their value from the group's first row (lenient, SQLite-style).
+        """
+        if isinstance(expr, ast.FunctionCall) and expr.name in AGGREGATE_FACTORIES:
+            factory = AGGREGATE_FACTORIES[expr.name]
+            acc = factory(expr.distinct)
+            if not expr.args or isinstance(expr.args[0], ast.Star):
+                if expr.name != "COUNT":
+                    raise ExecutionError(f"{expr.name}(*) is not valid")
+                for frame in group:
+                    acc.add(1)
+                return acc.result()
+            arg = expr.args[0]
+            for frame in group:
+                acc.add(self._evaluator.evaluate(arg, frame))
+            return acc.result()
+        if isinstance(expr, ast.BinaryOp):
+            rebuilt = ast.BinaryOp(
+                expr.op,
+                ast.Computed(self._eval_in_group(expr.left, group, rowset)),
+                ast.Computed(self._eval_in_group(expr.right, group, rowset)),
+            )
+            frame = group[0] if group else RowFrame(rowset.columns, ())
+            return self._evaluator.evaluate(rebuilt, frame)
+        if isinstance(expr, ast.UnaryOp):
+            inner = self._eval_in_group(expr.operand, group, rowset)
+            rebuilt = ast.UnaryOp(expr.op, ast.Computed(inner))
+            frame = group[0] if group else RowFrame(rowset.columns, ())
+            return self._evaluator.evaluate(rebuilt, frame)
+        if not group:
+            # Zero-row aggregate group: non-aggregate leaf is NULL.
+            if isinstance(expr, ast.Literal):
+                return expr.value
+            return None
+        return self._evaluator.evaluate(expr, group[0])
+
+    # -- ordering ----------------------------------------------------------------
+
+    def _order_rows(
+        self,
+        order_by: list[ast.OrderItem],
+        rows: list[tuple[tuple[SqlValue, ...], object]],
+        expanded_names: list[str],
+        item_positions: list[int],
+        select: ast.Select,
+    ) -> list[tuple[SqlValue, ...]]:
+        alias_index = {name.lower(): i for i, name in enumerate(expanded_names)}
+        decorated = list(rows)
+        for item in reversed(order_by):
+            keys = [
+                sort_key(
+                    self._order_key(
+                        item.expression,
+                        row,
+                        context,
+                        alias_index,
+                        item_positions,
+                        select,
+                    )
+                )
+                for row, context in decorated
+            ]
+            reverse = item.order is ast.SortOrder.DESC
+            decorated = [
+                rc
+                for _key, rc in sorted(
+                    zip(keys, decorated), key=lambda pair: pair[0], reverse=reverse
+                )
+            ]
+        return [row for row, _context in decorated]
+
+    def _order_key(
+        self,
+        expr: ast.Expression,
+        row: tuple[SqlValue, ...],
+        context: object,
+        alias_index: dict[str, int],
+        item_positions: list[int],
+        select: ast.Select,
+    ) -> SqlValue:
+        # ORDER BY <position>
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            position = expr.value - 1
+            if 0 <= position < len(row):
+                return row[position]
+            raise ExecutionError(f"ORDER BY position {expr.value} out of range")
+        # ORDER BY <output alias or output column name>
+        if isinstance(expr, ast.ColumnRef) and expr.table is None:
+            index = alias_index.get(expr.column.lower())
+            if index is not None and index < len(row):
+                return row[index]
+        # ORDER BY <select-list expression> (match by structure)
+        for item_index, item in enumerate(select.items):
+            if item.expression == expr:
+                position = item_positions[item_index]
+                if position < len(row):
+                    return row[position]
+        # Fall back to evaluating against the source frame(s).
+        if isinstance(context, RowFrame):
+            return self._evaluator.evaluate(expr, context)
+        if isinstance(context, list) and context:
+            rowset = _RowSet(context[0].columns, [])
+            return self._eval_in_group(expr, context, rowset)
+        if isinstance(context, list):
+            return None
+        raise ExecutionError(
+            f"cannot resolve ORDER BY expression {print_expression(expr)!r}"
+        )
+
+    # -- set operations ------------------------------------------------------------
+
+    def _execute_set_operation(self, op: ast.SetOperation) -> QueryResult:
+        left = self.execute_query(op.left)
+        right = self.execute_query(op.right)
+        if left.rows and right.rows and len(left.rows[0]) != len(right.rows[0]):
+            raise ExecutionError("set operation operands have different widths")
+
+        if op.op is ast.SetOperator.UNION_ALL:
+            rows = left.rows + right.rows
+        elif op.op is ast.SetOperator.UNION:
+            rows = _distinct_rows(left.rows + right.rows)
+        elif op.op is ast.SetOperator.INTERSECT:
+            right_set = {_hash_row(row) for row in right.rows}
+            rows = _distinct_rows(
+                [row for row in left.rows if _hash_row(row) in right_set]
+            )
+        else:  # EXCEPT
+            right_set = {_hash_row(row) for row in right.rows}
+            rows = _distinct_rows(
+                [row for row in left.rows if _hash_row(row) not in right_set]
+            )
+
+        if op.order_by:
+            alias_index = {name.lower(): i for i, name in enumerate(left.columns)}
+            for item in reversed(op.order_by):
+                def key_of(row: tuple[SqlValue, ...]):
+                    expr = item.expression
+                    if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                        return sort_key(row[expr.value - 1])
+                    if isinstance(expr, ast.ColumnRef) and expr.table is None:
+                        index = alias_index.get(expr.column.lower())
+                        if index is not None:
+                            return sort_key(row[index])
+                    raise ExecutionError(
+                        "set-operation ORDER BY must reference output columns"
+                    )
+
+                rows = sorted(
+                    rows, key=key_of, reverse=item.order is ast.SortOrder.DESC
+                )
+        if op.limit is not None:
+            rows = rows[: op.limit]
+        return QueryResult(columns=left.columns, rows=rows)
+
+
+def _contains_aggregate(expr: ast.Expression) -> bool:
+    """True when any aggregate call appears in the expression (not subqueries)."""
+    return any(ast.is_aggregate_call(node) for node in ast.walk_expressions(expr))
+
+
+def _hashable(value: SqlValue) -> SqlValue:
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value
+
+
+def _hash_row(row: tuple[SqlValue, ...]) -> tuple:
+    return tuple(_hashable(v) for v in row)
+
+
+def _distinct(
+    rows: list[tuple[tuple[SqlValue, ...], object]]
+) -> list[tuple[tuple[SqlValue, ...], object]]:
+    seen: set = set()
+    out = []
+    for row, context in rows:
+        key = _hash_row(row)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append((row, context))
+    return out
+
+
+def _distinct_rows(rows: list[tuple[SqlValue, ...]]) -> list[tuple[SqlValue, ...]]:
+    seen: set = set()
+    out = []
+    for row in rows:
+        key = _hash_row(row)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(row)
+    return out
+
+
+def _sql_true(value: SqlValue) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    raise ExecutionError(f"HAVING evaluated to non-boolean {value!r}")

@@ -1,0 +1,359 @@
+"""Expression evaluation over bound rows.
+
+The evaluator works against a :class:`RowFrame` — an ordered set of bound
+columns plus one row of values — and supports correlated subqueries through
+an outer-frame chain.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+from repro.errors import ExecutionError
+from repro.sql import ast
+from repro.sql.functions import AGGREGATE_FACTORIES, SCALAR_FUNCTIONS
+from repro.sql.types import SqlValue, sql_compare
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sql.executor import Executor
+
+
+@dataclass(frozen=True)
+class BoundColumn:
+    """A column made available by the FROM clause.
+
+    Attributes:
+        binding: The visible table name/alias (lower-cased).
+        name: Column name (lower-cased).
+    """
+
+    binding: str
+    name: str
+
+
+class RowFrame:
+    """One row of values aligned to a list of bound columns.
+
+    Frames chain to an optional ``outer`` frame for correlated subqueries:
+    names that do not resolve locally are looked up outward.
+    """
+
+    __slots__ = ("columns", "values", "outer")
+
+    def __init__(
+        self,
+        columns: Sequence[BoundColumn],
+        values: Sequence[SqlValue],
+        outer: Optional["RowFrame"] = None,
+    ) -> None:
+        self.columns = columns
+        self.values = values
+        self.outer = outer
+
+    def resolve(self, table: Optional[str], column: str) -> SqlValue:
+        """Resolve a column reference to its value (raising on ambiguity)."""
+        index = self.find(table, column)
+        if index is not None:
+            return self.values[index]
+        if self.outer is not None:
+            return self.outer.resolve(table, column)
+        qualified = f"{table}.{column}" if table else column
+        raise ExecutionError(f"unknown column {qualified!r}")
+
+    def find(self, table: Optional[str], column: str) -> Optional[int]:
+        """Locate the index of a column in this frame only (no outer chain)."""
+        table_key = table.lower() if table else None
+        column_key = column.lower()
+        matches = [
+            index
+            for index, bound in enumerate(self.columns)
+            if bound.name == column_key
+            and (table_key is None or bound.binding == table_key)
+        ]
+        if not matches:
+            return None
+        if len(matches) > 1:
+            qualified = f"{table}.{column}" if table else column
+            raise ExecutionError(f"ambiguous column reference {qualified!r}")
+        return matches[0]
+
+
+def like_to_regex(pattern: str) -> "re.Pattern[str]":
+    """Compile a SQL LIKE pattern (``%``/``_`` wildcards) to a regex."""
+    out = []
+    for char in pattern:
+        if char == "%":
+            out.append(".*")
+        elif char == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(char))
+    return re.compile("^" + "".join(out) + "$", re.IGNORECASE | re.DOTALL)
+
+
+class Evaluator:
+    """Evaluates expressions; delegates subqueries back to the executor."""
+
+    def __init__(self, executor: "Executor") -> None:
+        self._executor = executor
+        self._like_cache: dict[str, re.Pattern[str]] = {}
+
+    # -- row-level evaluation ------------------------------------------------
+
+    def evaluate(self, expr: ast.Expression, frame: RowFrame) -> SqlValue:
+        """Evaluate a scalar (non-aggregate) expression for one row."""
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.Computed):
+            return expr.value
+        if isinstance(expr, ast.ColumnRef):
+            return frame.resolve(expr.table, expr.column)
+        if isinstance(expr, ast.Star):
+            raise ExecutionError("'*' is only valid inside COUNT(*) or SELECT")
+        if isinstance(expr, ast.BinaryOp):
+            return self._binary(expr, frame)
+        if isinstance(expr, ast.UnaryOp):
+            return self._unary(expr, frame)
+        if isinstance(expr, ast.FunctionCall):
+            if expr.name in AGGREGATE_FACTORIES:
+                raise ExecutionError(
+                    f"aggregate {expr.name} used outside aggregation context"
+                )
+            return self._scalar_call(expr, frame)
+        if isinstance(expr, ast.Like):
+            return self._like(expr, frame)
+        if isinstance(expr, ast.Between):
+            return self._between(expr, frame)
+        if isinstance(expr, ast.InList):
+            return self._in_list(expr, frame)
+        if isinstance(expr, ast.InSubquery):
+            return self._in_subquery(expr, frame)
+        if isinstance(expr, ast.Exists):
+            rows = self._executor.execute_select(expr.subquery, outer=frame).rows
+            found = bool(rows)
+            return (not found) if expr.negated else found
+        if isinstance(expr, ast.ScalarSubquery):
+            return self._scalar_subquery(expr, frame)
+        if isinstance(expr, ast.IsNull):
+            value = self.evaluate(expr.operand, frame)
+            is_null = value is None
+            return (not is_null) if expr.negated else is_null
+        if isinstance(expr, ast.CaseWhen):
+            for cond, result in expr.branches:
+                if self.truthy(cond, frame):
+                    return self.evaluate(result, frame)
+            if expr.default is not None:
+                return self.evaluate(expr.default, frame)
+            return None
+        raise ExecutionError(f"cannot evaluate node {type(expr).__name__}")
+
+    def truthy(self, expr: ast.Expression, frame: RowFrame) -> bool:
+        """Evaluate a predicate; SQL UNKNOWN (NULL) filters as false."""
+        value = self.evaluate(expr, frame)
+        if value is None:
+            return False
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, (int, float)):
+            return value != 0
+        raise ExecutionError(f"predicate evaluated to non-boolean {value!r}")
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _binary(self, expr: ast.BinaryOp, frame: RowFrame) -> SqlValue:
+        op = expr.op
+        if op is ast.BinaryOperator.AND:
+            left = self._bool_or_none(expr.left, frame)
+            if left is False:
+                return False
+            right = self._bool_or_none(expr.right, frame)
+            if right is False:
+                return False
+            if left is None or right is None:
+                return None
+            return True
+        if op is ast.BinaryOperator.OR:
+            left = self._bool_or_none(expr.left, frame)
+            if left is True:
+                return True
+            right = self._bool_or_none(expr.right, frame)
+            if right is True:
+                return True
+            if left is None or right is None:
+                return None
+            return False
+
+        left = self.evaluate(expr.left, frame)
+        right = self.evaluate(expr.right, frame)
+        if op.is_comparison:
+            cmp = sql_compare(left, right)
+            if cmp is None:
+                return None
+            if op is ast.BinaryOperator.EQ:
+                return cmp == 0
+            if op is ast.BinaryOperator.NE:
+                return cmp != 0
+            if op is ast.BinaryOperator.LT:
+                return cmp < 0
+            if op is ast.BinaryOperator.LE:
+                return cmp <= 0
+            if op is ast.BinaryOperator.GT:
+                return cmp > 0
+            return cmp >= 0
+
+        if left is None or right is None:
+            return None
+        if op is ast.BinaryOperator.CONCAT:
+            return f"{left}{right}"
+        left_n = _to_number(left)
+        right_n = _to_number(right)
+        if op is ast.BinaryOperator.ADD:
+            return _narrow(left_n + right_n, left, right)
+        if op is ast.BinaryOperator.SUB:
+            return _narrow(left_n - right_n, left, right)
+        if op is ast.BinaryOperator.MUL:
+            return _narrow(left_n * right_n, left, right)
+        if op is ast.BinaryOperator.DIV:
+            if right_n == 0:
+                return None
+            return left_n / right_n
+        if op is ast.BinaryOperator.MOD:
+            if right_n == 0:
+                return None
+            return _narrow(left_n % right_n, left, right)
+        raise ExecutionError(f"unsupported operator {op}")  # pragma: no cover
+
+    def _bool_or_none(self, expr: ast.Expression, frame: RowFrame) -> Optional[bool]:
+        value = self.evaluate(expr, frame)
+        if value is None:
+            return None
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, (int, float)):
+            return value != 0
+        raise ExecutionError(f"logical operand is non-boolean: {value!r}")
+
+    def _unary(self, expr: ast.UnaryOp, frame: RowFrame) -> SqlValue:
+        if expr.op is ast.UnaryOperator.NOT:
+            value = self._bool_or_none(expr.operand, frame)
+            if value is None:
+                return None
+            return not value
+        value = self.evaluate(expr.operand, frame)
+        if value is None:
+            return None
+        number = _to_number(value)
+        if expr.op is ast.UnaryOperator.NEG:
+            result = -number
+        else:
+            result = number
+        if isinstance(value, int) and not isinstance(value, bool):
+            return int(result)
+        return result
+
+    def _scalar_call(self, expr: ast.FunctionCall, frame: RowFrame) -> SqlValue:
+        fn = SCALAR_FUNCTIONS.get(expr.name)
+        if fn is None:
+            raise ExecutionError(f"unknown function {expr.name}")
+        args = [self.evaluate(arg, frame) for arg in expr.args]
+        return fn(args)
+
+    def _like(self, expr: ast.Like, frame: RowFrame) -> SqlValue:
+        operand = self.evaluate(expr.operand, frame)
+        pattern = self.evaluate(expr.pattern, frame)
+        if operand is None or pattern is None:
+            return None
+        if not isinstance(pattern, str):
+            raise ExecutionError("LIKE pattern must be a string")
+        regex = self._like_cache.get(pattern)
+        if regex is None:
+            regex = like_to_regex(pattern)
+            self._like_cache[pattern] = regex
+        matched = bool(regex.match(str(operand)))
+        return (not matched) if expr.negated else matched
+
+    def _between(self, expr: ast.Between, frame: RowFrame) -> SqlValue:
+        operand = self.evaluate(expr.operand, frame)
+        low = self.evaluate(expr.low, frame)
+        high = self.evaluate(expr.high, frame)
+        low_cmp = sql_compare(operand, low)
+        high_cmp = sql_compare(operand, high)
+        if low_cmp is None or high_cmp is None:
+            return None
+        inside = low_cmp >= 0 and high_cmp <= 0
+        return (not inside) if expr.negated else inside
+
+    def _in_list(self, expr: ast.InList, frame: RowFrame) -> SqlValue:
+        operand = self.evaluate(expr.operand, frame)
+        if operand is None:
+            return None
+        saw_null = False
+        for item in expr.items:
+            value = self.evaluate(item, frame)
+            cmp = sql_compare(operand, value)
+            if cmp is None:
+                saw_null = True
+            elif cmp == 0:
+                return not expr.negated
+        if saw_null:
+            return None
+        return expr.negated
+
+    def _in_subquery(self, expr: ast.InSubquery, frame: RowFrame) -> SqlValue:
+        operand = self.evaluate(expr.operand, frame)
+        if operand is None:
+            return None
+        result = self._executor.execute_select(expr.subquery, outer=frame)
+        if result.rows and len(result.rows[0]) != 1:
+            raise ExecutionError("IN subquery must return a single column")
+        saw_null = False
+        for row in result.rows:
+            cmp = sql_compare(operand, row[0])
+            if cmp is None:
+                saw_null = True
+            elif cmp == 0:
+                return not expr.negated
+        if saw_null:
+            return None
+        return expr.negated
+
+    def _scalar_subquery(self, expr: ast.ScalarSubquery, frame: RowFrame) -> SqlValue:
+        result = self._executor.execute_select(expr.subquery, outer=frame)
+        if not result.rows:
+            return None
+        if len(result.rows[0]) != 1:
+            raise ExecutionError("scalar subquery must return a single column")
+        if len(result.rows) > 1:
+            raise ExecutionError("scalar subquery returned more than one row")
+        return result.rows[0][0]
+
+
+def _to_number(value: SqlValue) -> float:
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            pass
+    raise ExecutionError(f"expected a number, got {value!r}")
+
+
+def _narrow(result: float, left: SqlValue, right: SqlValue) -> SqlValue:
+    """Return int when both operands were ints and the result is integral."""
+    both_int = (
+        isinstance(left, int)
+        and not isinstance(left, bool)
+        and isinstance(right, int)
+        and not isinstance(right, bool)
+    )
+    if both_int and float(result).is_integer():
+        return int(result)
+    return result
+
+
+AggregateEvaluator = Callable[[ast.Expression, Sequence[RowFrame]], SqlValue]

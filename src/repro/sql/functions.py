@@ -1,0 +1,263 @@
+"""Scalar and aggregate function implementations.
+
+Scalar functions receive already-evaluated arguments and return a value.
+Aggregates are accumulator classes fed one value per row.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ExecutionError
+from repro.sql.types import SqlValue, sql_compare
+
+
+def _require_str(value: SqlValue, fn: str) -> str:
+    if not isinstance(value, str):
+        raise ExecutionError(f"{fn} expects a string argument, got {value!r}")
+    return value
+
+
+def _numeric(value: SqlValue, fn: str) -> float:
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            pass
+    raise ExecutionError(f"{fn} expects a numeric argument, got {value!r}")
+
+
+def _fn_abs(args: list[SqlValue]) -> SqlValue:
+    if args[0] is None:
+        return None
+    value = args[0]
+    if isinstance(value, int) and not isinstance(value, bool):
+        return abs(value)
+    return abs(_numeric(value, "ABS"))
+
+
+def _fn_round(args: list[SqlValue]) -> SqlValue:
+    if args[0] is None:
+        return None
+    digits = 0
+    if len(args) > 1:
+        if args[1] is None:
+            return None
+        digits = int(_numeric(args[1], "ROUND"))
+    return round(_numeric(args[0], "ROUND"), digits)
+
+
+def _fn_lower(args: list[SqlValue]) -> SqlValue:
+    if args[0] is None:
+        return None
+    return _require_str(args[0], "LOWER").lower()
+
+
+def _fn_upper(args: list[SqlValue]) -> SqlValue:
+    if args[0] is None:
+        return None
+    return _require_str(args[0], "UPPER").upper()
+
+
+def _fn_length(args: list[SqlValue]) -> SqlValue:
+    if args[0] is None:
+        return None
+    return len(str(args[0]))
+
+
+def _fn_substr(args: list[SqlValue]) -> SqlValue:
+    if args[0] is None:
+        return None
+    text = str(args[0])
+    start = int(_numeric(args[1], "SUBSTR")) if len(args) > 1 else 1
+    # SQL SUBSTR is 1-based
+    index = max(start - 1, 0)
+    if len(args) > 2:
+        if args[2] is None:
+            return None
+        length = int(_numeric(args[2], "SUBSTR"))
+        return text[index : index + max(length, 0)]
+    return text[index:]
+
+
+def _fn_trim(args: list[SqlValue]) -> SqlValue:
+    if args[0] is None:
+        return None
+    return str(args[0]).strip()
+
+
+def _fn_coalesce(args: list[SqlValue]) -> SqlValue:
+    for value in args:
+        if value is not None:
+            return value
+    return None
+
+
+def _fn_nullif(args: list[SqlValue]) -> SqlValue:
+    if len(args) != 2:
+        raise ExecutionError("NULLIF expects exactly 2 arguments")
+    if sql_compare(args[0], args[1]) == 0:
+        return None
+    return args[0]
+
+
+def _fn_year(args: list[SqlValue]) -> SqlValue:
+    """Extract the year from an ISO date/datetime string (or pass integers)."""
+    value = args[0]
+    if value is None:
+        return None
+    if isinstance(value, int) and not isinstance(value, bool):
+        return value
+    text = str(value)
+    if len(text) >= 4 and text[:4].isdigit():
+        return int(text[:4])
+    raise ExecutionError(f"YEAR expects an ISO date, got {value!r}")
+
+
+def _fn_month(args: list[SqlValue]) -> SqlValue:
+    value = args[0]
+    if value is None:
+        return None
+    text = str(value)
+    if len(text) >= 7 and text[5:7].isdigit():
+        return int(text[5:7])
+    raise ExecutionError(f"MONTH expects an ISO date, got {value!r}")
+
+
+SCALAR_FUNCTIONS: dict[str, Callable[[list[SqlValue]], SqlValue]] = {
+    "ABS": _fn_abs,
+    "ROUND": _fn_round,
+    "LOWER": _fn_lower,
+    "UPPER": _fn_upper,
+    "LENGTH": _fn_length,
+    "SUBSTR": _fn_substr,
+    "SUBSTRING": _fn_substr,
+    "TRIM": _fn_trim,
+    "COALESCE": _fn_coalesce,
+    "IFNULL": _fn_coalesce,
+    "NULLIF": _fn_nullif,
+    "YEAR": _fn_year,
+    "MONTH": _fn_month,
+}
+
+
+class Aggregate:
+    """Base accumulator. Feed values with :meth:`add`, read :meth:`result`."""
+
+    def add(self, value: SqlValue) -> None:
+        raise NotImplementedError
+
+    def result(self) -> SqlValue:
+        raise NotImplementedError
+
+
+class CountAgg(Aggregate):
+    """COUNT(expr) — counts non-NULL values. COUNT(*) feeds a sentinel."""
+
+    def __init__(self, distinct: bool = False) -> None:
+        self._count = 0
+        self._distinct = distinct
+        self._seen: set = set()
+
+    def add(self, value: SqlValue) -> None:
+        if value is None:
+            return
+        if self._distinct:
+            if value in self._seen:
+                return
+            self._seen.add(value)
+        self._count += 1
+
+    def result(self) -> SqlValue:
+        return self._count
+
+
+class SumAgg(Aggregate):
+    def __init__(self, distinct: bool = False) -> None:
+        self._total: Optional[float] = None
+        self._all_int = True
+        self._distinct = distinct
+        self._seen: set = set()
+
+    def add(self, value: SqlValue) -> None:
+        if value is None:
+            return
+        if self._distinct:
+            if value in self._seen:
+                return
+            self._seen.add(value)
+        number = _numeric(value, "SUM")
+        if not (isinstance(value, int) and not isinstance(value, bool)):
+            self._all_int = False
+        self._total = number if self._total is None else self._total + number
+
+    def result(self) -> SqlValue:
+        if self._total is None:
+            return None
+        if self._all_int:
+            return int(self._total)
+        return self._total
+
+
+class AvgAgg(Aggregate):
+    def __init__(self, distinct: bool = False) -> None:
+        self._total = 0.0
+        self._count = 0
+        self._distinct = distinct
+        self._seen: set = set()
+
+    def add(self, value: SqlValue) -> None:
+        if value is None:
+            return
+        if self._distinct:
+            if value in self._seen:
+                return
+            self._seen.add(value)
+        self._total += _numeric(value, "AVG")
+        self._count += 1
+
+    def result(self) -> SqlValue:
+        if self._count == 0:
+            return None
+        return self._total / self._count
+
+
+class MinAgg(Aggregate):
+    def __init__(self, distinct: bool = False) -> None:
+        self._best: SqlValue = None
+
+    def add(self, value: SqlValue) -> None:
+        if value is None:
+            return
+        if self._best is None or sql_compare(value, self._best) == -1:
+            self._best = value
+
+    def result(self) -> SqlValue:
+        return self._best
+
+
+class MaxAgg(Aggregate):
+    def __init__(self, distinct: bool = False) -> None:
+        self._best: SqlValue = None
+
+    def add(self, value: SqlValue) -> None:
+        if value is None:
+            return
+        if self._best is None or sql_compare(value, self._best) == 1:
+            self._best = value
+
+    def result(self) -> SqlValue:
+        return self._best
+
+
+AGGREGATE_FACTORIES: dict[str, Callable[[bool], Aggregate]] = {
+    "COUNT": lambda distinct: CountAgg(distinct),
+    "SUM": lambda distinct: SumAgg(distinct),
+    "AVG": lambda distinct: AvgAgg(distinct),
+    "MIN": lambda distinct: MinAgg(distinct),
+    "MAX": lambda distinct: MaxAgg(distinct),
+}

@@ -1,0 +1,106 @@
+"""Database serialization: dump/load a whole database as JSON.
+
+Lets downstream users persist generated benchmarks or load their own data
+without writing INSERT scripts::
+
+    save_database(db, "mydb.json")
+    db2 = load_database("mydb.json")
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import DatasetError
+from repro.sql.engine import Database
+from repro.sql.schema import Column, DatabaseSchema, ForeignKey, Table
+from repro.sql.types import DataType
+
+FORMAT_VERSION = 1
+
+
+def database_to_dict(database: Database) -> dict:
+    """Serialize schema + rows into a plain dict."""
+    tables = []
+    for table in database.schema.tables:
+        tables.append(
+            {
+                "name": table.name,
+                "nl_name": table.nl_name,
+                "synonyms": list(table.synonyms),
+                "columns": [
+                    {
+                        "name": column.name,
+                        "type": column.dtype.value,
+                        "nl_name": column.nl_name,
+                        "synonyms": list(column.synonyms),
+                        "primary_key": column.primary_key,
+                    }
+                    for column in table.columns
+                ],
+                "foreign_keys": [
+                    {
+                        "column": fk.column,
+                        "ref_table": fk.ref_table,
+                        "ref_column": fk.ref_column,
+                    }
+                    for fk in table.foreign_keys
+                ],
+                "rows": [list(row) for row in database.data(table.name).rows],
+            }
+        )
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": database.schema.name,
+        "tables": tables,
+    }
+
+
+def database_from_dict(data: dict) -> Database:
+    """Rebuild a database from :func:`database_to_dict` output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise DatasetError(f"unsupported database format version {version!r}")
+    tables = []
+    for spec in data["tables"]:
+        columns = [
+            Column(
+                name=col["name"],
+                dtype=DataType(col["type"]),
+                nl_name=col.get("nl_name", ""),
+                synonyms=tuple(col.get("synonyms", ())),
+                primary_key=col.get("primary_key", False),
+            )
+            for col in spec["columns"]
+        ]
+        foreign_keys = [
+            ForeignKey(fk["column"], fk["ref_table"], fk["ref_column"])
+            for fk in spec.get("foreign_keys", ())
+        ]
+        tables.append(
+            Table(
+                name=spec["name"],
+                columns=columns,
+                nl_name=spec.get("nl_name", ""),
+                synonyms=tuple(spec.get("synonyms", ())),
+                foreign_keys=foreign_keys,
+            )
+        )
+    database = Database(DatabaseSchema(data["name"], tables))
+    for spec in data["tables"]:
+        database.load_rows(spec["name"], [tuple(row) for row in spec["rows"]])
+    return database
+
+
+def save_database(database: Database, path: Union[str, Path]) -> None:
+    """Write a database to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(database_to_dict(database), handle)
+
+
+def load_database(path: Union[str, Path]) -> Database:
+    """Read a database back from a JSON file."""
+    with open(path) as handle:
+        return database_from_dict(json.load(handle))

@@ -1,0 +1,120 @@
+"""Token definitions for the SQL lexer.
+
+The dialect is the subset of SQL needed to execute SPIDER-style analytic
+queries plus the DDL/DML required to build databases from scripts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class TokenType(enum.Enum):
+    """Lexical categories produced by :class:`repro.sql.lexer.Lexer`."""
+
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCTUATION = "punctuation"
+    EOF = "eof"
+
+
+#: Reserved words recognized by the lexer (upper-cased canonical form).
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "ORDER",
+        "ASC",
+        "DESC",
+        "LIMIT",
+        "OFFSET",
+        "JOIN",
+        "INNER",
+        "LEFT",
+        "RIGHT",
+        "OUTER",
+        "CROSS",
+        "ON",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "IS",
+        "NULL",
+        "LIKE",
+        "BETWEEN",
+        "EXISTS",
+        "UNION",
+        "INTERSECT",
+        "EXCEPT",
+        "ALL",
+        "CASE",
+        "WHEN",
+        "THEN",
+        "ELSE",
+        "END",
+        "TRUE",
+        "FALSE",
+        "CREATE",
+        "TABLE",
+        "PRIMARY",
+        "FOREIGN",
+        "KEY",
+        "REFERENCES",
+        "INSERT",
+        "INTO",
+        "VALUES",
+        "UPDATE",
+        "SET",
+        "DELETE",
+        "DROP",
+        "INTEGER",
+        "INT",
+        "REAL",
+        "FLOAT",
+        "TEXT",
+        "VARCHAR",
+        "DATE",
+        "BOOLEAN",
+        "BOOL",
+    }
+)
+
+#: Multi-character operators, longest first so the lexer can greedily match.
+OPERATORS = ("<>", "!=", ">=", "<=", "=", "<", ">", "+", "-", "*", "/", "%", "||")
+
+PUNCTUATION = ("(", ")", ",", ".", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        type: Lexical category.
+        value: Canonical text (keywords upper-cased, identifiers as written,
+            string literals with quotes stripped).
+        position: Byte offset of the token's first character in the input.
+    """
+
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, *words: str) -> bool:
+        """Return True if this token is one of the given keywords."""
+        return self.type is TokenType.KEYWORD and self.value in words
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.type.name}, {self.value!r}@{self.position})"

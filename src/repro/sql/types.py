@@ -1,0 +1,193 @@
+"""SQL value types, coercion, and three-valued comparison semantics.
+
+Values are represented with native Python objects: ``None`` (NULL), ``int``,
+``float``, ``str``, ``bool``. Dates are ISO-8601 strings (``YYYY-MM-DD`` or
+``YYYY-MM-DD HH:MM:SS``), which order correctly under string comparison —
+the same convention SQLite uses for TEXT dates.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Union
+
+from repro.errors import TypeMismatchError
+
+SqlValue = Union[int, float, str, bool, None]
+
+
+class DataType(enum.Enum):
+    """Declared column types."""
+
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    TEXT = "TEXT"
+    DATE = "DATE"
+    BOOLEAN = "BOOLEAN"
+
+    @classmethod
+    def from_name(cls, name: str) -> "DataType":
+        """Map a SQL type keyword (e.g. VARCHAR, INT) to a DataType."""
+        upper = name.upper()
+        mapping = {
+            "INTEGER": cls.INTEGER,
+            "INT": cls.INTEGER,
+            "BIGINT": cls.INTEGER,
+            "SMALLINT": cls.INTEGER,
+            "REAL": cls.REAL,
+            "FLOAT": cls.REAL,
+            "DOUBLE": cls.REAL,
+            "NUMERIC": cls.REAL,
+            "DECIMAL": cls.REAL,
+            "TEXT": cls.TEXT,
+            "VARCHAR": cls.TEXT,
+            "CHAR": cls.TEXT,
+            "STRING": cls.TEXT,
+            "DATE": cls.DATE,
+            "DATETIME": cls.DATE,
+            "TIMESTAMP": cls.DATE,
+            "BOOLEAN": cls.BOOLEAN,
+            "BOOL": cls.BOOLEAN,
+        }
+        if upper not in mapping:
+            raise TypeMismatchError(f"unknown SQL type {name!r}")
+        return mapping[upper]
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DataType.INTEGER, DataType.REAL)
+
+
+def coerce(value: SqlValue, dtype: DataType) -> SqlValue:
+    """Coerce ``value`` into the Python representation for ``dtype``.
+
+    NULL passes through every type. Raises
+    :class:`~repro.errors.TypeMismatchError` for impossible coercions.
+    """
+    if value is None:
+        return None
+    if dtype is DataType.INTEGER:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        if isinstance(value, str):
+            try:
+                return int(value)
+            except ValueError as exc:
+                raise TypeMismatchError(
+                    f"cannot store {value!r} in an INTEGER column"
+                ) from exc
+        raise TypeMismatchError(f"cannot store {value!r} in an INTEGER column")
+    if dtype is DataType.REAL:
+        if isinstance(value, bool):
+            return float(value)
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value)
+            except ValueError as exc:
+                raise TypeMismatchError(
+                    f"cannot store {value!r} in a REAL column"
+                ) from exc
+        raise TypeMismatchError(f"cannot store {value!r} in a REAL column")
+    if dtype in (DataType.TEXT, DataType.DATE):
+        if isinstance(value, str):
+            return value
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        return str(value)
+    if dtype is DataType.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int):
+            return bool(value)
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            if lowered in ("true", "t", "1", "yes"):
+                return True
+            if lowered in ("false", "f", "0", "no"):
+                return False
+            raise TypeMismatchError(f"cannot store {value!r} in a BOOLEAN column")
+        raise TypeMismatchError(f"cannot store {value!r} in a BOOLEAN column")
+    raise TypeMismatchError(f"unsupported data type {dtype}")  # pragma: no cover
+
+
+def sql_compare(left: SqlValue, right: SqlValue) -> Optional[int]:
+    """Three-valued SQL comparison.
+
+    Returns -1/0/+1, or ``None`` when either side is NULL (unknown).
+    Numeric values compare numerically (int vs float allowed); booleans
+    compare as integers; strings compare lexicographically. Numbers given as
+    numeric-looking strings are compared numerically against numbers, which
+    smooths over generated data that stores years as text.
+    """
+    if left is None or right is None:
+        return None
+    left_n = _as_number(left)
+    right_n = _as_number(right)
+    if left_n is not None and right_n is not None:
+        if left_n < right_n:
+            return -1
+        if left_n > right_n:
+            return 1
+        return 0
+    left_s = str(left) if not isinstance(left, str) else left
+    right_s = str(right) if not isinstance(right, str) else right
+    if left_s < right_s:
+        return -1
+    if left_s > right_s:
+        return 1
+    return 0
+
+
+def _as_number(value: SqlValue) -> Optional[float]:
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        stripped = value.strip()
+        if not stripped:
+            return None
+        try:
+            return float(stripped)
+        except ValueError:
+            return None
+    return None
+
+
+def sort_key(value: SqlValue):
+    """Total-order sort key: NULLs first, then numbers, then strings.
+
+    Mirrors SQLite's ordering across storage classes, which keeps ORDER BY
+    deterministic on mixed-type columns.
+    """
+    if value is None:
+        return (0, 0.0, "")
+    number = _as_number(value) if not isinstance(value, str) else None
+    if number is not None:
+        return (1, number, "")
+    if isinstance(value, str):
+        return (2, 0.0, value)
+    return (2, 0.0, str(value))  # pragma: no cover - defensive
+
+
+def values_equal(left: SqlValue, right: SqlValue, float_tol: float = 1e-6) -> bool:
+    """NULL-aware equality used by result comparison (NULL == NULL here).
+
+    Unlike :func:`sql_compare`, this is for comparing *result sets*, where
+    two NULL cells should count as equal.
+    """
+    if left is None and right is None:
+        return True
+    if left is None or right is None:
+        return False
+    left_n = _as_number(left) if isinstance(left, (int, float, bool)) else None
+    right_n = _as_number(right) if isinstance(right, (int, float, bool)) else None
+    if left_n is not None and right_n is not None:
+        return abs(left_n - right_n) <= float_tol * max(1.0, abs(left_n), abs(right_n))
+    return str(left) == str(right)

@@ -1,0 +1,26 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def stable_fraction(*parts: object) -> float:
+    """Deterministic pseudo-random fraction in [0, 1) from arbitrary parts.
+
+    Used to model the *calibrated* stochasticity of LLM behaviour (e.g. a
+    demonstration set that covers a phrasing only some of the time) without
+    process-level randomness: the same inputs always give the same value,
+    so every experiment is exactly reproducible.
+    """
+    text = "\x1f".join(str(part) for part in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+def stable_choice(options: list, *parts: object):
+    """Deterministically pick one of ``options`` keyed by ``parts``."""
+    if not options:
+        raise ValueError("no options to choose from")
+    index = int(stable_fraction(*parts) * len(options))
+    return options[min(index, len(options) - 1)]

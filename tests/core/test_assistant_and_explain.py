@@ -1,0 +1,106 @@
+"""Assistant response bundle and NL explanation tests."""
+
+import pytest
+
+from repro.core.assistant import Assistant, AssistantResponse
+from repro.core.explain import explain_query, explanation_text
+from repro.core.nl2sql import Nl2SqlModel
+from repro.sql.parser import parse_query
+
+
+@pytest.fixture()
+def assistant():
+    return Assistant(Nl2SqlModel())
+
+
+class TestExplain:
+    def test_count_with_filter_mirrors_figure4(self):
+        query = parse_query(
+            "SELECT COUNT(*) FROM hkg_dim_segment WHERE createdtime >= "
+            "'2023-01-01' AND createdtime < '2023-02-01'"
+        )
+        steps = explain_query(query)
+        assert "First, consider all the rows" in steps[0]
+        assert any("2023-01-01" in s for s in steps)
+        assert any("count the number of rows" in s for s in steps)
+
+    def test_order_and_limit_explained(self):
+        query = parse_query("SELECT name FROM t ORDER BY age DESC LIMIT 1")
+        steps = explain_query(query)
+        assert any("descending" in s for s in steps)
+        assert "Finally, return only the first result." in steps
+
+    def test_group_by_explained(self):
+        steps = explain_query(
+            parse_query("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2")
+        )
+        assert any("Group the remaining rows by a" in s for s in steps)
+        assert any("Keep only groups" in s for s in steps)
+
+    def test_join_explained(self):
+        steps = explain_query(
+            parse_query("SELECT T1.a FROM t AS T1 JOIN u AS T2 ON T1.x = T2.x")
+        )
+        assert "joined with" in steps[0]
+
+    def test_between_and_subquery_phrases(self):
+        steps = explain_query(
+            parse_query(
+                "SELECT a FROM t WHERE b BETWEEN 1 AND 5 AND "
+                "c > (SELECT AVG(c) FROM t)"
+            )
+        )
+        joined = " ".join(steps)
+        assert "between" in joined
+        assert "computed sub-result" in joined
+
+    def test_distinct_noted(self):
+        steps = explain_query(parse_query("SELECT DISTINCT a FROM t"))
+        assert any("distinct" in s for s in steps)
+
+    def test_explanation_text_is_bulleted(self):
+        text = explanation_text(parse_query("SELECT a FROM t"))
+        assert all(line.startswith("- ") for line in text.splitlines())
+
+    def test_set_operation_explained(self):
+        steps = explain_query(
+            parse_query("SELECT a FROM t UNION SELECT a FROM u")
+        )
+        assert any("combine" in s for s in steps)
+
+
+class TestAssistant:
+    def test_response_has_four_parts(self, assistant, aep_db):
+        response = assistant.answer("How many segments are there?", aep_db)
+        assert response.sql  # (d) Show Source
+        assert response.reformulation  # (b)
+        assert response.explanation  # (c)
+        assert response.result is not None  # (a)
+        assert response.result.scalar() == 20
+
+    def test_render_mirrors_chat_bubble(self, assistant, aep_db):
+        response = assistant.answer("How many segments are there?", aep_db)
+        text = response.render()
+        assert "Based on your question" in text
+        assert "Here is how we got the results" in text
+
+    def test_empty_result_message(self, assistant, aep_db):
+        response = assistant.answer(
+            "How many segments were created in January?", aep_db
+        )
+        # Whether empty or not, the result panel must render.
+        assert isinstance(response.result_text(), str)
+
+    def test_reformulation_for_count(self, assistant, aep_db):
+        response = assistant.answer("How many segments are there?", aep_db)
+        assert response.reformulation.startswith("Finds the count")
+
+    def test_reformulation_for_listing(self, assistant, aep_db):
+        response = assistant.answer("List the names of all segments.", aep_db)
+        assert response.reformulation.startswith("Lists")
+
+    def test_wrong_table_query_still_answers(self, assistant, aep_db):
+        """Jargon question: the Assistant answers (incorrectly), not errors."""
+        response = assistant.answer("How many audiences are there?", aep_db)
+        assert response.error is None
+        assert response.result is not None

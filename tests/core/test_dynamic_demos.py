@@ -1,0 +1,155 @@
+"""Dynamic feedback-demonstration selection (§5 future work) tests."""
+
+import pytest
+
+from repro.core.dynamic_demos import (
+    DynamicFeedbackDemoStore,
+    FeedbackDemonstration,
+    default_pool,
+    query_structure,
+)
+from repro.core.feedback import ADD, EDIT, REMOVE
+from repro.sql.parser import parse_query
+
+
+class TestQueryStructure:
+    def test_tags_detected(self):
+        query = parse_query(
+            "SELECT a, COUNT(*) FROM t JOIN u ON t.x = u.x WHERE b = 1 "
+            "GROUP BY a ORDER BY a LIMIT 3"
+        )
+        tags = query_structure(query)
+        assert tags == frozenset(
+            {"where", "group", "order", "limit", "aggregate", "join"}
+        )
+
+    def test_plain_select_empty(self):
+        assert query_structure(parse_query("SELECT a FROM t")) == frozenset()
+
+    def test_distinct_tag(self):
+        assert "distinct" in query_structure(
+            parse_query("SELECT DISTINCT a FROM t")
+        )
+
+
+class TestDefaultPool:
+    def test_covers_all_types(self):
+        pool = default_pool()
+        types = {demo.feedback_type for demo in pool}
+        assert types == {ADD, REMOVE, EDIT}
+
+    def test_structures_computed(self):
+        pool = default_pool()
+        assert any(demo.structure for demo in pool)
+
+    def test_render_is_figure5_block(self):
+        block = default_pool()[0].render()
+        assert "received the following feedback" in block
+
+
+class TestSelection:
+    def test_year_feedback_retrieves_year_demo(self):
+        store = DynamicFeedbackDemoStore(top_k=1)
+        (block,) = store.select(
+            "we are in 2024",
+            previous_sql=(
+                "SELECT COUNT(*) FROM t WHERE d >= '2023-01-01' AND "
+                "d < '2023-02-01'"
+            ),
+        )
+        assert "2024" in block
+
+    def test_description_feedback_retrieves_remove_demo(self):
+        store = DynamicFeedbackDemoStore(top_k=1)
+        (block,) = store.select(
+            "do not give descriptions",
+            previous_sql="SELECT name, description FROM t",
+        )
+        assert "do not give descriptions" in block
+
+    def test_structure_breaks_text_ties(self):
+        ordered = FeedbackDemonstration(
+            question="q1",
+            sql_before="SELECT name FROM t ORDER BY price ASC LIMIT 5",
+            feedback="flip it",
+            sql_after="SELECT name FROM t ORDER BY price DESC LIMIT 5",
+            feedback_type=EDIT,
+        )
+        plain = FeedbackDemonstration(
+            question="q2",
+            sql_before="SELECT name FROM t",
+            feedback="flip it",
+            sql_after="SELECT name FROM t",
+            feedback_type=EDIT,
+        )
+        store = DynamicFeedbackDemoStore(pool=[plain, ordered], top_k=1)
+        (block,) = store.select(
+            "flip it", previous_sql="SELECT a FROM u ORDER BY b ASC LIMIT 2"
+        )
+        assert "DESC" in block
+
+    def test_type_prior_boost(self):
+        store = DynamicFeedbackDemoStore(top_k=3)
+        blocks = store.select(
+            "take that column out",
+            previous_sql="SELECT name, description FROM t WHERE x = 1",
+            feedback_type=REMOVE,
+            top_k=1,
+        )
+        assert "do not give descriptions" in blocks[0]
+
+    def test_empty_pool(self):
+        store = DynamicFeedbackDemoStore(pool=[])
+        assert store.select("anything") == []
+        assert len(store) == 0
+
+    def test_static_interface_compatibility(self):
+        store = DynamicFeedbackDemoStore()
+        assert store.for_type(EDIT)
+        generic = store.generic()
+        assert len(generic) == 3
+
+    def test_unparseable_sql_tolerated(self):
+        store = DynamicFeedbackDemoStore(top_k=2)
+        blocks = store.select("we are in 2024", previous_sql="not sql")
+        assert len(blocks) == 2
+
+
+class TestPipelineIntegration:
+    def test_dynamic_store_in_pipeline(self, aep_db):
+        """FisqlPipeline accepts the dynamic store as a drop-in."""
+        from repro.core import FisqlPipeline, Nl2SqlModel, SimulatedAnnotator
+        from repro.core.user import AnnotatorConfig
+        from repro.datasets.base import Example
+        from repro.llm import SimulatedLLM
+
+        llm = SimulatedLLM()
+        pipeline = FisqlPipeline(
+            model=Nl2SqlModel(llm=llm),
+            llm=llm,
+            routing=True,
+            demo_store=DynamicFeedbackDemoStore(),
+        )
+        annotator = SimulatedAnnotator(
+            aep_db.schema, AnnotatorConfig(vague_rate=0, misaligned_rate=0)
+        )
+        example = Example(
+            example_id="dyn-1",
+            db_id="experience_platform",
+            question="How many segments were created in January?",
+            gold_sql=(
+                "SELECT COUNT(*) FROM hkg_dim_segment WHERE createdtime >= "
+                "'2024-01-01' AND createdtime < '2024-02-01'"
+            ),
+        )
+        outcome = pipeline.correct(
+            example=example,
+            database=aep_db,
+            initial_sql=(
+                "SELECT COUNT(*) FROM hkg_dim_segment WHERE createdtime >= "
+                "'2023-01-01' AND createdtime < '2023-02-01'"
+            ),
+            annotator=annotator,
+            max_rounds=1,
+        )
+        assert outcome.corrected

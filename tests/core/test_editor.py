@@ -1,0 +1,302 @@
+"""Feedback-editor tests: each rule, routing interplay, highlights."""
+
+import pytest
+
+from repro.core.editor import FeedbackEditor
+from repro.core.feedback import ADD, EDIT, REMOVE, Feedback, Highlight
+from repro.sql import ast
+from repro.sql.parser import parse_query
+from repro.sql.printer import print_query
+
+
+@pytest.fixture()
+def editor(aep_db):
+    return FeedbackEditor(aep_db.schema)
+
+
+@pytest.fixture()
+def music_editor(music_db):
+    return FeedbackEditor(music_db.schema)
+
+
+def run(editor, feedback_text, previous_sql, question="", feedback_type=EDIT,
+        highlight=None):
+    previous = parse_query(previous_sql)
+    feedback = Feedback(text=feedback_text, highlight=highlight)
+    operation = editor.interpret(
+        feedback, previous, question, feedback_type=feedback_type
+    )
+    if operation is None:
+        return None
+    revised = editor.apply(operation, previous)
+    return print_query(revised) if revised is not None else None
+
+
+class TestYearRule:
+    SQL = (
+        "SELECT COUNT(*) FROM hkg_dim_segment WHERE createdtime >= "
+        "'2023-01-01' AND createdtime < '2023-02-01'"
+    )
+
+    def test_we_are_in_2024(self, editor):
+        out = run(editor, "we are in 2024", self.SQL)
+        assert "'2024-01-01'" in out and "'2024-02-01'" in out
+
+    def test_terse_year_change(self, editor):
+        out = run(editor, "change to 2024", self.SQL)
+        assert "'2024-01-01'" in out
+
+    def test_same_year_is_noop(self, editor):
+        out = run(editor, "we are in 2023", self.SQL)
+        assert out is None
+
+    def test_no_year_in_feedback(self, editor):
+        assert run(editor, "that looks odd", self.SQL) is None
+
+
+class TestColumnRules:
+    def test_instead_of_column(self, music_editor):
+        out = run(
+            music_editor,
+            "provide the song name instead of the name",
+            "SELECT Name FROM singer WHERE Name = 'X'",
+        )
+        assert out.startswith("SELECT Song_Name")
+
+    def test_remove_select_column(self, editor):
+        out = run(
+            editor,
+            "do not give descriptions",
+            "SELECT segmentname, description FROM hkg_dim_segment",
+            feedback_type=REMOVE,
+        )
+        assert out == "SELECT segmentname FROM hkg_dim_segment"
+
+    def test_also_show_column(self, editor):
+        out = run(
+            editor,
+            "also show the profile count",
+            "SELECT segmentname FROM hkg_dim_segment",
+            feedback_type=ADD,
+        )
+        assert out == "SELECT segmentname, profilecount FROM hkg_dim_segment"
+
+
+class TestFilterRules:
+    def test_only_include_with_status(self, editor):
+        out = run(
+            editor,
+            "only include the ones whose status is 'active'",
+            "SELECT datasetname FROM hkg_dim_dataset",
+            feedback_type=ADD,
+        )
+        assert out == (
+            "SELECT datasetname FROM hkg_dim_dataset WHERE status = 'active'"
+        )
+
+    def test_means_status_phrase(self, editor):
+        out = run(
+            editor,
+            "live means the status is 'active'",
+            "SELECT COUNT(*) FROM hkg_dim_journey",
+        )
+        assert out == (
+            "SELECT COUNT(*) FROM hkg_dim_journey WHERE status = 'active'"
+        )
+
+    def test_existing_condition_replaced(self, editor):
+        out = run(
+            editor,
+            "only include datasets whose status is 'active'",
+            "SELECT datasetname FROM hkg_dim_dataset WHERE status = 'draft'",
+        )
+        assert "'active'" in out and "'draft'" not in out
+
+    def test_remove_filter(self, editor):
+        out = run(
+            editor,
+            "remove the condition on status",
+            "SELECT datasetname FROM hkg_dim_dataset WHERE status = 'draft'",
+            feedback_type=REMOVE,
+        )
+        assert out == "SELECT datasetname FROM hkg_dim_dataset"
+
+
+class TestAggregateRules:
+    def test_count_distinct(self, music_editor):
+        out = run(
+            music_editor,
+            "count each country only once, not every row",
+            "SELECT COUNT(Country) FROM singer",
+        )
+        assert out == "SELECT COUNT(DISTINCT Country) FROM singer"
+
+    def test_sum_instead_of_count(self, music_editor):
+        out = run(
+            music_editor,
+            "sum the sales instead of counting rows",
+            "SELECT COUNT(Sales) FROM song",
+        )
+        assert out == "SELECT SUM(Sales) FROM song"
+
+    def test_distinct_rows(self, music_editor):
+        out = run(
+            music_editor,
+            "remove duplicates from the results",
+            "SELECT Country FROM singer",
+            feedback_type=ADD,
+        )
+        assert out == "SELECT DISTINCT Country FROM singer"
+
+
+class TestOrderAndLimit:
+    def test_order_names_ascending(self, editor):
+        out = run(
+            editor,
+            "order the names in ascending order.",
+            "SELECT segmentname FROM hkg_dim_segment",
+            feedback_type=ADD,
+        )
+        assert out == (
+            "SELECT segmentname FROM hkg_dim_segment ORDER BY segmentname ASC"
+        )
+
+    def test_flip_direction(self, music_editor):
+        out = run(
+            music_editor,
+            "sort in descending order, please",
+            "SELECT Name FROM singer ORDER BY Age ASC LIMIT 3",
+        )
+        assert "ORDER BY Age DESC" in out
+
+    def test_limit(self, music_editor):
+        out = run(
+            music_editor,
+            "limit it to 5",
+            "SELECT Name FROM singer",
+            feedback_type=ADD,
+        )
+        assert out.endswith("LIMIT 5")
+
+    def test_remove_limit(self, music_editor):
+        out = run(
+            music_editor,
+            "remove the limit, show all of them",
+            "SELECT Name FROM singer LIMIT 5",
+            feedback_type=REMOVE,
+        )
+        assert "LIMIT" not in out
+
+
+class TestTableRules:
+    def test_audiences_mean_segments(self, editor):
+        out = run(
+            editor,
+            "by audiences I mean the segment table",
+            "SELECT COUNT(*) FROM hkg_dim_dataset",
+        )
+        assert out == "SELECT COUNT(*) FROM hkg_dim_segment"
+
+    def test_retarget_remaps_prefixed_columns(self, editor):
+        out = run(
+            editor,
+            "use the segment table",
+            "SELECT datasetname FROM hkg_dim_dataset",
+        )
+        assert out == "SELECT segmentname FROM hkg_dim_segment"
+
+    def test_fact_join_rebuild(self, editor):
+        out = run(
+            editor,
+            "they are linked through the activation table, look at the "
+            "entries there",
+            "SELECT destinationname FROM hkg_dim_destination",
+            question="Which destinations is the 'ABC' segment activated to?",
+            feedback_type=ADD,
+        )
+        assert "hkg_fact_activation" in out
+        assert "JOIN" in out
+        assert "'ABC'" in out
+
+
+class TestRoutingInterplay:
+    def test_wrong_route_falls_back_to_all_candidates(self, editor):
+        """Router says EDIT but the only candidate is ADD — still applied."""
+        out = run(
+            editor,
+            "live means the status is 'active'",
+            "SELECT COUNT(*) FROM hkg_dim_journey",
+            feedback_type=EDIT,
+        )
+        assert out is not None
+
+    def test_unrouted_sometimes_misses(self, editor, aep_db):
+        """Without routing a calibrated fraction of rounds is uninterpreted."""
+        previous = parse_query(
+            "SELECT COUNT(*) FROM hkg_dim_segment WHERE createdtime >= "
+            "'2023-01-01' AND createdtime < '2023-02-01'"
+        )
+        outcomes = []
+        for i in range(120):
+            operation = editor.interpret(
+                Feedback(text="we are in 2024"),
+                previous,
+                "q",
+                feedback_type=None,
+                context_key=f"ex-{i}",
+            )
+            outcomes.append(operation is not None)
+        miss_rate = 1 - sum(outcomes) / len(outcomes)
+        assert 0.0 < miss_rate < 0.35
+
+    def test_unrouted_miss_is_deterministic(self, editor):
+        previous = parse_query("SELECT COUNT(*) FROM hkg_dim_segment")
+        results = [
+            editor.interpret(
+                Feedback(text="we are in 2024"),
+                previous,
+                "q",
+                feedback_type=None,
+                context_key="fixed",
+            )
+            for _ in range(3)
+        ]
+        assert len({r is None for r in results}) == 1
+
+
+class TestHighlights:
+    def test_highlight_grounds_status_change(self, editor):
+        """Terse 'change to X' with no literal needs the highlight."""
+        sql = "SELECT datasetname FROM hkg_dim_dataset"
+        without = run(editor, "change to 'active'", sql)
+        assert without is None
+        highlighted = run(
+            editor,
+            "change to 'active'",
+            sql,
+            highlight=Highlight(text="FROM hkg_dim_dataset", start=19, end=39),
+        )
+        assert highlighted == (
+            "SELECT datasetname FROM hkg_dim_dataset WHERE status = 'active'"
+        )
+
+    def test_highlight_narrows_year_choice(self, editor):
+        sql = (
+            "SELECT COUNT(*) FROM hkg_dim_segment WHERE createdtime >= "
+            "'2022-01-01' AND createdtime < '2023-02-01'"
+        )
+        out = run(
+            editor,
+            "change to 2024",
+            sql,
+            highlight=Highlight(text="createdtime < '2023-02-01'", start=0, end=0),
+        )
+        assert "'2024-02-01'" in out
+
+
+class TestMisalignedFeedback:
+    def test_uninterpretable_feedback_returns_none(self, editor):
+        assert run(editor, "this is not what I asked for", "SELECT 1") is None
+        assert run(
+            editor, "the result seems off, can you double check", "SELECT 1"
+        ) is None

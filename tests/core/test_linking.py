@@ -1,0 +1,105 @@
+"""Schema-linking tests."""
+
+from repro.core.linking import SchemaLinker, identifier_tokens
+
+
+class TestIdentifierTokens:
+    def test_warehouse_prefixes_dropped(self):
+        assert identifier_tokens("hkg_dim_segment") == ["segment"]
+
+    def test_underscores_split(self):
+        assert identifier_tokens("Song_release_year") == ["song", "release", "year"]
+
+
+class TestTableLinking:
+    def test_plural_links_to_table(self, aep_db):
+        linker = SchemaLinker(aep_db.schema)
+        link = linker.link_table("segments")
+        assert link is not None
+        assert link.table.name == "hkg_dim_segment"
+
+    def test_warehouse_table_linked_by_entity_word(self, aep_db):
+        linker = SchemaLinker(aep_db.schema)
+        assert linker.link_table("destinations").table.name == (
+            "hkg_dim_destination"
+        )
+        assert linker.link_table("activation").table.name == (
+            "hkg_fact_activation"
+        )
+
+    def test_jargon_does_not_link(self, aep_db):
+        """'audiences' must NOT link — that is the closed-domain gap."""
+        linker = SchemaLinker(aep_db.schema)
+        assert linker.link_table("audiences") is None
+
+    def test_guess_is_deterministic(self, aep_db):
+        linker = SchemaLinker(aep_db.schema)
+        first = linker.guess_table("audiences")
+        second = linker.guess_table("audiences")
+        assert first.table.name == second.table.name
+
+    def test_guess_on_unknown_word_not_segment(self, aep_db):
+        """The zero-shot guess for 'audiences' lands on the wrong table."""
+        linker = SchemaLinker(aep_db.schema)
+        assert linker.guess_table("audiences").table.name != "hkg_dim_segment"
+
+
+class TestColumnLinking:
+    def test_exact_column(self, aep_db):
+        linker = SchemaLinker(aep_db.schema)
+        table = aep_db.schema.table("hkg_dim_segment")
+        link = linker.link_column(table, "status")
+        assert link.column.name == "status"
+
+    def test_nl_name_column(self, aep_db):
+        linker = SchemaLinker(aep_db.schema)
+        table = aep_db.schema.table("hkg_dim_segment")
+        assert linker.link_column(table, "profile count").column.name == (
+            "profilecount"
+        )
+
+    def test_unrelated_phrase_does_not_link(self, aep_db):
+        linker = SchemaLinker(aep_db.schema)
+        table = aep_db.schema.table("hkg_dim_segment")
+        assert linker.link_column(table, "quarterly revenue") is None
+
+    def test_column_anywhere(self, aep_db):
+        linker = SchemaLinker(aep_db.schema)
+        link = linker.column_anywhere("rows ingested")
+        assert link.column.name == "rowsingested"
+        assert link.table.name == "hkg_fact_ingestion"
+
+
+class TestSpecialColumns:
+    def test_name_column_plain(self, music_db):
+        linker = SchemaLinker(music_db.schema)
+        table = music_db.schema.table("singer")
+        assert linker.name_column(table).name == "Name"
+
+    def test_name_column_prefixed(self, aep_db):
+        linker = SchemaLinker(aep_db.schema)
+        table = aep_db.schema.table("hkg_dim_segment")
+        assert linker.name_column(table).name == "segmentname"
+
+    def test_date_column_with_hint(self, aep_db):
+        linker = SchemaLinker(aep_db.schema)
+        table = aep_db.schema.table("hkg_fact_activation")
+        assert linker.date_column(table, hint="activated").name == (
+            "activationdate"
+        )
+
+    def test_date_column_default(self, aep_db):
+        linker = SchemaLinker(aep_db.schema)
+        table = aep_db.schema.table("hkg_dim_segment")
+        assert linker.date_column(table).name == "createdtime"
+
+    def test_description_and_status(self, aep_db):
+        linker = SchemaLinker(aep_db.schema)
+        table = aep_db.schema.table("hkg_dim_segment")
+        assert linker.description_column(table).name == "description"
+        assert linker.status_column(table).name == "status"
+
+    def test_no_name_column(self, aep_db):
+        linker = SchemaLinker(aep_db.schema)
+        table = aep_db.schema.table("hkg_fact_ingestion")
+        assert linker.name_column(table) is None

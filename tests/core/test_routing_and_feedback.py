@@ -1,0 +1,80 @@
+"""Routing classifier and feedback-demonstration store tests."""
+
+import pytest
+
+from repro.core.feedback import (
+    ADD,
+    EDIT,
+    FEEDBACK_TYPE_EXAMPLES,
+    FEEDBACK_TYPES,
+    REMOVE,
+    FeedbackDemoStore,
+)
+from repro.core.routing import FeedbackRouter, classify_feedback
+from repro.llm.simulated import SimulatedLLM
+
+
+class TestClassifier:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("order the names in ascending order.", ADD),
+            ("do not give descriptions", REMOVE),
+            ("we are in 2024", EDIT),
+            ("provide song name instead of singer name", EDIT),
+            ("only include the active ones", ADD),
+            ("remove the condition on status", REMOVE),
+            ("remove duplicates from the results", ADD),
+            ("count each country only once", ADD),
+            ("sum the sales instead of counting", EDIT),
+            ("drop the price column", REMOVE),
+            ("sort in descending order", EDIT),
+            ("limit it to 10", ADD),
+            ("audiences means segments", EDIT),
+        ],
+    )
+    def test_classification(self, text, expected):
+        assert classify_feedback(text) == expected
+
+    def test_table1_examples_classified_correctly(self):
+        """The paper's Table 1 exemplars route to their own types."""
+        for label, text in FEEDBACK_TYPE_EXAMPLES.items():
+            assert classify_feedback(text) == label
+
+    def test_default_is_edit(self):
+        assert classify_feedback("hmm") == EDIT
+
+
+class TestRouter:
+    def test_router_uses_llm(self):
+        router = FeedbackRouter(SimulatedLLM())
+        assert router.route("we are in 2024") == EDIT
+        assert router.route("do not give descriptions") == REMOVE
+        assert router.route("order the names in ascending order.") == ADD
+
+
+class TestDemoStore:
+    def test_default_store_covers_all_types(self):
+        store = FeedbackDemoStore.default()
+        for feedback_type in FEEDBACK_TYPES:
+            assert store.for_type(feedback_type), feedback_type
+
+    def test_typed_demos_are_figure5_blocks(self):
+        store = FeedbackDemoStore.default()
+        block = store.for_type(EDIT)[0]
+        assert "received the following feedback" in block
+        assert "please rewrite the SQL query" in block
+
+    def test_generic_is_one_per_type(self):
+        store = FeedbackDemoStore.default()
+        generic = store.generic()
+        assert len(generic) == len(
+            [t for t in FEEDBACK_TYPES if store.for_type(t)]
+        )
+
+    def test_typed_has_more_coverage_than_generic_for_edit(self):
+        store = FeedbackDemoStore.default()
+        assert len(store.for_type(EDIT)) >= 2
+
+    def test_unknown_type_is_empty(self):
+        assert FeedbackDemoStore.default().for_type("nope") == []

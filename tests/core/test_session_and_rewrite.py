@@ -1,0 +1,209 @@
+"""FISQL pipeline (multi-round sessions) and Query Rewrite baseline tests."""
+
+import pytest
+
+from repro.core.feedback import Feedback
+from repro.core.nl2sql import Nl2SqlModel
+from repro.core.retrieval import DemonstrationRetriever
+from repro.core.rewrite import QueryRewriteBaseline
+from repro.core.session import FisqlPipeline
+from repro.core.user import AnnotatorConfig, SimulatedAnnotator
+from repro.datasets.base import Example
+from repro.llm.simulated import SimulatedLLM
+
+
+@pytest.fixture()
+def llm():
+    return SimulatedLLM()
+
+
+@pytest.fixture()
+def model(llm):
+    return Nl2SqlModel(llm=llm)
+
+
+@pytest.fixture()
+def perfect_annotator(aep_db):
+    return SimulatedAnnotator(
+        aep_db.schema, AnnotatorConfig(vague_rate=0.0, misaligned_rate=0.0)
+    )
+
+
+def year_example():
+    return Example(
+        example_id="year-1",
+        db_id="experience_platform",
+        question="How many segments were created in January?",
+        gold_sql=(
+            "SELECT COUNT(*) FROM hkg_dim_segment WHERE createdtime >= "
+            "'2024-01-01' AND createdtime < '2024-02-01'"
+        ),
+        trap_kind="default_year",
+    )
+
+
+YEAR_INITIAL = (
+    "SELECT COUNT(*) FROM hkg_dim_segment WHERE createdtime >= "
+    "'2023-01-01' AND createdtime < '2023-02-01'"
+)
+
+
+class TestFisqlSession:
+    def test_year_error_corrected_in_one_round(
+        self, model, llm, aep_db, perfect_annotator
+    ):
+        pipeline = FisqlPipeline(model=model, llm=llm, routing=True)
+        outcome = pipeline.correct(
+            example=year_example(),
+            database=aep_db,
+            initial_sql=YEAR_INITIAL,
+            annotator=perfect_annotator,
+            max_rounds=1,
+        )
+        assert outcome.corrected
+        assert outcome.corrected_round == 1
+        assert outcome.rounds[0].feedback_text == "we are in 2024"
+        assert "'2024-01-01'" in outcome.rounds[0].sql_after
+
+    def test_round_records_route(self, model, llm, aep_db, perfect_annotator):
+        pipeline = FisqlPipeline(model=model, llm=llm, routing=True)
+        outcome = pipeline.correct(
+            example=year_example(),
+            database=aep_db,
+            initial_sql=YEAR_INITIAL,
+            annotator=perfect_annotator,
+            max_rounds=1,
+        )
+        assert outcome.rounds[0].feedback_type == "edit"
+
+    def test_no_routing_omits_type(self, model, llm, aep_db, perfect_annotator):
+        pipeline = FisqlPipeline(model=model, llm=llm, routing=False)
+        outcome = pipeline.correct(
+            example=year_example(),
+            database=aep_db,
+            initial_sql=YEAR_INITIAL,
+            annotator=perfect_annotator,
+            max_rounds=1,
+        )
+        assert outcome.rounds[0].feedback_type is None
+
+    def test_two_errors_need_two_rounds(
+        self, model, llm, aep_db, perfect_annotator
+    ):
+        example = Example(
+            example_id="multi-1",
+            db_id="experience_platform",
+            question="List the segments created in January.",
+            gold_sql=(
+                "SELECT segmentname FROM hkg_dim_segment WHERE createdtime "
+                ">= '2024-01-01' AND createdtime < '2024-02-01'"
+            ),
+            trap_kind="multi",
+        )
+        initial = (
+            "SELECT segmentname, description FROM hkg_dim_segment WHERE "
+            "createdtime >= '2023-01-01' AND createdtime < '2023-02-01'"
+        )
+        pipeline = FisqlPipeline(model=model, llm=llm, routing=True)
+        one_round = pipeline.correct(
+            example=example,
+            database=aep_db,
+            initial_sql=initial,
+            annotator=perfect_annotator,
+            max_rounds=1,
+        )
+        assert not one_round.corrected
+        two_rounds = pipeline.correct(
+            example=example,
+            database=aep_db,
+            initial_sql=initial,
+            annotator=perfect_annotator,
+            max_rounds=2,
+        )
+        assert two_rounds.corrected_round == 2
+        assert two_rounds.corrected_by(2)
+        assert not two_rounds.corrected_by(1)
+
+    def test_session_stops_when_user_satisfied(
+        self, model, llm, aep_db, perfect_annotator
+    ):
+        """If the first round fixes it, no further rounds run."""
+        pipeline = FisqlPipeline(model=model, llm=llm, routing=True)
+        outcome = pipeline.correct(
+            example=year_example(),
+            database=aep_db,
+            initial_sql=YEAR_INITIAL,
+            annotator=perfect_annotator,
+            max_rounds=5,
+        )
+        assert len(outcome.rounds) == 1
+
+    def test_unparseable_initial_sql_gives_up(self, model, llm, aep_db,
+                                              perfect_annotator):
+        pipeline = FisqlPipeline(model=model, llm=llm)
+        outcome = pipeline.correct(
+            example=year_example(),
+            database=aep_db,
+            initial_sql="garbage sql here",
+            annotator=perfect_annotator,
+            max_rounds=2,
+        )
+        assert not outcome.corrected
+        assert outcome.rounds == []
+
+    def test_highlights_passed_through(self, model, llm, aep_db):
+        annotator = SimulatedAnnotator(
+            aep_db.schema, AnnotatorConfig(vague_rate=1.0, misaligned_rate=0.0)
+        )
+        example = Example(
+            example_id="hl-1",
+            db_id="experience_platform",
+            question="List the names of the datasets that are ready to use.",
+            gold_sql=(
+                "SELECT datasetname FROM hkg_dim_dataset WHERE status = "
+                "'active'"
+            ),
+        )
+        initial = "SELECT datasetname FROM hkg_dim_dataset"
+        plain = FisqlPipeline(model=model, llm=llm, highlights=False).correct(
+            example=example,
+            database=aep_db,
+            initial_sql=initial,
+            annotator=annotator,
+            max_rounds=1,
+        )
+        highlighted = FisqlPipeline(model=model, llm=llm, highlights=True).correct(
+            example=example,
+            database=aep_db,
+            initial_sql=initial,
+            annotator=annotator,
+            max_rounds=1,
+        )
+        assert not plain.corrected
+        assert highlighted.corrected
+
+
+class TestQueryRewrite:
+    def test_year_feedback_fixed_by_rewrite(self, llm, aep_db, aep_suite):
+        _benchmark, demos = aep_suite
+        model = Nl2SqlModel(llm=llm, retriever=DemonstrationRetriever(demos))
+        baseline = QueryRewriteBaseline(llm=llm, model=model)
+        step = baseline.incorporate(
+            "How many segments were created in January?",
+            Feedback(text="we are in 2024"),
+            aep_db,
+        )
+        assert "January 2024" in step.merged_question
+        assert "'2024-01-01'" in step.prediction.sql
+
+    def test_operation_feedback_not_fixed_by_rewrite(self, llm, aep_db):
+        """The rewrite keeps operation feedback as a trailing clause the
+        re-parse cannot absorb — the paper's central QR weakness."""
+        model = Nl2SqlModel(llm=llm)
+        baseline = QueryRewriteBaseline(llm=llm, model=model)
+        step = baseline.incorporate(
+            "List the segments created in June 2023.",
+            Feedback(text="do not give descriptions"),
+            aep_db,
+        )
+        assert "description" in step.prediction.sql

@@ -1,0 +1,229 @@
+"""Simulated-annotator tests: protocol compliance, verbalization, noise."""
+
+import pytest
+
+from repro.core.user import AnnotatorConfig, SimulatedAnnotator
+from repro.sql.parser import parse_query
+
+
+@pytest.fixture()
+def annotator(aep_db):
+    return SimulatedAnnotator(
+        aep_db.schema,
+        AnnotatorConfig(vague_rate=0.0, misaligned_rate=0.0),
+    )
+
+
+def feedback_for(annotator, gold_sql, pred_sql, question="q", example_id="e1",
+                 use_highlights=False, round_index=1):
+    return annotator.give_feedback(
+        example_id=example_id,
+        question=question,
+        gold=parse_query(gold_sql),
+        predicted=parse_query(pred_sql),
+        round_index=round_index,
+        use_highlights=use_highlights,
+    )
+
+
+class TestVerbalization:
+    def test_year_feedback(self, annotator):
+        fb = feedback_for(
+            annotator,
+            "SELECT COUNT(*) FROM hkg_dim_segment WHERE createdtime >= "
+            "'2024-01-01' AND createdtime < '2024-02-01'",
+            "SELECT COUNT(*) FROM hkg_dim_segment WHERE createdtime >= "
+            "'2023-01-01' AND createdtime < '2023-02-01'",
+        )
+        assert fb.text == "we are in 2024"
+
+    def test_remove_description_feedback(self, annotator):
+        fb = feedback_for(
+            annotator,
+            "SELECT segmentname FROM hkg_dim_segment",
+            "SELECT segmentname, description FROM hkg_dim_segment",
+        )
+        assert fb.text == "do not give descriptions"
+
+    def test_column_edit_feedback(self, music_db):
+        annotator = SimulatedAnnotator(
+            music_db.schema, AnnotatorConfig(vague_rate=0, misaligned_rate=0)
+        )
+        fb = feedback_for(
+            annotator,
+            "SELECT Song_Name FROM singer WHERE Name = 'X'",
+            "SELECT Name FROM singer WHERE Name = 'X'",
+        )
+        assert "song name" in fb.text
+        assert "instead of" in fb.text
+
+    def test_missing_filter_feedback(self, annotator):
+        fb = feedback_for(
+            annotator,
+            "SELECT datasetname FROM hkg_dim_dataset WHERE status = 'active'",
+            "SELECT datasetname FROM hkg_dim_dataset",
+        )
+        assert "'active'" in fb.text
+        assert "status" in fb.text
+
+    def test_fact_join_feedback(self, annotator):
+        fb = feedback_for(
+            annotator,
+            "SELECT T2.destinationname FROM hkg_fact_activation AS T1 "
+            "JOIN hkg_dim_destination AS T2 ON T1.destinationid = "
+            "T2.destinationid JOIN hkg_dim_segment AS T3 "
+            "ON T1.segmentid = T3.segmentid WHERE T3.segmentname = 'ABC'",
+            "SELECT destinationname FROM hkg_dim_destination",
+        )
+        assert "activation" in fb.text
+
+    def test_count_distinct_feedback(self, music_db):
+        annotator = SimulatedAnnotator(
+            music_db.schema, AnnotatorConfig(vague_rate=0, misaligned_rate=0)
+        )
+        fb = feedback_for(
+            annotator,
+            "SELECT COUNT(DISTINCT Country) FROM singer",
+            "SELECT COUNT(Country) FROM singer",
+        )
+        assert "only once" in fb.text
+
+    def test_order_add_feedback(self, annotator):
+        fb = feedback_for(
+            annotator,
+            "SELECT segmentname FROM hkg_dim_segment ORDER BY segmentname ASC",
+            "SELECT segmentname FROM hkg_dim_segment",
+        )
+        assert "ascending" in fb.text
+
+    def test_satisfied_user_gives_none(self, annotator):
+        fb = feedback_for(
+            annotator,
+            "SELECT COUNT(*) FROM hkg_dim_segment",
+            "SELECT COUNT(*) FROM hkg_dim_segment",
+        )
+        assert fb is None
+
+    def test_one_error_per_round(self, annotator):
+        """Multi-error prediction: feedback addresses one delta only."""
+        fb = feedback_for(
+            annotator,
+            "SELECT segmentname FROM hkg_dim_segment WHERE createdtime >= "
+            "'2024-01-01' AND createdtime < '2024-02-01'",
+            "SELECT segmentname, description FROM hkg_dim_segment WHERE "
+            "createdtime >= '2023-01-01' AND createdtime < '2023-02-01'",
+        )
+        # select-kind delta outranks where-kind.
+        assert fb.text == "do not give descriptions"
+
+
+class TestAnnotatability:
+    def test_correct_prediction_not_annotatable(self, annotator):
+        assert not annotator.can_annotate(
+            "e",
+            parse_query("SELECT 1"),
+            parse_query("SELECT 1"),
+        )
+
+    def test_too_many_errors_not_annotatable(self, annotator):
+        gold = parse_query(
+            "SELECT a, b FROM t WHERE c = 1 AND d = 2 ORDER BY a LIMIT 3"
+        )
+        pred = parse_query("SELECT x FROM u")
+        assert not annotator.can_annotate("e", gold, pred)
+
+    def test_annotate_rate_filters_deterministically(self, aep_db):
+        config = AnnotatorConfig(annotate_rate=0.5)
+        annotator = SimulatedAnnotator(aep_db.schema, config)
+        gold = parse_query("SELECT segmentname FROM hkg_dim_segment")
+        pred = parse_query("SELECT description FROM hkg_dim_segment")
+        kept = [
+            annotator.can_annotate(f"e{i}", gold, pred) for i in range(100)
+        ]
+        assert 25 <= sum(kept) <= 75
+        assert kept == [
+            annotator.can_annotate(f"e{i}", gold, pred) for i in range(100)
+        ]
+
+
+class TestNoise:
+    def test_misaligned_rate(self, aep_db):
+        config = AnnotatorConfig(vague_rate=0.0, misaligned_rate=1.0)
+        annotator = SimulatedAnnotator(aep_db.schema, config)
+        fb = feedback_for(
+            annotator,
+            "SELECT segmentname FROM hkg_dim_segment",
+            "SELECT segmentname, description FROM hkg_dim_segment",
+        )
+        assert fb.intent_kind == "misaligned"
+
+    def test_misaligned_is_sticky_across_rounds(self, aep_db):
+        config = AnnotatorConfig(vague_rate=0.0, misaligned_rate=0.5)
+        annotator = SimulatedAnnotator(aep_db.schema, config)
+        gold = "SELECT segmentname FROM hkg_dim_segment"
+        pred = "SELECT segmentname, description FROM hkg_dim_segment"
+        for example_id in [f"e{i}" for i in range(30)]:
+            r1 = feedback_for(
+                annotator, gold, pred, example_id=example_id, round_index=1
+            )
+            r2 = feedback_for(
+                annotator, gold, pred, example_id=example_id, round_index=2
+            )
+            assert (r1.intent_kind == "misaligned") == (
+                r2.intent_kind == "misaligned"
+            )
+
+    def test_vague_year_feedback(self, aep_db):
+        config = AnnotatorConfig(vague_rate=1.0, misaligned_rate=0.0)
+        annotator = SimulatedAnnotator(aep_db.schema, config)
+        fb = feedback_for(
+            annotator,
+            "SELECT COUNT(*) FROM hkg_dim_segment WHERE createdtime >= "
+            "'2024-01-01' AND createdtime < '2024-02-01'",
+            "SELECT COUNT(*) FROM hkg_dim_segment WHERE createdtime >= "
+            "'2023-01-01' AND createdtime < '2023-02-01'",
+        )
+        assert fb.text == "change to 2024"
+
+    def test_vague_filter_feedback(self, aep_db):
+        config = AnnotatorConfig(vague_rate=1.0, misaligned_rate=0.0)
+        annotator = SimulatedAnnotator(aep_db.schema, config)
+        fb = feedback_for(
+            annotator,
+            "SELECT datasetname FROM hkg_dim_dataset WHERE status = 'active'",
+            "SELECT datasetname FROM hkg_dim_dataset",
+        )
+        assert fb.text == "change to 'active'"
+
+
+class TestHighlights:
+    def test_highlight_attached_when_enabled(self, annotator):
+        fb = feedback_for(
+            annotator,
+            "SELECT COUNT(*) FROM hkg_dim_segment WHERE createdtime >= "
+            "'2024-01-01' AND createdtime < '2024-02-01'",
+            "SELECT COUNT(*) FROM hkg_dim_segment WHERE createdtime >= "
+            "'2023-01-01' AND createdtime < '2023-02-01'",
+            use_highlights=True,
+        )
+        assert fb.highlight is not None
+        assert "2023" in fb.highlight.text
+
+    def test_highlight_for_missing_filter_marks_from_clause(self, annotator):
+        fb = feedback_for(
+            annotator,
+            "SELECT datasetname FROM hkg_dim_dataset WHERE status = 'active'",
+            "SELECT datasetname FROM hkg_dim_dataset",
+            use_highlights=True,
+        )
+        assert fb.highlight is not None
+        assert "FROM hkg_dim_dataset" in fb.highlight.text
+
+    def test_no_highlight_when_disabled(self, annotator):
+        fb = feedback_for(
+            annotator,
+            "SELECT datasetname FROM hkg_dim_dataset WHERE status = 'active'",
+            "SELECT datasetname FROM hkg_dim_dataset",
+            use_highlights=False,
+        )
+        assert fb.highlight is None

@@ -1,0 +1,93 @@
+"""Value pools and row population internals."""
+
+import random
+
+import pytest
+
+from repro.datasets.names import (
+    CURRENT_YEAR,
+    MODEL_DEFAULT_YEAR,
+    STATUS_POOLS,
+    VALUE_POOLS,
+    attribute_pool,
+)
+from repro.datasets.populate import make_date, make_entity_name, make_value
+from repro.sql.types import DataType
+
+
+class TestAttributePools:
+    @pytest.mark.parametrize("category", ["person", "object", "event", "org"])
+    def test_pool_nonempty_and_typed(self, category):
+        pool = attribute_pool(category)
+        assert len(pool) >= 8
+        kinds = {spec.kind for spec in pool}
+        assert {"status", "description", "date", "numeric"} <= kinds
+
+    def test_category_pools_exist(self):
+        for spec in attribute_pool("person"):
+            if spec.kind == "category":
+                assert spec.pool in VALUE_POOLS
+
+    def test_numeric_ranges_sane(self):
+        for category in ("person", "object", "event", "org"):
+            for spec in attribute_pool(category):
+                if spec.kind in ("numeric", "measure"):
+                    assert spec.low < spec.high
+
+    def test_measure_kind_present(self):
+        assert any(s.kind == "measure" for s in attribute_pool("org"))
+
+
+class TestMakeValue:
+    def test_status_uses_pool(self):
+        rng = random.Random(1)
+        values, _phrase = STATUS_POOLS[0]
+        for _ in range(20):
+            spec = next(
+                s for s in attribute_pool("object") if s.kind == "status"
+            )
+            assert make_value(rng, spec, values) in values
+
+    def test_numeric_in_range(self):
+        rng = random.Random(2)
+        spec = next(s for s in attribute_pool("person") if s.column == "age")
+        for _ in range(50):
+            value = make_value(rng, spec)
+            assert spec.low <= value <= spec.high
+            assert isinstance(value, int)
+
+    def test_real_rating(self):
+        rng = random.Random(3)
+        spec = next(
+            s for s in attribute_pool("person")
+            if s.dtype is DataType.REAL
+        )
+        value = make_value(rng, spec)
+        assert isinstance(value, float)
+
+    def test_date_iso_format(self):
+        rng = random.Random(4)
+        for _ in range(50):
+            date = make_date(rng)
+            year, month, day = date.split("-")
+            assert int(year) in (MODEL_DEFAULT_YEAR, CURRENT_YEAR)
+            assert 1 <= int(month) <= 12
+            assert 1 <= int(day) <= 28
+
+    def test_unknown_kind_raises(self):
+        from repro.datasets.names import AttrSpec
+
+        rng = random.Random(5)
+        with pytest.raises(ValueError):
+            make_value(rng, AttrSpec("x", "x", DataType.TEXT, "mystery"))
+
+    def test_entity_names(self):
+        rng = random.Random(6)
+        person = make_entity_name(rng, "person")
+        thing = make_entity_name(rng, "object")
+        assert " " in person and " " in thing
+
+    def test_status_vague_phrases_defined(self):
+        for values, phrase in STATUS_POOLS:
+            assert len(values) >= 2
+            assert phrase

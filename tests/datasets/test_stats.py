@@ -1,0 +1,74 @@
+"""Suite-statistics tests (the paper's stated benchmark shapes)."""
+
+from repro.datasets.stats import benchmark_stats, matches_paper_shape, suite_stats
+from repro.eval.experiments import Figure2Result, Figure8Result
+from repro.eval.reporting import ascii_bar, render_figure2_chart, render_figure8_chart
+
+
+class TestStats:
+    def test_counts(self, small_suite):
+        stats = suite_stats(small_suite)
+        assert stats.n_databases == 16
+        assert stats.n_examples == 90
+
+    def test_paper_shape_holds(self, small_suite):
+        stats = suite_stats(small_suite)
+        assert matches_paper_shape(stats) == []
+
+    def test_trap_rate_consistent(self, small_suite):
+        stats = suite_stats(small_suite)
+        trapped = len(small_suite.benchmark.trapped_examples())
+        assert abs(stats.trap_rate - trapped / 90) < 1e-9
+
+    def test_render(self, small_suite):
+        text = suite_stats(small_suite).render()
+        assert "databases: 16" in text
+        assert "trap mix:" in text
+
+    def test_aep_stats(self, aep_suite):
+        benchmark, _demos = aep_suite
+        stats = benchmark_stats(benchmark)
+        assert stats.n_databases == 1
+        assert stats.trap_mix["jargon_table"] > 0
+
+    def test_violations_reported(self):
+        from repro.datasets.stats import SuiteStats
+
+        bad = SuiteStats(
+            tables_per_db_min=2,
+            tables_per_db_max=30,
+            columns_per_table_min=2,
+            columns_per_table_max=25,
+        )
+        violations = matches_paper_shape(bad)
+        assert len(violations) == 2
+
+
+class TestAsciiCharts:
+    def test_bar_bounds(self):
+        assert ascii_bar(0.0) == "·" * 40
+        assert ascii_bar(100.0) == "█" * 40
+        assert ascii_bar(150.0) == "█" * 40  # clamped
+        assert len(ascii_bar(33.3)) == 40
+
+    def test_figure2_chart(self):
+        text = render_figure2_chart(
+            Figure2Result(
+                spider_accuracy=65.0, aep_accuracy=25.0,
+                spider_total=1034, aep_total=110,
+            )
+        )
+        assert "SPIDER" in text
+        assert "█" in text
+        lines = text.splitlines()[1:]
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_figure8_chart(self):
+        text = render_figure8_chart(
+            Figure8Result(
+                fisql_by_round=[45.0, 60.0],
+                no_routing_by_round=[44.0, 59.0],
+            )
+        )
+        assert "round 1" in text and "round 2" in text
+        assert "(-Routing)" in text

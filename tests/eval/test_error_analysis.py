@@ -1,0 +1,173 @@
+"""Error-analysis (§4.2 breakdown) tests."""
+
+import pytest
+
+from repro.core.session import CorrectionOutcome, RoundRecord
+from repro.datasets.base import Example
+from repro.eval.analysis import (
+    CAUSE_MISALIGNED,
+    CAUSE_MULTI_ERROR,
+    CAUSE_NO_FEEDBACK,
+    CAUSE_UNINTERPRETED,
+    analyze_corrections,
+)
+from repro.eval.harness import build_context
+from repro.eval.metrics import PredictionRecord
+
+
+def record(example_id="e1", trap_kind=None, gold="SELECT 1", pred="SELECT 2"):
+    return PredictionRecord(
+        example=Example(
+            example_id=example_id,
+            db_id="experience_platform",
+            question="q",
+            gold_sql=gold,
+            trap_kind=trap_kind,
+        ),
+        predicted_sql=pred,
+        correct=False,
+    )
+
+
+def outcome(example_id="e1", corrected_round=None, rounds=()):
+    return CorrectionOutcome(
+        example_id=example_id,
+        corrected_round=corrected_round,
+        rounds=list(rounds),
+    )
+
+
+def round_record(feedback, before, after, notes=()):
+    return RoundRecord(
+        round_index=1,
+        feedback_text=feedback,
+        feedback_type="edit",
+        highlight=None,
+        sql_before=before,
+        sql_after=after,
+        corrected=False,
+        notes=list(notes),
+    )
+
+
+@pytest.fixture(scope="module")
+def aep_benchmark():
+    return build_context(scale="small").aep_benchmark
+
+
+class TestAttribution:
+    def test_corrected_counted(self, aep_benchmark):
+        analysis = analyze_corrections(
+            [record()], [outcome(corrected_round=1)], aep_benchmark
+        )
+        assert analysis.corrected == 1
+        assert analysis.corrected_percent == 100.0
+
+    def test_no_feedback(self, aep_benchmark):
+        analysis = analyze_corrections([record()], [outcome()], aep_benchmark)
+        assert analysis.residual_causes[CAUSE_NO_FEEDBACK] == 1
+
+    def test_misaligned_detected(self, aep_benchmark):
+        rounds = [
+            round_record(
+                "this is not what I asked for",
+                "SELECT 2",
+                "SELECT 2",
+                notes=["could not interpret the feedback; query unchanged"],
+            )
+        ]
+        analysis = analyze_corrections(
+            [record()], [outcome(rounds=rounds)], aep_benchmark
+        )
+        assert analysis.residual_causes[CAUSE_MISALIGNED] == 1
+
+    def test_uninterpreted_detected(self, aep_benchmark):
+        rounds = [
+            round_record(
+                "shift the window by a fortnight",
+                "SELECT 2",
+                "SELECT 2",
+                notes=["could not interpret the feedback; query unchanged"],
+            )
+        ]
+        analysis = analyze_corrections(
+            [record()], [outcome(rounds=rounds)], aep_benchmark
+        )
+        assert analysis.residual_causes[CAUSE_UNINTERPRETED] == 1
+
+    def test_multi_error_detected(self, aep_benchmark):
+        rec = record(
+            trap_kind="multi",
+            gold=(
+                "SELECT segmentname FROM hkg_dim_segment WHERE createdtime "
+                ">= '2024-01-01' AND createdtime < '2024-02-01'"
+            ),
+            pred=(
+                "SELECT segmentname, description FROM hkg_dim_segment WHERE "
+                "createdtime >= '2023-01-01' AND createdtime < '2023-02-01'"
+            ),
+        )
+        rounds = [
+            round_record(
+                "do not give descriptions",
+                rec.predicted_sql,
+                (
+                    "SELECT segmentname FROM hkg_dim_segment WHERE "
+                    "createdtime >= '2023-01-01' AND createdtime < "
+                    "'2023-02-01'"
+                ),
+            )
+        ]
+        analysis = analyze_corrections(
+            [rec], [outcome(rounds=rounds)], aep_benchmark
+        )
+        assert analysis.residual_causes[CAUSE_MULTI_ERROR] == 1
+
+    def test_per_kind_breakdown(self, aep_benchmark):
+        records = [
+            record(example_id="a", trap_kind="default_year"),
+            record(example_id="b", trap_kind="default_year"),
+            record(example_id="c"),
+        ]
+        outcomes = [
+            outcome("a", corrected_round=1),
+            outcome("b"),
+            outcome("c", corrected_round=1),
+        ]
+        analysis = analyze_corrections(records, outcomes, aep_benchmark)
+        assert analysis.by_trap_kind["default_year"] == (1, 2)
+        assert analysis.by_trap_kind["untrapped"] == (1, 1)
+
+    def test_misaligned_length_check(self, aep_benchmark):
+        with pytest.raises(ValueError):
+            analyze_corrections([record()], [], aep_benchmark)
+
+    def test_render(self, aep_benchmark):
+        analysis = analyze_corrections(
+            [record()], [outcome(corrected_round=1)], aep_benchmark
+        )
+        text = analysis.render()
+        assert "Corrected 1/1" in text
+        assert "Residual failure causes" in text
+
+
+class TestEndToEnd:
+    def test_analysis_on_real_outcomes(self):
+        """Run FISQL over the small-scale error set and attribute residuals."""
+        from repro.eval.experiments import _run_fisql
+
+        context = build_context(scale="small")
+        errors = context.error_set("spider")
+        fisql = _run_fisql(
+            context, "spider", errors, routing=True, highlights=False,
+            max_rounds=1,
+        )
+        analysis = analyze_corrections(
+            errors, fisql, context.spider.benchmark
+        )
+        assert analysis.total == len(errors)
+        assert 0 < analysis.corrected < analysis.total
+        # The paper's three causes should all be observable.
+        assert sum(analysis.residual_causes.values()) == (
+            analysis.total - analysis.corrected
+        )

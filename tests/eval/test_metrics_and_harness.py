@@ -1,0 +1,93 @@
+"""Metrics and harness unit tests."""
+
+import pytest
+
+from repro.core.session import CorrectionOutcome
+from repro.core.nl2sql import Nl2SqlModel
+from repro.eval.harness import SCALES, build_context
+from repro.eval.metrics import (
+    AccuracyReport,
+    PredictionRecord,
+    correction_rate,
+    evaluate_model,
+    execution_correct,
+)
+from repro.datasets.base import Example
+
+
+class TestExecutionCorrect:
+    def test_correct(self, music_db):
+        assert execution_correct(
+            music_db, "SELECT COUNT(*) FROM singer", "SELECT COUNT(Name) FROM singer"
+        )
+
+    def test_incorrect(self, music_db):
+        assert not execution_correct(
+            music_db,
+            "SELECT COUNT(*) FROM singer",
+            "SELECT COUNT(*) FROM singer WHERE Age > 40",
+        )
+
+    def test_broken_prediction(self, music_db):
+        assert not execution_correct(
+            music_db, "SELECT COUNT(*) FROM singer", "oops"
+        )
+
+
+class TestCorrectionRate:
+    def _outcome(self, round_index):
+        return CorrectionOutcome(example_id="e", corrected_round=round_index)
+
+    def test_percentages(self):
+        outcomes = [self._outcome(1), self._outcome(2), self._outcome(None)]
+        assert correction_rate(outcomes, within_rounds=1) == pytest.approx(100 / 3)
+        assert correction_rate(outcomes, within_rounds=2) == pytest.approx(200 / 3)
+
+    def test_empty(self):
+        assert correction_rate([]) == 0.0
+
+
+class TestEvaluateModel:
+    def test_report_counts(self, small_suite):
+        model = Nl2SqlModel()
+        report = evaluate_model(
+            model, small_suite.benchmark, small_suite.dev_examples[:20]
+        )
+        assert report.total == 20
+        assert 0 <= report.correct <= 20
+        assert report.accuracy == report.correct / 20
+        assert len(report.errors()) == 20 - report.correct
+
+    def test_empty_report(self):
+        report = AccuracyReport()
+        assert report.accuracy == 0.0
+
+
+class TestContext:
+    def test_scales_defined(self):
+        assert {"full", "medium", "small"} <= set(SCALES)
+        assert SCALES["full"]["n_dev"] == 1034
+        assert SCALES["full"]["n_databases"] == 200
+
+    def test_context_cached(self):
+        a = build_context(scale="small")
+        b = build_context(scale="small")
+        assert a is b
+
+    def test_error_set_subset_of_errors(self):
+        context = build_context(scale="small")
+        errors = context.assistant_report("spider").errors()
+        annotated = context.error_set("spider")
+        error_ids = {r.example.example_id for r in errors}
+        assert all(r.example.example_id in error_ids for r in annotated)
+        assert len(annotated) <= len(errors)
+
+    def test_error_set_all_wrong(self):
+        context = build_context(scale="small")
+        for record in context.error_set("aep"):
+            assert not record.correct
+
+    def test_zero_shot_has_no_retriever(self):
+        context = build_context(scale="small")
+        assert context.zero_shot_model().retriever is None
+        assert context.spider_assistant_model().retriever is not None

@@ -1,0 +1,90 @@
+"""Rendering tests for the paper-format tables/series."""
+
+from repro.eval.experiments import (
+    CorrectionCell,
+    Figure2Result,
+    Figure8Result,
+    Table2Result,
+    Table3Result,
+)
+from repro.eval.reporting import (
+    _table,
+    render_figure2,
+    render_figure8,
+    render_table2,
+    render_table3,
+)
+
+
+class TestTableFormatter:
+    def test_alignment(self):
+        text = _table(["A", "Bee"], [["xxxx", "1"], ["y", "22"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("A    ")
+        assert "-+-" in lines[1]
+        assert len({line.index("|") for line in [lines[0]] + lines[2:]}) == 1
+
+    def test_empty_rows(self):
+        text = _table(["H"], [])
+        assert "H" in text
+
+
+class TestRenderers:
+    def test_figure2(self):
+        result = Figure2Result(
+            spider_accuracy=66.0, aep_accuracy=25.0,
+            spider_total=1034, aep_total=110,
+        )
+        text = render_figure2(result)
+        assert "66.0" in text and "24.0" in text and "1034" in text
+
+    def test_table2_missing_cells_dash(self):
+        result = Table2Result(
+            cells=[
+                CorrectionCell(
+                    method="FISQL",
+                    dataset="spider",
+                    corrected_percent=44.0,
+                    n_errors=100,
+                )
+            ]
+        )
+        text = render_table2(result)
+        assert "44.00" in text
+        # Query Rewrite has no measurement → dash.
+        assert "| -" in text
+
+    def test_table2_percent_lookup(self):
+        result = Table2Result(
+            cells=[
+                CorrectionCell(
+                    method="FISQL",
+                    dataset="aep",
+                    corrected_percent=67.0,
+                    n_errors=53,
+                )
+            ]
+        )
+        assert result.percent("FISQL", "aep") == 67.0
+        assert result.cell("FISQL", "spider") is None
+
+    def test_figure8(self):
+        result = Figure8Result(
+            fisql_by_round=[44.0, 59.0],
+            no_routing_by_round=[43.0, 59.0],
+            n_errors=101,
+        )
+        text = render_figure8(result)
+        assert "44.00" in text and "59.00" in text
+        assert "Round" in text
+
+    def test_table3(self):
+        result = Table3Result(
+            fisql_aep=67.9,
+            fisql_spider=44.5,
+            highlighting_aep=69.8,
+            highlighting_spider=44.5,
+        )
+        text = render_table3(result)
+        assert "69.80" in text
+        assert "FISQL (+ Highlighting)" in text

@@ -1,0 +1,111 @@
+"""AST traversal helpers and odd executor corners."""
+
+from repro.sql import ast
+from repro.sql.engine import Database
+from repro.sql.parser import parse_expression, parse_query
+
+
+class TestWalkExpressions:
+    def test_walks_all_nodes(self):
+        expr = parse_expression("a + b * 2 > LOWER(c)")
+        nodes = list(ast.walk_expressions(expr))
+        columns = {n.column for n in nodes if isinstance(n, ast.ColumnRef)}
+        assert columns == {"a", "b", "c"}
+        assert any(isinstance(n, ast.FunctionCall) for n in nodes)
+
+    def test_none_yields_nothing(self):
+        assert list(ast.walk_expressions(None)) == []
+
+    def test_between_and_in(self):
+        expr = parse_expression("a BETWEEN 1 AND 2 AND b IN (3, 4)")
+        literals = [
+            n.value for n in ast.walk_expressions(expr)
+            if isinstance(n, ast.Literal)
+        ]
+        assert sorted(literals) == [1, 2, 3, 4]
+
+    def test_case_when(self):
+        expr = parse_expression("CASE WHEN a = 1 THEN b ELSE c END")
+        columns = {
+            n.column
+            for n in ast.walk_expressions(expr)
+            if isinstance(n, ast.ColumnRef)
+        }
+        assert columns == {"a", "b", "c"}
+
+
+class TestWalkQueries:
+    def test_yields_nested_subqueries(self):
+        query = parse_query(
+            "SELECT a FROM t WHERE b > (SELECT AVG(b) FROM t) AND c IN "
+            "(SELECT c FROM u WHERE EXISTS (SELECT 1 FROM v))"
+        )
+        selects = list(ast.walk_queries(query))
+        assert len(selects) == 4
+
+    def test_yields_derived_tables(self):
+        query = parse_query("SELECT a FROM (SELECT a FROM t) AS s")
+        assert len(list(ast.walk_queries(query))) == 2
+
+    def test_set_operation_branches(self):
+        query = parse_query("SELECT a FROM t UNION SELECT a FROM u")
+        assert len(list(ast.walk_queries(query))) == 2
+
+
+class TestIsAggregateCall:
+    def test_aggregates(self):
+        assert ast.is_aggregate_call(parse_expression("COUNT(*)"))
+        assert ast.is_aggregate_call(parse_expression("SUM(x)"))
+
+    def test_scalars_are_not(self):
+        assert not ast.is_aggregate_call(parse_expression("LOWER(x)"))
+        assert not ast.is_aggregate_call(parse_expression("x"))
+
+
+class TestExecutorCorners:
+    def test_select_star_with_order_by_alias(self, music_db):
+        result = music_db.query(
+            "SELECT *, Age AS years FROM singer ORDER BY years DESC LIMIT 1"
+        )
+        assert result.rows[0][-1] == 52
+
+    def test_star_plus_expression_positions(self, music_db):
+        result = music_db.query("SELECT Name, singer.* FROM singer LIMIT 1")
+        assert len(result.rows[0]) == 6
+        assert result.columns[0] == "Name"
+
+    def test_group_by_expression(self, music_db):
+        result = music_db.query(
+            "SELECT Age / 10, COUNT(*) FROM singer GROUP BY Age / 10"
+        )
+        assert len(result.rows) >= 2
+
+    def test_aggregate_of_expression(self, music_db):
+        value = music_db.query("SELECT AVG(Age * 2) FROM singer").scalar()
+        assert value == 74.0
+
+    def test_empty_table_aggregate_group(self):
+        db = Database.from_ddl("e", "CREATE TABLE t (a INTEGER, b TEXT)")
+        result = db.query("SELECT b, COUNT(*) FROM t GROUP BY b")
+        assert result.rows == []
+
+    def test_no_from_aggregate(self, music_db):
+        # Aggregate over the implicit single empty row.
+        assert music_db.query("SELECT COUNT(*)").scalar() == 1
+
+    def test_derived_table_with_alias(self, music_db):
+        result = music_db.query(
+            "SELECT sub.Name FROM (SELECT Name FROM singer WHERE Age > 40) "
+            "AS sub ORDER BY sub.Name"
+        )
+        assert len(result.rows) == 3
+
+    def test_union_inside_in_rejected_gracefully(self, music_db):
+        from repro.errors import ParseError
+        import pytest
+
+        with pytest.raises(ParseError):
+            music_db.query(
+                "SELECT Name FROM singer WHERE Age IN "
+                "(SELECT Age FROM singer UNION SELECT 1)"
+            )

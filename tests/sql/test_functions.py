@@ -1,0 +1,120 @@
+"""Aggregate accumulators and scalar functions, tested directly."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.sql.functions import (
+    AGGREGATE_FACTORIES,
+    SCALAR_FUNCTIONS,
+    AvgAgg,
+    CountAgg,
+    MaxAgg,
+    MinAgg,
+    SumAgg,
+)
+
+
+class TestCount:
+    def test_counts_non_null(self):
+        agg = CountAgg()
+        for value in (1, None, "x", None):
+            agg.add(value)
+        assert agg.result() == 2
+
+    def test_distinct(self):
+        agg = CountAgg(distinct=True)
+        for value in ("a", "a", "b", None):
+            agg.add(value)
+        assert agg.result() == 2
+
+    def test_empty_is_zero(self):
+        assert CountAgg().result() == 0
+
+
+class TestSum:
+    def test_int_sum_stays_int(self):
+        agg = SumAgg()
+        for value in (1, 2, 3):
+            agg.add(value)
+        assert agg.result() == 6
+        assert isinstance(agg.result(), int)
+
+    def test_mixed_sum_is_float(self):
+        agg = SumAgg()
+        agg.add(1)
+        agg.add(2.5)
+        assert agg.result() == pytest.approx(3.5)
+
+    def test_empty_is_null(self):
+        assert SumAgg().result() is None
+
+    def test_distinct(self):
+        agg = SumAgg(distinct=True)
+        for value in (2, 2, 3):
+            agg.add(value)
+        assert agg.result() == 5
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(ExecutionError):
+            SumAgg().add("abc")
+
+
+class TestAvgMinMax:
+    def test_avg(self):
+        agg = AvgAgg()
+        for value in (2, 4, None):
+            agg.add(value)
+        assert agg.result() == 3.0
+
+    def test_avg_empty_is_null(self):
+        assert AvgAgg().result() is None
+
+    def test_min_max_strings(self):
+        low, high = MinAgg(), MaxAgg()
+        for value in ("pear", "apple", "plum", None):
+            low.add(value)
+            high.add(value)
+        assert low.result() == "apple"
+        assert high.result() == "plum"
+
+    def test_min_max_dates(self):
+        low, high = MinAgg(), MaxAgg()
+        for value in ("2024-01-15", "2023-12-31", "2024-02-01"):
+            low.add(value)
+            high.add(value)
+        assert low.result() == "2023-12-31"
+        assert high.result() == "2024-02-01"
+
+
+class TestScalarRegistry:
+    def test_all_aggregates_registered(self):
+        assert set(AGGREGATE_FACTORIES) == {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+    def test_substr_one_based(self):
+        assert SCALAR_FUNCTIONS["SUBSTR"](["hello", 1, 2]) == "he"
+
+    def test_substr_null_propagates(self):
+        assert SCALAR_FUNCTIONS["SUBSTR"]([None, 1, 2]) is None
+
+    def test_round_default_digits(self):
+        assert SCALAR_FUNCTIONS["ROUND"]([2.6]) == 3
+
+    def test_trim(self):
+        assert SCALAR_FUNCTIONS["TRIM"](["  x  "]) == "x"
+
+    def test_nullif(self):
+        assert SCALAR_FUNCTIONS["NULLIF"]([1, 1]) is None
+        assert SCALAR_FUNCTIONS["NULLIF"]([1, 2]) == 1
+
+    def test_nullif_arity(self):
+        with pytest.raises(ExecutionError):
+            SCALAR_FUNCTIONS["NULLIF"]([1])
+
+    def test_year_month_validation(self):
+        with pytest.raises(ExecutionError):
+            SCALAR_FUNCTIONS["YEAR"](["nope"])
+        with pytest.raises(ExecutionError):
+            SCALAR_FUNCTIONS["MONTH"](["nope"])
+
+    def test_ifnull_alias(self):
+        assert SCALAR_FUNCTIONS["IFNULL"]([None, 7]) == 7

@@ -1,0 +1,73 @@
+"""Database JSON serialization tests."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.sql.io import (
+    database_from_dict,
+    database_to_dict,
+    load_database,
+    save_database,
+)
+
+
+class TestRoundTrip:
+    def test_schema_preserved(self, music_db):
+        clone = database_from_dict(database_to_dict(music_db))
+        assert clone.schema.name == music_db.schema.name
+        assert [t.name for t in clone.schema.tables] == [
+            t.name for t in music_db.schema.tables
+        ]
+        singer = clone.schema.table("singer")
+        assert singer.primary_key.name == "singer_id"
+
+    def test_rows_preserved(self, music_db):
+        clone = database_from_dict(database_to_dict(music_db))
+        for table in music_db.schema.tables:
+            assert clone.data(table.name).rows == music_db.data(table.name).rows
+
+    def test_foreign_keys_preserved(self, music_db):
+        clone = database_from_dict(database_to_dict(music_db))
+        fks = clone.schema.table("song").foreign_keys
+        assert fks[0].ref_table == "singer"
+
+    def test_queries_agree(self, music_db):
+        clone = database_from_dict(database_to_dict(music_db))
+        sql = (
+            "SELECT Country, COUNT(*) FROM singer GROUP BY Country "
+            "ORDER BY 2 DESC"
+        )
+        assert clone.query(sql).rows == music_db.query(sql).rows
+
+    def test_nl_annotations_preserved(self, aep_db):
+        clone = database_from_dict(database_to_dict(aep_db))
+        segment = clone.schema.table("hkg_dim_segment")
+        assert segment.nl_name == "segment"
+        assert segment.synonyms == ("audience",)
+
+    def test_file_roundtrip(self, music_db, tmp_path):
+        path = tmp_path / "music.json"
+        save_database(music_db, path)
+        clone = load_database(path)
+        assert clone.query("SELECT COUNT(*) FROM song").scalar() == 6
+
+    def test_generated_database_roundtrip(self, small_suite):
+        db_id = sorted(small_suite.benchmark.databases)[0]
+        original = small_suite.benchmark.databases[db_id]
+        clone = database_from_dict(database_to_dict(original))
+        table = original.schema.tables[0].name
+        assert clone.data(table).rows == original.data(table).rows
+
+
+class TestVersioning:
+    def test_unknown_version_rejected(self, music_db):
+        data = database_to_dict(music_db)
+        data["format_version"] = 99
+        with pytest.raises(DatasetError):
+            database_from_dict(data)
+
+    def test_missing_version_rejected(self, music_db):
+        data = database_to_dict(music_db)
+        del data["format_version"]
+        with pytest.raises(DatasetError):
+            database_from_dict(data)

@@ -1,0 +1,197 @@
+"""Printer tests including the parse∘print round-trip property."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sql import ast
+from repro.sql.parser import parse_expression, parse_query, parse_statement
+from repro.sql.printer import (
+    format_identifier,
+    format_literal,
+    print_expression,
+    print_query,
+    print_statement,
+)
+
+
+class TestLiterals:
+    def test_null(self):
+        assert format_literal(None) == "NULL"
+
+    def test_booleans(self):
+        assert format_literal(True) == "TRUE"
+        assert format_literal(False) == "FALSE"
+
+    def test_string_escaping(self):
+        assert format_literal("it's") == "'it''s'"
+
+    def test_numbers(self):
+        assert format_literal(42) == "42"
+        assert format_literal(2.5) == "2.5"
+
+
+class TestIdentifiers:
+    def test_plain(self):
+        assert format_identifier("name") == "name"
+
+    def test_spaces_quoted(self):
+        assert format_identifier("two words") == '"two words"'
+
+    def test_leading_digit_quoted(self):
+        assert format_identifier("1abc") == '"1abc"'
+
+    def test_empty(self):
+        assert format_identifier("") == '""'
+
+
+class TestCanonicalForms:
+    def test_simple_select(self):
+        sql = "SELECT a FROM t WHERE a > 3"
+        assert print_query(parse_query(sql)) == sql
+
+    def test_join_printing(self):
+        sql = "SELECT T1.a, T2.b FROM t AS T1 JOIN u AS T2 ON T1.id = T2.id"
+        assert print_query(parse_query(sql)) == sql
+
+    def test_precedence_parens_preserved_semantically(self):
+        expr = parse_expression("(1 + 2) * 3")
+        printed = print_expression(expr)
+        assert parse_expression(printed) == expr
+
+    def test_statement_printing(self):
+        sql = "INSERT INTO t (a, b) VALUES (1, 'x')"
+        assert print_statement(parse_statement(sql)) == sql
+
+    def test_create_table_roundtrip(self):
+        sql = (
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT, "
+            "FOREIGN KEY (pid) REFERENCES p(id))"
+        )
+        assert parse_statement(print_statement(parse_statement(sql))) == (
+            parse_statement(sql)
+        )
+
+    def test_update_delete_drop(self):
+        for sql in (
+            "UPDATE t SET a = 1 WHERE b = 2",
+            "DELETE FROM t WHERE a = 1",
+            "DROP TABLE IF EXISTS t",
+        ):
+            assert parse_statement(print_statement(parse_statement(sql))) == (
+                parse_statement(sql)
+            )
+
+
+# ---------------------------------------------------------------------------
+# Round-trip property: parse(print(q)) == q for generated queries
+# ---------------------------------------------------------------------------
+
+_names = st.sampled_from(["a", "b", "c", "price", "name", "created_date"])
+_tables = st.sampled_from(["t", "u", "products", "singer"])
+
+
+def _literals():
+    return st.one_of(
+        # Non-negative: the parser represents -1 as NEG(1), so negative
+        # Literal nodes are not canonical forms.
+        st.integers(min_value=0, max_value=1000).map(ast.Literal),
+        st.sampled_from(["x", "it's", "2024-01-01", ""]).map(ast.Literal),
+        st.just(ast.Literal(None)),
+        st.booleans().map(ast.Literal),
+    )
+
+
+def _column_refs():
+    return st.builds(
+        ast.ColumnRef,
+        column=_names,
+        table=st.one_of(st.none(), _tables),
+    )
+
+
+def _expressions(depth=2):
+    base = st.one_of(_literals(), _column_refs())
+    if depth == 0:
+        return base
+    sub = _expressions(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(
+            ast.BinaryOp,
+            op=st.sampled_from(
+                [
+                    ast.BinaryOperator.ADD,
+                    ast.BinaryOperator.MUL,
+                    ast.BinaryOperator.EQ,
+                    ast.BinaryOperator.LT,
+                    ast.BinaryOperator.AND,
+                    ast.BinaryOperator.OR,
+                ]
+            ),
+            left=sub,
+            right=sub,
+        ),
+        st.builds(
+            ast.FunctionCall,
+            name=st.sampled_from(["COUNT", "SUM", "MIN", "LOWER"]),
+            args=st.lists(sub, min_size=1, max_size=2),
+            distinct=st.booleans(),
+        ),
+        st.builds(ast.IsNull, operand=sub, negated=st.booleans()),
+        st.builds(
+            ast.Between, operand=sub, low=sub, high=sub, negated=st.booleans()
+        ),
+        st.builds(
+            ast.InList,
+            operand=sub,
+            items=st.lists(_literals(), min_size=1, max_size=3),
+            negated=st.booleans(),
+        ),
+    )
+
+
+def _selects():
+    return st.builds(
+        ast.Select,
+        items=st.lists(
+            st.builds(
+                ast.SelectItem,
+                expression=_expressions(1),
+                alias=st.one_of(st.none(), _names),
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        source=st.one_of(
+            st.none(),
+            st.builds(ast.TableRef, name=_tables, alias=st.one_of(st.none(), st.just("T1"))),
+        ),
+        where=st.one_of(st.none(), _expressions(1)),
+        group_by=st.lists(_column_refs(), max_size=2),
+        order_by=st.lists(
+            st.builds(
+                ast.OrderItem,
+                expression=_column_refs(),
+                order=st.sampled_from(list(ast.SortOrder)),
+            ),
+            max_size=2,
+        ),
+        limit=st.one_of(st.none(), st.integers(min_value=0, max_value=99)),
+        distinct=st.booleans(),
+    )
+
+
+@given(_expressions(2))
+@settings(max_examples=200, deadline=None)
+def test_expression_roundtrip(expr):
+    printed = print_expression(expr)
+    reparsed = parse_expression(printed)
+    assert reparsed == expr, printed
+
+
+@given(_selects())
+@settings(max_examples=200, deadline=None)
+def test_select_roundtrip(select):
+    printed = print_query(select)
+    reparsed = parse_query(printed)
+    assert reparsed == select, printed

@@ -1,0 +1,174 @@
+"""Storage-layer edge cases and expression evaluation semantics."""
+
+import pytest
+
+from repro.errors import CatalogError, ExecutionError
+from repro.sql.engine import Database
+from repro.sql.expressions import BoundColumn, RowFrame, like_to_regex
+from repro.sql.schema import Column, Table
+from repro.sql.storage import TableData
+from repro.sql.types import DataType
+
+
+@pytest.fixture()
+def table_data():
+    table = Table(
+        "t",
+        [
+            Column("id", DataType.INTEGER, primary_key=True),
+            Column("name", DataType.TEXT),
+            Column("score", DataType.REAL),
+        ],
+    )
+    return TableData(table)
+
+
+class TestStorage:
+    def test_insert_and_len(self, table_data):
+        table_data.insert((1, "a", 0.5))
+        assert len(table_data) == 1
+
+    def test_insert_named_defaults_null(self, table_data):
+        table_data.insert_named({"id": 1, "name": "a"})
+        assert table_data.rows[0] == (1, "a", None)
+
+    def test_insert_named_unknown_column(self, table_data):
+        with pytest.raises(CatalogError):
+            table_data.insert_named({"id": 1, "bogus": 2})
+
+    def test_null_pk_allowed_but_not_duplicated(self, table_data):
+        table_data.insert((None, "a", None))
+        table_data.insert((None, "b", None))  # NULL PKs don't collide
+        table_data.insert((1, "c", None))
+        with pytest.raises(ExecutionError):
+            table_data.insert((1, "d", None))
+
+    def test_replace_rows_rebuilds_pk_index(self, table_data):
+        table_data.insert((1, "a", None))
+        table_data.replace_rows([(2, "b", None)])
+        table_data.insert((1, "c", None))  # 1 is free again
+        with pytest.raises(ExecutionError):
+            table_data.insert((2, "dup", None))
+
+    def test_replace_rows_detects_duplicates(self, table_data):
+        with pytest.raises(ExecutionError):
+            table_data.replace_rows([(1, "a", None), (1, "b", None)])
+
+    def test_column_index(self, table_data):
+        assert table_data.column_index("SCORE") == 2
+        with pytest.raises(CatalogError):
+            table_data.column_index("nope")
+
+
+class TestRowFrame:
+    def setup_method(self):
+        self.columns = [
+            BoundColumn("t", "a"),
+            BoundColumn("t", "b"),
+            BoundColumn("u", "a"),
+        ]
+
+    def test_qualified_resolution(self):
+        frame = RowFrame(self.columns, (1, 2, 3))
+        assert frame.resolve("t", "a") == 1
+        assert frame.resolve("u", "a") == 3
+
+    def test_unqualified_unique(self):
+        frame = RowFrame(self.columns, (1, 2, 3))
+        assert frame.resolve(None, "b") == 2
+
+    def test_unqualified_ambiguous_raises(self):
+        frame = RowFrame(self.columns, (1, 2, 3))
+        with pytest.raises(ExecutionError):
+            frame.resolve(None, "a")
+
+    def test_outer_chain(self):
+        outer = RowFrame([BoundColumn("o", "x")], (9,))
+        frame = RowFrame(self.columns, (1, 2, 3), outer=outer)
+        assert frame.resolve("o", "x") == 9
+        assert frame.resolve(None, "x") == 9
+
+    def test_unknown_raises(self):
+        frame = RowFrame(self.columns, (1, 2, 3))
+        with pytest.raises(ExecutionError):
+            frame.resolve(None, "zzz")
+
+
+class TestLikePatterns:
+    @pytest.mark.parametrize(
+        "pattern,text,expected",
+        [
+            ("a%", "apple", True),
+            ("a%", "banana", False),
+            ("%an%", "banana", True),
+            ("_at", "cat", True),
+            ("_at", "cart", False),
+            ("100\\%", "100\\x", True),  # backslash is literal in our LIKE
+            ("", "", True),
+            ("%", "anything", True),
+            ("A%", "apple", True),  # case-insensitive, SQLite-style
+        ],
+    )
+    def test_patterns(self, pattern, text, expected):
+        assert bool(like_to_regex(pattern).match(text)) == expected
+
+
+class TestThreeValuedLogic:
+    @pytest.fixture()
+    def db(self):
+        db = Database.from_ddl("nulls", "CREATE TABLE t (a INTEGER, b INTEGER)")
+        db.execute("INSERT INTO t VALUES (1, NULL), (NULL, 2), (3, 4)")
+        return db
+
+    def test_and_with_null(self, db):
+        # NULL AND FALSE is FALSE; NULL AND TRUE is UNKNOWN → filtered.
+        rows = db.query("SELECT a FROM t WHERE a > 0 AND b > 0").rows
+        assert rows == [(3,)]
+
+    def test_or_with_null(self, db):
+        # TRUE OR NULL is TRUE.
+        rows = db.query("SELECT b FROM t WHERE b = 2 OR a > 99").rows
+        assert rows == [(2,)]
+
+    def test_not_null_is_null(self, db):
+        rows = db.query("SELECT a FROM t WHERE NOT (b > 0)").rows
+        assert rows == []  # rows with b NULL stay unknown under NOT too
+
+    def test_arithmetic_with_null(self, db):
+        rows = db.query("SELECT a + b FROM t").rows
+        assert rows == [(None,), (None,), (7,)]
+
+    def test_in_list_with_null_member(self, db):
+        # 3 IN (4, NULL) is UNKNOWN, not FALSE → NOT IN also filters it.
+        rows = db.query("SELECT a FROM t WHERE a NOT IN (4, NULL)").rows
+        assert rows == []
+
+    def test_coalesce_recovers(self, db):
+        rows = db.query("SELECT COALESCE(a, 0) + COALESCE(b, 0) FROM t").rows
+        assert rows == [(1,), (2,), (7,)]
+
+
+class TestArithmetic:
+    @pytest.fixture()
+    def db(self):
+        return Database.from_ddl("calc", "CREATE TABLE one (x INTEGER)")
+
+    def test_integer_narrowing(self, db):
+        assert db.query("SELECT 2 + 3").scalar() == 5
+        assert isinstance(db.query("SELECT 2 + 3").scalar(), int)
+
+    def test_division_is_float(self, db):
+        assert db.query("SELECT 7 / 2").scalar() == pytest.approx(3.5)
+
+    def test_modulo(self, db):
+        assert db.query("SELECT 7 % 3").scalar() == 1
+
+    def test_concat(self, db):
+        assert db.query("SELECT 'a' || 'b'").scalar() == "ab"
+
+    def test_unary_minus(self, db):
+        assert db.query("SELECT -(2 + 3)").scalar() == -5
+
+    def test_precedence(self, db):
+        assert db.query("SELECT 2 + 3 * 4").scalar() == 14
+        assert db.query("SELECT (2 + 3) * 4").scalar() == 20

@@ -1,0 +1,138 @@
+"""Value types, coercion, and three-valued comparison tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TypeMismatchError
+from repro.sql.types import (
+    DataType,
+    coerce,
+    sort_key,
+    sql_compare,
+    values_equal,
+)
+
+
+class TestDataType:
+    def test_from_name_aliases(self):
+        assert DataType.from_name("INT") is DataType.INTEGER
+        assert DataType.from_name("varchar") is DataType.TEXT
+        assert DataType.from_name("DOUBLE") is DataType.REAL
+        assert DataType.from_name("DATETIME") is DataType.DATE
+        assert DataType.from_name("BOOL") is DataType.BOOLEAN
+
+    def test_unknown_type(self):
+        with pytest.raises(TypeMismatchError):
+            DataType.from_name("BLOBBY")
+
+    def test_is_numeric(self):
+        assert DataType.INTEGER.is_numeric
+        assert DataType.REAL.is_numeric
+        assert not DataType.TEXT.is_numeric
+
+
+class TestCoerce:
+    def test_null_passes_all_types(self):
+        for dtype in DataType:
+            assert coerce(None, dtype) is None
+
+    def test_integer_from_string(self):
+        assert coerce("42", DataType.INTEGER) == 42
+
+    def test_integer_from_whole_float(self):
+        assert coerce(3.0, DataType.INTEGER) == 3
+
+    def test_integer_rejects_fraction_string(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("3.5x", DataType.INTEGER)
+
+    def test_real_from_int(self):
+        assert coerce(2, DataType.REAL) == 2.0
+        assert isinstance(coerce(2, DataType.REAL), float)
+
+    def test_text_from_number(self):
+        assert coerce(5, DataType.TEXT) == "5"
+
+    def test_boolean_from_strings(self):
+        assert coerce("true", DataType.BOOLEAN) is True
+        assert coerce("NO", DataType.BOOLEAN) is False
+
+    def test_boolean_rejects_garbage(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("maybe", DataType.BOOLEAN)
+
+
+class TestSqlCompare:
+    def test_null_is_unknown(self):
+        assert sql_compare(None, 1) is None
+        assert sql_compare(1, None) is None
+        assert sql_compare(None, None) is None
+
+    def test_numbers(self):
+        assert sql_compare(1, 2) == -1
+        assert sql_compare(2, 2) == 0
+        assert sql_compare(3, 2) == 1
+
+    def test_int_vs_float(self):
+        assert sql_compare(1, 1.0) == 0
+        assert sql_compare(1, 1.5) == -1
+
+    def test_strings_lexicographic(self):
+        assert sql_compare("a", "b") == -1
+        assert sql_compare("2024-01-01", "2023-12-31") == 1
+
+    def test_numeric_strings_compare_numerically(self):
+        assert sql_compare("10", 9) == 1
+
+    def test_bool_as_number(self):
+        assert sql_compare(True, 1) == 0
+        assert sql_compare(False, 1) == -1
+
+
+class TestValuesEqual:
+    def test_null_equals_null(self):
+        assert values_equal(None, None)
+        assert not values_equal(None, 0)
+
+    def test_float_tolerance(self):
+        assert values_equal(1.0, 1.0 + 1e-9)
+        assert not values_equal(1.0, 1.01)
+
+    def test_strings(self):
+        assert values_equal("x", "x")
+        assert not values_equal("x", "y")
+
+
+class TestSortKey:
+    def test_nulls_first(self):
+        values = ["b", None, 1, "a", 2.5, None]
+        ordered = sorted(values, key=sort_key)
+        assert ordered[:2] == [None, None]
+        assert ordered[2:4] == [1, 2.5]
+        assert ordered[4:] == ["a", "b"]
+
+
+@given(
+    st.one_of(st.none(), st.integers(-100, 100), st.text(max_size=5)),
+    st.one_of(st.none(), st.integers(-100, 100), st.text(max_size=5)),
+)
+@settings(max_examples=300, deadline=None)
+def test_compare_antisymmetry(a, b):
+    """sql_compare(a, b) == -sql_compare(b, a) whenever both are known."""
+    ab = sql_compare(a, b)
+    ba = sql_compare(b, a)
+    if ab is None:
+        assert ba is None
+    else:
+        assert ab == -ba
+
+
+@given(st.lists(st.one_of(st.none(), st.integers(-50, 50), st.text(max_size=4))))
+@settings(max_examples=200, deadline=None)
+def test_sort_key_total_order(values):
+    """sort_key produces a usable total order (sorting never crashes, and
+    is idempotent)."""
+    once = sorted(values, key=sort_key)
+    twice = sorted(once, key=sort_key)
+    assert once == twice

@@ -1,0 +1,102 @@
+"""Determinism helpers, CLI, and example-script smoke tests."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.util import stable_choice, stable_fraction
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestStableFraction:
+    def test_deterministic(self):
+        assert stable_fraction("a", 1) == stable_fraction("a", 1)
+
+    def test_distinct_inputs_differ(self):
+        assert stable_fraction("a") != stable_fraction("b")
+
+    def test_range(self):
+        for i in range(200):
+            value = stable_fraction("range", i)
+            assert 0.0 <= value < 1.0
+
+    def test_roughly_uniform(self):
+        values = [stable_fraction("uniform", i) for i in range(2000)]
+        mean = sum(values) / len(values)
+        assert 0.45 <= mean <= 0.55
+        below = sum(1 for v in values if v < 0.25)
+        assert 400 <= below <= 600
+
+    def test_stable_choice(self):
+        options = ["x", "y", "z"]
+        assert stable_choice(options, "k") == stable_choice(options, "k")
+        assert stable_choice(options, "k") in options
+        with pytest.raises(ValueError):
+            stable_choice([], "k")
+
+    def test_choice_covers_all_options(self):
+        options = ["x", "y", "z"]
+        seen = {stable_choice(options, i) for i in range(60)}
+        assert seen == set(options)
+
+
+class TestCli:
+    def test_figure2_small(self, capsys):
+        exit_code = cli_main(["figure2", "--scale", "small"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out and "SPIDER" in out
+
+    def test_all_small(self, capsys):
+        exit_code = cli_main(["all", "--scale", "small"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        for marker in ("Figure 2", "Table 2", "Figure 8", "Table 3"):
+            assert marker in out
+
+    def test_bad_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["figure99"])
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "marketing_analytics.py",
+        "build_up_queries.py",
+        "assistant_chat.py",
+    ],
+)
+def test_example_scripts_run(script):
+    result = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "examples" / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_spider_feedback_study_example_runs():
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "examples" / "spider_feedback_study.py"),
+            "--scale",
+            "small",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "Table 2" in result.stdout
+    assert "Figure 8" in result.stdout
