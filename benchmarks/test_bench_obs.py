@@ -1,0 +1,54 @@
+"""Observability-driven timing snapshot (``BENCH_obs.json``).
+
+Runs Table 2 end to end under ``repro.obs`` instrumentation and persists
+the span rollup + metric summaries. Unlike the pytest-benchmark figures,
+this captures *where* the wall-clock goes inside a run (suite build, LLM
+dispatch per prompt kind, retrieval, SQL execute), which is the baseline
+future caching/parallelism PRs are measured against.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro import obs
+from repro.eval.experiments import run_table2
+from repro.eval.harness import build_context
+
+SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+
+def test_bench_obs_snapshot():
+    obs.enable()
+    try:
+        with obs.span("bench.table2", scale="small"):
+            context = build_context(scale="small")
+            result = run_table2(context)
+        snapshot = obs.snapshot()
+    finally:
+        obs.disable()
+
+    assert snapshot["spans"], "instrumented run must record spans"
+    assert any(
+        entry["name"] == "llm.calls" for entry in snapshot["counters"]
+    ), "instrumented run must count LLM calls"
+
+    document = {
+        "benchmark": "table2",
+        "scale": "small",
+        "spans": snapshot["spans"],
+        "counters": snapshot["counters"],
+        "histograms": snapshot["histograms"],
+        "dropped_spans": snapshot["dropped_spans"],
+        "result": {
+            "fisql_spider": round(result.percent("FISQL", "spider"), 2),
+            "fisql_aep": round(result.percent("FISQL", "aep"), 2),
+        },
+    }
+    SNAPSHOT_PATH.write_text(json.dumps(document, indent=2, default=str) + "\n")
+
+    # The snapshot must round-trip as JSON.
+    reloaded = json.loads(SNAPSHOT_PATH.read_text())
+    assert reloaded["spans"]
+    assert reloaded["benchmark"] == "table2"

@@ -14,6 +14,7 @@ Quickstart::
     print(render_table2(run_table2(context)))
 """
 
+from repro import obs
 from repro.core import (
     Assistant,
     AssistantResponse,
@@ -64,6 +65,7 @@ __all__ = [
     "build_context",
     "generate_aep_suite",
     "generate_spider_suite",
+    "obs",
     "render_figure2",
     "render_figure8",
     "render_table2",

@@ -3,14 +3,19 @@
 Usage::
 
     fisql-repro figure2 --scale medium
-    fisql-repro table2  --scale full
+    fisql-repro table2  --scale full --metrics
     fisql-repro figure8
     fisql-repro table3
-    fisql-repro all --scale small
+    fisql-repro all --scale small --trace /tmp/fisql-trace.jsonl
     python -m repro.cli all
 
 Scales: ``small`` (seconds), ``medium`` (default), ``full`` (the paper's
 sizes: 200 databases, 1034 dev questions).
+
+``--metrics`` prints a run report (span/latency/routing/correction
+summaries) after the artifacts; ``--trace PATH`` writes the full JSONL
+span + metric export (schema in :mod:`repro.obs.export`). With neither
+flag the instrumentation stays in no-op mode.
 """
 
 from __future__ import annotations
@@ -19,13 +24,14 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.eval.experiments import (
     run_figure2,
     run_figure8,
     run_table2,
     run_table3,
 )
-from repro.eval.harness import build_context
+from repro.eval.harness import SCALES, build_context
 from repro.eval.reporting import (
     render_figure2,
     render_figure2_chart,
@@ -34,6 +40,7 @@ from repro.eval.reporting import (
     render_table2,
     render_table3,
 )
+from repro.obs.reporting import render_run_report
 
 _ARTIFACTS = {
     "figure2": (run_figure2, render_figure2),
@@ -56,7 +63,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--scale",
-        choices=("small", "medium", "full"),
+        choices=sorted(SCALES),
         default="medium",
         help="experiment scale (full = the paper's sizes; default: medium)",
     )
@@ -68,7 +75,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="render figures as ASCII bar charts instead of tables",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print an observability run report after the artifacts",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write a JSONL span/metric trace of the run to PATH",
+    )
     args = parser.parse_args(argv)
+
+    if args.trace is not None:
+        # Fail before the (possibly minutes-long) run, not at export time.
+        try:
+            with open(args.trace, "w", encoding="utf-8"):
+                pass
+        except OSError as error:
+            parser.error(f"cannot write trace file {args.trace!r}: {error}")
+
+    instrumented = args.metrics or args.trace is not None
+    if instrumented:
+        obs.enable()
 
     context = build_context(scale=args.scale, seed=args.seed)
     chart_renderers = {
@@ -82,7 +111,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         runner, renderer = _ARTIFACTS[name]
         if args.chart and name in chart_renderers:
             renderer = chart_renderers[name]
-        print(renderer(runner(context)))
+        with obs.span(f"experiment.{name}", scale=args.scale):
+            result = runner(context)
+        print(renderer(result))
+
+    if args.trace is not None:
+        lines = obs.export_jsonl(args.trace)
+        print(f"\n[obs] wrote {lines} trace lines to {args.trace}")
+    if args.metrics:
+        print()
+        print(render_run_report(obs.snapshot()))
+    if instrumented:
+        obs.disable()
     return 0
 
 

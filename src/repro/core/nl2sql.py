@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs
 from repro.core.retrieval import DemonstrationRetriever
 from repro.errors import SqlError
 from repro.llm.interface import ChatModel
@@ -62,6 +63,18 @@ class Nl2SqlModel:
 
     def predict(self, question: str, database: Database) -> Nl2SqlPrediction:
         """Generate SQL for a question against a database."""
+        with obs.span("nl2sql.predict", db=database.schema.name) as sp, obs.timer(
+            "nl2sql.latency_ms"
+        ):
+            prediction = self._predict(question, database)
+            obs.count("nl2sql.predictions")
+            if not prediction.parse_ok:
+                obs.count("nl2sql.parse_failures")
+            sp.set("parse_ok", prediction.parse_ok)
+            sp.set("demos_used", prediction.demos_used)
+            return prediction
+
+    def _predict(self, question: str, database: Database) -> Nl2SqlPrediction:
         demos = []
         if self._retriever is not None:
             demos = self._retriever.retrieve(

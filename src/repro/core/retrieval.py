@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.datasets.base import Demonstration
 from repro.nlp.vectorize import TfidfVectorizer, cosine_top_k
 
@@ -46,17 +47,27 @@ class DemonstrationRetriever:
         """
         if not self._demos:
             return []
-        k = top_k or self._top_k
-        query_vec = self._vectorizer.transform([question])[0]
-        # Retrieve a generous pool, then apply the same-database preference.
-        pool = cosine_top_k(query_vec, self._matrix, min(len(self._demos), k * 4))
-        same_db = [
-            self._demos[i] for i, _s in pool if db_id and self._demos[i].db_id == db_id
-        ]
-        others = [
-            self._demos[i]
-            for i, _s in pool
-            if not (db_id and self._demos[i].db_id == db_id)
-        ]
-        ranked = same_db + others
-        return ranked[:k]
+        with obs.span("retrieval.retrieve", db=db_id), obs.timer(
+            "retrieval.latency_ms"
+        ):
+            k = top_k or self._top_k
+            query_vec = self._vectorizer.transform([question])[0]
+            # Retrieve a generous pool, then apply the same-database preference.
+            pool = cosine_top_k(
+                query_vec, self._matrix, min(len(self._demos), k * 4)
+            )
+            same_db = [
+                self._demos[i]
+                for i, _s in pool
+                if db_id and self._demos[i].db_id == db_id
+            ]
+            others = [
+                self._demos[i]
+                for i, _s in pool
+                if not (db_id and self._demos[i].db_id == db_id)
+            ]
+            ranked = same_db + others
+            retrieved = ranked[:k]
+            obs.count("retrieval.calls")
+            obs.observe("retrieval.demos", len(retrieved))
+            return retrieved

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import re
 
+from repro import obs
 from repro.core.feedback import ADD, EDIT, FEEDBACK_TYPE_EXAMPLES, REMOVE
 from repro.llm.interface import ChatModel
 from repro.llm.prompts import routing_prompt
@@ -97,9 +98,12 @@ class FeedbackRouter:
 
     def route(self, feedback_text: str) -> str:
         """Classify feedback into add / remove / edit."""
-        prompt = routing_prompt(feedback_text, examples=self._examples)
-        completion = self._llm.complete(prompt)
-        label = completion.text.strip().lower()
-        if label in (ADD, REMOVE, EDIT):
+        with obs.span("routing.route") as sp:
+            prompt = routing_prompt(feedback_text, examples=self._examples)
+            completion = self._llm.complete(prompt)
+            label = completion.text.strip().lower()
+            if label not in (ADD, REMOVE, EDIT):
+                label = EDIT
+            obs.count("routing.decisions", decision=label)
+            sp.set("decision", label)
             return label
-        return EDIT

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs
 from repro.core.feedback import FeedbackDemoStore
 from repro.core.nl2sql import Nl2SqlModel
 from repro.core.routing import FeedbackRouter
@@ -100,9 +101,63 @@ class FisqlPipeline:
         current_sql = initial_sql
         current = _try_parse(current_sql)
 
-        for round_index in range(1, max_rounds + 1):
-            if current is None:
-                break
+        obs.count("correction.sessions")
+        with obs.span(
+            "correction.session",
+            example_id=example.example_id,
+            routing=self._routing,
+            highlights=self._highlights,
+        ) as session_span:
+            for round_index in range(1, max_rounds + 1):
+                if current is None:
+                    break
+                record = self._run_round(
+                    example=example,
+                    database=database,
+                    annotator=annotator,
+                    gold=gold,
+                    gold_result=gold_result,
+                    ordered=ordered,
+                    current=current,
+                    current_sql=current_sql,
+                    round_index=round_index,
+                )
+                if record is None:
+                    break
+                outcome.rounds.append(record)
+                revised = _try_parse(record.sql_after)
+                if revised is None:
+                    # The model's revision does not parse: keep the SQL text
+                    # and the AST in lockstep at the previous round's query so
+                    # the next round's feedback matches what the record shows.
+                    record.notes.append(
+                        "revision unparseable; rolled back to previous SQL"
+                    )
+                    obs.count("correction.parse_regressions")
+                else:
+                    current_sql = record.sql_after
+                    current = revised
+                if record.corrected:
+                    outcome.corrected_round = round_index
+                    break
+            session_span.set("rounds", len(outcome.rounds))
+            session_span.set("corrected_round", outcome.corrected_round)
+        return outcome
+
+    def _run_round(
+        self,
+        example: Example,
+        database: Database,
+        annotator: SimulatedAnnotator,
+        gold: ast.Select,
+        gold_result: QueryResult,
+        ordered: bool,
+        current: ast.Select,
+        current_sql: str,
+        round_index: int,
+    ) -> Optional[RoundRecord]:
+        """One feedback round; None when the annotator has nothing to say."""
+        with obs.span("correction.round", round=round_index) as round_span:
             feedback = annotator.give_feedback(
                 example_id=example.example_id,
                 question=example.question,
@@ -112,7 +167,8 @@ class FisqlPipeline:
                 use_highlights=self._highlights,
             )
             if feedback is None:
-                break
+                round_span.set("feedback", False)
+                return None
 
             feedback_type: Optional[str] = None
             feedback_demos: list[str]
@@ -142,24 +198,27 @@ class FisqlPipeline:
             new_sql = completion.text.strip().rstrip(";")
 
             corrected = _matches(database, gold_result, new_sql, ordered)
-            outcome.rounds.append(
-                RoundRecord(
-                    round_index=round_index,
-                    feedback_text=feedback.text,
-                    feedback_type=feedback_type,
-                    highlight=feedback.highlight.text if feedback.highlight else None,
-                    sql_before=current_sql,
-                    sql_after=new_sql,
-                    corrected=corrected,
-                    notes=list(completion.notes),
-                )
+            obs.count("correction.rounds", round=round_index)
+            obs.count(
+                "correction.feedback_types", type=feedback_type or "unrouted"
             )
-            current_sql = new_sql
-            current = _try_parse(new_sql) or current
+            if feedback.highlight is not None:
+                obs.count("correction.highlighted_rounds")
             if corrected:
-                outcome.corrected_round = round_index
-                break
-        return outcome
+                obs.count("correction.corrected", round=round_index)
+            round_span.set("feedback_type", feedback_type)
+            round_span.set("highlight", feedback.highlight is not None)
+            round_span.set("corrected", corrected)
+            return RoundRecord(
+                round_index=round_index,
+                feedback_text=feedback.text,
+                feedback_type=feedback_type,
+                highlight=feedback.highlight.text if feedback.highlight else None,
+                sql_before=current_sql,
+                sql_after=new_sql,
+                corrected=corrected,
+                notes=list(completion.notes),
+            )
 
 
 def _try_parse(sql: str) -> Optional[ast.Select]:

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs
 from repro.core.nl2sql import Nl2SqlModel
 from repro.core.retrieval import DemonstrationRetriever
 from repro.core.user import AnnotatorConfig, SimulatedAnnotator
@@ -139,7 +140,13 @@ class _MultiDbAnnotator:
         }
 
     def _annotator(self, example_id: str) -> SimulatedAnnotator:
-        db_id = self._example_db[example_id]
+        try:
+            db_id = self._example_db[example_id]
+        except KeyError:
+            raise ValueError(
+                f"unknown example_id {example_id!r}: not part of benchmark "
+                f"{self._benchmark.name!r}"
+            ) from None
         if db_id not in self._per_db:
             schema = self._benchmark.database(db_id).schema
             self._per_db[db_id] = SimulatedAnnotator(schema, self._config)
@@ -174,26 +181,41 @@ _CONTEXT_CACHE: dict[tuple[str, int], ExperimentContext] = {}
 
 
 def build_context(scale: str = "full", seed: int = 20250325) -> ExperimentContext:
-    """Build (or fetch the cached) experiment context."""
+    """Build (or fetch the cached) experiment context.
+
+    Raises:
+        ValueError: when ``scale`` is not one of :data:`SCALES`.
+    """
+    if scale not in SCALES:
+        valid = ", ".join(sorted(SCALES))
+        raise ValueError(f"unknown scale {scale!r}; valid scales: {valid}")
     key = (scale, seed)
     if key in _CONTEXT_CACHE:
         return _CONTEXT_CACHE[key]
     params = SCALES[scale]
-    spider = generate_spider_suite(
-        seed=seed,
-        n_databases=params["n_databases"],
-        n_dev=params["n_dev"],
-        n_train=params["n_train"],
-    )
-    aep_benchmark, aep_demos = generate_aep_suite(
-        n_questions=params["aep_questions"]
-    )
-    context = ExperimentContext(
-        scale=scale,
-        seed=seed,
-        spider=spider,
-        aep_benchmark=aep_benchmark,
-        aep_demos=aep_demos,
-    )
+    with obs.span("harness.build_context", scale=scale, seed=seed):
+        with obs.timer("harness.suite_build_ms", suite="spider"), obs.span(
+            "harness.spider_suite", n_databases=params["n_databases"]
+        ):
+            spider = generate_spider_suite(
+                seed=seed,
+                n_databases=params["n_databases"],
+                n_dev=params["n_dev"],
+                n_train=params["n_train"],
+            )
+        with obs.timer("harness.suite_build_ms", suite="aep"), obs.span(
+            "harness.aep_suite", n_questions=params["aep_questions"]
+        ):
+            aep_benchmark, aep_demos = generate_aep_suite(
+                n_questions=params["aep_questions"]
+            )
+        obs.count("harness.contexts_built", scale=scale)
+        context = ExperimentContext(
+            scale=scale,
+            seed=seed,
+            spider=spider,
+            aep_benchmark=aep_benchmark,
+            aep_demos=aep_demos,
+        )
     _CONTEXT_CACHE[key] = context
     return context

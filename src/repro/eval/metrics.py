@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+from repro import obs
 from repro.core.nl2sql import Nl2SqlModel
 from repro.core.session import CorrectionOutcome
 from repro.datasets.base import Benchmark, Example
@@ -103,18 +104,26 @@ def evaluate_model(
 ) -> AccuracyReport:
     """Run a model over a benchmark and score execution accuracy."""
     report = AccuracyReport()
-    for example in examples if examples is not None else benchmark.examples:
-        database = benchmark.database(example.db_id)
-        prediction = model.predict(example.question, database)
-        correct = execution_correct(database, example.gold_sql, prediction.sql)
-        report.records.append(
-            PredictionRecord(
-                example=example,
-                predicted_sql=prediction.sql,
-                correct=correct,
-                notes=prediction.notes,
+    pool = list(examples if examples is not None else benchmark.examples)
+    with obs.span(
+        "eval.evaluate_model", benchmark=benchmark.name, n=len(pool)
+    ) as sp:
+        for example in pool:
+            database = benchmark.database(example.db_id)
+            prediction = model.predict(example.question, database)
+            correct = execution_correct(
+                database, example.gold_sql, prediction.sql
             )
-        )
+            obs.count("eval.examples", correct=correct)
+            report.records.append(
+                PredictionRecord(
+                    example=example,
+                    predicted_sql=prediction.sql,
+                    correct=correct,
+                    notes=prediction.notes,
+                )
+            )
+        sp.set("accuracy", report.accuracy)
     return report
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 import re
 from typing import Sequence
 
+from repro import obs
 from repro.core.editor import FeedbackEditor
 from repro.core.feedback import Feedback, Highlight
 from repro.core.routing import classify_feedback
@@ -112,6 +113,15 @@ class SimulatedLLM:
 
     def complete(self, prompt: Prompt) -> Completion:
         """Answer a prompt built by :mod:`repro.llm.prompts`."""
+        if not obs.is_enabled():
+            return self._dispatch(prompt)
+        obs.count("llm.calls", kind=prompt.kind)
+        with obs.span("llm.complete", kind=prompt.kind), obs.timer(
+            "llm.latency_ms", kind=prompt.kind
+        ):
+            return self._dispatch(prompt)
+
+    def _dispatch(self, prompt: Prompt) -> Completion:
         if prompt.kind == KIND_NL2SQL:
             return self._nl2sql(prompt)
         if prompt.kind == KIND_FEEDBACK:

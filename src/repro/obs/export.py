@@ -1,0 +1,90 @@
+"""JSONL export of spans and metrics (the ``--trace PATH`` format).
+
+One JSON object per line. Line types (``"type"`` field):
+
+* ``meta`` — first line: schema version, clock units, span-drop count.
+* ``span`` — ``{"id", "parent", "name", "start_ms", "duration_ms",
+  "attrs"}``; ``parent`` is ``null`` for roots, times are milliseconds on
+  the tracer's monotonic clock (``start_ms`` relative to its epoch).
+* ``counter`` — ``{"name", "labels", "value"}``.
+* ``histogram`` — ``{"name", "labels", "count", "sum", "min", "max",
+  "mean", "p50", "p90", "p95", "p99"}``.
+
+The format is append-friendly and greppable; ``jq -s 'group_by(.type)'``
+or :func:`read_trace_jsonl` reconstruct the run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+
+#: Bump when a line schema changes shape.
+TRACE_SCHEMA_VERSION = 1
+
+
+def trace_lines(tracer: Tracer, metrics: MetricsRegistry) -> list[dict]:
+    """The full export as a list of line objects (meta first)."""
+    lines: list[dict] = [
+        {
+            "type": "meta",
+            "version": TRACE_SCHEMA_VERSION,
+            "clock": "monotonic_ms",
+            "dropped_spans": tracer.dropped,
+        }
+    ]
+    for record in sorted(tracer.records(), key=lambda r: (r.start_ms, r.span_id)):
+        lines.append(
+            {
+                "type": "span",
+                "id": record.span_id,
+                "parent": record.parent_id,
+                "name": record.name,
+                "start_ms": round(record.start_ms, 6),
+                "duration_ms": round(record.duration_ms, 6),
+                "attrs": record.attributes,
+            }
+        )
+    snapshot = metrics.snapshot()
+    for counter in snapshot["counters"]:
+        lines.append({"type": "counter", **counter})
+    for histogram in snapshot["histograms"]:
+        lines.append({"type": "histogram", **histogram})
+    return lines
+
+
+def write_trace_jsonl(
+    path: Union[str, Path], tracer: Tracer, metrics: MetricsRegistry
+) -> int:
+    """Write the JSONL export to ``path``; returns the line count."""
+    lines = trace_lines(tracer, metrics)
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in lines:
+            handle.write(json.dumps(line, default=str) + "\n")
+    return len(lines)
+
+
+def read_trace_jsonl(path: Union[str, Path]) -> list[dict]:
+    """Parse a JSONL trace back into line objects (validates every line)."""
+    lines: list[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, raw in enumerate(handle, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                parsed = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed trace line: {exc}"
+                ) from exc
+            if "type" not in parsed:
+                raise ValueError(
+                    f"{path}:{line_number}: trace line missing 'type'"
+                )
+            lines.append(parsed)
+    return lines

@@ -1,0 +1,218 @@
+"""Render an ``obs`` snapshot as the human-readable run report.
+
+The report is what ``fisql-repro … --metrics`` prints after the artifacts:
+where wall-clock went (span rollup), LLM traffic per prompt kind, the
+routing decision distribution, per-round correction counts, and SQL
+parse/execute totals. Every section always prints — with an explicit
+"(none recorded)" placeholder when a run never exercised that path — so
+downstream tooling can grep for section headers unconditionally.
+
+Metric names consumed here are the canonical instrumentation names; the
+full catalogue is documented in DESIGN.md ("Observability").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.obs.metrics import find_histogram
+
+
+def _table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(row: list[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+
+    rule = "-+-".join("-" * w for w in widths)
+    lines = [fmt(headers), rule]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def _counter_entries(snapshot: dict, name: str) -> list[dict]:
+    return [entry for entry in snapshot["counters"] if entry["name"] == name]
+
+
+def _counter_total(snapshot: dict, name: str) -> float:
+    return sum(entry["value"] for entry in _counter_entries(snapshot, name))
+
+
+def _counter_by_label(snapshot: dict, name: str, label: str) -> dict:
+    grouped: dict = {}
+    for entry in _counter_entries(snapshot, name):
+        key = entry["labels"].get(label)
+        grouped[key] = grouped.get(key, 0) + entry["value"]
+    return grouped
+
+
+def _histogram(snapshot: dict, name: str, labels: Optional[dict] = None):
+    return find_histogram(snapshot["histograms"], name, labels)
+
+
+def _ms(value: float) -> str:
+    return f"{value:.2f}"
+
+
+def _int(value: float) -> str:
+    return str(int(value))
+
+
+def _section(title: str, body: str) -> str:
+    return f"{title}\n{body}"
+
+
+def _render_spans(snapshot: dict) -> str:
+    rows = [
+        [
+            entry["name"],
+            _int(entry["count"]),
+            _ms(entry["total_ms"]),
+            _ms(entry["mean_ms"]),
+            _ms(entry["max_ms"]),
+        ]
+        for entry in snapshot["spans"]
+    ]
+    if not rows:
+        return "(no spans recorded)"
+    body = _table(["Span", "Count", "Total ms", "Mean ms", "Max ms"], rows)
+    if snapshot.get("dropped_spans"):
+        body += f"\n({snapshot['dropped_spans']} spans dropped past the cap)"
+    return body
+
+
+def _render_llm(snapshot: dict) -> str:
+    calls_by_kind = _counter_by_label(snapshot, "llm.calls", "kind")
+    if not calls_by_kind:
+        return "(no LLM calls recorded)"
+    rows = []
+    for kind in sorted(calls_by_kind, key=str):
+        latency = _histogram(snapshot, "llm.latency_ms", {"kind": kind})
+        rows.append(
+            [
+                str(kind),
+                _int(calls_by_kind[kind]),
+                _ms(latency["sum"]) if latency else "-",
+                _ms(latency["mean"]) if latency else "-",
+                _ms(latency["p50"]) if latency else "-",
+                _ms(latency["p95"]) if latency else "-",
+            ]
+        )
+    return _table(
+        ["Prompt kind", "Calls", "Total ms", "Mean ms", "p50 ms", "p95 ms"], rows
+    )
+
+
+def _render_routing(snapshot: dict) -> str:
+    decisions = _counter_by_label(snapshot, "routing.decisions", "decision")
+    total = sum(decisions.values())
+    if not total:
+        return "(no routing decisions recorded)"
+    rows = [
+        [str(decision), _int(count), f"{100.0 * count / total:.1f}%"]
+        for decision, count in sorted(decisions.items(), key=lambda kv: str(kv[0]))
+    ]
+    rows.append(["total", _int(total), "100.0%"])
+    return _table(["Decision", "Count", "Share"], rows)
+
+
+def _render_corrections(snapshot: dict) -> str:
+    sessions = _counter_total(snapshot, "correction.sessions")
+    rounds_by_index = _counter_by_label(snapshot, "correction.rounds", "round")
+    corrected_by_index = _counter_by_label(snapshot, "correction.corrected", "round")
+    if not sessions and not rounds_by_index:
+        return "(no correction sessions recorded)"
+    lines = [f"sessions: {_int(sessions)}"]
+    indices = sorted(set(rounds_by_index) | set(corrected_by_index), key=str)
+    rows = [
+        [
+            str(index),
+            _int(rounds_by_index.get(index, 0)),
+            _int(corrected_by_index.get(index, 0)),
+        ]
+        for index in indices
+    ]
+    if rows:
+        lines.append(_table(["Round", "Rounds run", "Corrected"], rows))
+    types = _counter_by_label(snapshot, "correction.feedback_types", "type")
+    if types:
+        summary = ", ".join(
+            f"{kind}={_int(count)}"
+            for kind, count in sorted(types.items(), key=lambda kv: str(kv[0]))
+        )
+        lines.append(f"feedback types: {summary}")
+    highlighted = _counter_total(snapshot, "correction.highlighted_rounds")
+    if highlighted:
+        lines.append(f"highlighted rounds: {_int(highlighted)}")
+    regressions = _counter_total(snapshot, "correction.parse_regressions")
+    lines.append(f"unparseable revisions (rolled back): {_int(regressions)}")
+    return "\n".join(lines)
+
+
+def _render_sql(snapshot: dict) -> str:
+    parse_calls = _counter_total(snapshot, "sql.parse.calls")
+    parse_failures = _counter_total(snapshot, "sql.parse.failures")
+    execute_calls = _counter_total(snapshot, "sql.execute.calls")
+    execute_failures = _counter_total(snapshot, "sql.execute.failures")
+    if not parse_calls and not execute_calls:
+        return "(no SQL activity recorded)"
+    lines = [
+        f"parse: {_int(parse_calls)} calls, {_int(parse_failures)} failures",
+        f"execute: {_int(execute_calls)} calls, {_int(execute_failures)} failures",
+    ]
+    latency = _histogram(snapshot, "sql.execute.latency_ms", {})
+    if latency and latency["count"]:
+        lines.append(
+            "execute latency: "
+            f"mean {_ms(latency['mean'])} ms, "
+            f"p95 {_ms(latency['p95'])} ms, "
+            f"max {_ms(latency['max'])} ms"
+        )
+    return "\n".join(lines)
+
+
+def _render_pipeline(snapshot: dict) -> str:
+    lines = []
+    predictions = _counter_total(snapshot, "nl2sql.predictions")
+    if predictions:
+        failures = _counter_total(snapshot, "nl2sql.parse_failures")
+        lines.append(
+            f"nl2sql: {_int(predictions)} predictions, "
+            f"{_int(failures)} unparseable"
+        )
+    retrievals = _counter_total(snapshot, "retrieval.calls")
+    if retrievals:
+        demos = _histogram(snapshot, "retrieval.demos", {})
+        mean_demos = f"{demos['mean']:.1f}" if demos else "-"
+        lines.append(
+            f"retrieval: {_int(retrievals)} calls, {mean_demos} demos/call"
+        )
+    eval_by_verdict = _counter_by_label(snapshot, "eval.examples", "correct")
+    evaluated = sum(eval_by_verdict.values())
+    if evaluated:
+        correct = eval_by_verdict.get(True, 0) + eval_by_verdict.get("true", 0)
+        lines.append(f"evaluation: {_int(evaluated)} examples, {_int(correct)} correct")
+    if not lines:
+        return "(no pipeline activity recorded)"
+    return "\n".join(lines)
+
+
+def render_run_report(snapshot: dict) -> str:
+    """The full run report for one ``obs`` snapshot."""
+    title = "Run report (repro.obs)"
+    sections: Sequence[tuple[str, str]] = (
+        ("Wall-clock by span", _render_spans(snapshot)),
+        ("LLM calls by prompt kind", _render_llm(snapshot)),
+        ("Routing decision distribution", _render_routing(snapshot)),
+        ("Correction rounds", _render_corrections(snapshot)),
+        ("SQL parse/execute", _render_sql(snapshot)),
+        ("Pipeline counters", _render_pipeline(snapshot)),
+    )
+    parts = [title, "=" * len(title)]
+    for header, body in sections:
+        parts.append("")
+        parts.append(_section(f"-- {header}", body))
+    return "\n".join(parts)

@@ -1,0 +1,183 @@
+"""Nested span tracing for the FISQL stack.
+
+A :class:`Tracer` records *spans*: named, timed regions of execution with
+attributes and parent links. Spans are context managers and nest through a
+thread-local stack, so concurrent threads build independent span trees over
+one shared (locked) record buffer.
+
+Timing uses an injectable monotonic clock (``time.perf_counter`` by
+default); tests pass a fake clock for deterministic durations. Span starts
+are stored as millisecond offsets from the tracer's epoch, so a trace is
+reproducible across runs modulo real wall-clock.
+
+When observability is disabled, call sites receive the shared
+:data:`NOOP_SPAN` — entering, exiting and ``set()`` all cost a no-op method
+call and allocate nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+#: Default cap on retained span records; beyond it spans are counted as
+#: dropped instead of stored, bounding memory on paper-scale runs.
+DEFAULT_MAX_SPANS = 200_000
+
+
+@dataclass
+class SpanRecord:
+    """One finished span."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start_ms: float
+    duration_ms: float
+    attributes: dict
+
+
+class _NoopSpan:
+    """Shared do-nothing span used when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        return False
+
+    def set(self, _key: str, _value: object) -> "_NoopSpan":
+        return self
+
+
+#: The singleton no-op span.
+NOOP_SPAN = _NoopSpan()
+
+
+class ActiveSpan:
+    """A live span; use as a context manager."""
+
+    __slots__ = ("_tracer", "name", "attributes", "span_id", "parent_id", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attributes = attributes
+        self.span_id = 0
+        self.parent_id: Optional[int] = None
+        self._start = 0.0
+
+    def set(self, key: str, value: object) -> "ActiveSpan":
+        """Attach (or overwrite) an attribute on the live span."""
+        self.attributes[key] = value
+        return self
+
+    def __enter__(self) -> "ActiveSpan":
+        tracer = self._tracer
+        stack = tracer._stack()
+        self.parent_id = stack[-1].span_id if stack else None
+        self.span_id = tracer._allocate_id()
+        stack.append(self)
+        self._start = tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> bool:
+        tracer = self._tracer
+        end = tracer._clock()
+        stack = tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:  # exited out of order; drop up to and incl. self
+            del stack[stack.index(self) :]
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        tracer._record(
+            SpanRecord(
+                span_id=self.span_id,
+                parent_id=self.parent_id,
+                name=self.name,
+                start_ms=(self._start - tracer._epoch) * 1000.0,
+                duration_ms=(end - self._start) * 1000.0,
+                attributes=dict(self.attributes),
+            )
+        )
+        return False
+
+
+class Tracer:
+    """Thread-safe span recorder with nesting via a thread-local stack."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        max_spans: int = DEFAULT_MAX_SPANS,
+    ) -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self._max_spans = max_spans
+        self._lock = threading.Lock()
+        self._records: list[SpanRecord] = []
+        self._dropped = 0
+        self._next_id = 0
+        self._local = threading.local()
+
+    # -- span lifecycle -------------------------------------------------------
+
+    def span(self, name: str, **attributes: object) -> ActiveSpan:
+        """Open a span; use ``with tracer.span("name", key=value): ...``."""
+        return ActiveSpan(self, name, attributes)
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _allocate_id(self) -> int:
+        with self._lock:
+            self._next_id += 1
+            return self._next_id
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            if len(self._records) >= self._max_spans:
+                self._dropped += 1
+            else:
+                self._records.append(record)
+
+    # -- inspection ---------------------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Spans discarded after the ``max_spans`` cap was reached."""
+        with self._lock:
+            return self._dropped
+
+    def records(self) -> list[SpanRecord]:
+        """Finished spans, in completion order."""
+        with self._lock:
+            return list(self._records)
+
+    def aggregate(self) -> list[dict]:
+        """Per-name rollup: count / total / mean / max duration (ms)."""
+        buckets: dict[str, list[float]] = {}
+        for record in self.records():
+            buckets.setdefault(record.name, []).append(record.duration_ms)
+        rollup = []
+        for name, durations in buckets.items():
+            total = sum(durations)
+            rollup.append(
+                {
+                    "name": name,
+                    "count": len(durations),
+                    "total_ms": total,
+                    "mean_ms": total / len(durations),
+                    "max_ms": max(durations),
+                }
+            )
+        rollup.sort(key=lambda row: (-row["total_ms"], row["name"]))
+        return rollup

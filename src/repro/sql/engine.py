@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Union
 
+from repro import obs
 from repro.errors import CatalogError, ExecutionError
 from repro.sql import ast
 from repro.sql.executor import Executor, QueryResult
@@ -94,6 +95,18 @@ class Database:
 
     def execute_ast(self, statement: ast.Statement) -> ExecuteResult:
         """Execute an already-parsed statement."""
+        if not obs.is_enabled():
+            return self._execute_ast(statement)
+        with obs.timer("sql.execute.latency_ms"):
+            try:
+                result = self._execute_ast(statement)
+            except Exception:
+                obs.count("sql.execute.failures")
+                raise
+        obs.count("sql.execute.calls")
+        return result
+
+    def _execute_ast(self, statement: ast.Statement) -> ExecuteResult:
         if isinstance(statement, (ast.Select, ast.SetOperation)):
             return self._executor.execute_query(statement)
         if isinstance(statement, ast.CreateTable):

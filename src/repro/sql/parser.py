@@ -660,12 +660,25 @@ _TYPE_KEYWORDS = frozenset(
 
 def parse_statement(text: str) -> ast.Statement:
     """Parse one SQL statement."""
-    return Parser(text).parse_statement()
+    return _counted_parse(lambda: Parser(text).parse_statement())
 
 
 def parse_query(text: str) -> ast.Query:
     """Parse a SELECT (or set-operation) query."""
-    return Parser(text).parse_query()
+    return _counted_parse(lambda: Parser(text).parse_query())
+
+
+def _counted_parse(parse):
+    from repro import obs
+
+    if not obs.is_enabled():
+        return parse()
+    obs.count("sql.parse.calls")
+    try:
+        return parse()
+    except ParseError:
+        obs.count("sql.parse.failures")
+        raise
 
 
 def parse_expression(text: str) -> ast.Expression:

@@ -183,6 +183,70 @@ class TestFisqlSession:
         assert highlighted.corrected
 
 
+class _GarbageFeedbackLLM:
+    """Wraps the simulated LLM but answers feedback prompts with junk SQL."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def complete(self, prompt):
+        from repro.llm.interface import KIND_FEEDBACK, Completion
+
+        if prompt.kind == KIND_FEEDBACK:
+            return Completion(text="SELEKT broken ((")
+        return self._inner.complete(prompt)
+
+
+class TestParseRegressionRollback:
+    def test_unparseable_revision_rolls_back_sql_text(
+        self, model, llm, aep_db, perfect_annotator
+    ):
+        """When a round's revision doesn't parse, the SQL text must stay in
+        sync with the AST: the next round works from the previous query."""
+        pipeline = FisqlPipeline(
+            model=model, llm=_GarbageFeedbackLLM(llm), routing=True
+        )
+        outcome = pipeline.correct(
+            example=year_example(),
+            database=aep_db,
+            initial_sql=YEAR_INITIAL,
+            annotator=perfect_annotator,
+            max_rounds=2,
+        )
+        assert not outcome.corrected
+        assert len(outcome.rounds) == 2
+        first, second = outcome.rounds
+        # The record keeps what the model actually emitted …
+        assert first.sql_after == "SELEKT broken (("
+        assert any("rolled back" in note for note in first.notes)
+        # … but the next round's baseline is the last *parseable* SQL.
+        assert second.sql_before == YEAR_INITIAL
+
+    def test_rollback_increments_parse_regression_metric(
+        self, model, llm, aep_db, perfect_annotator
+    ):
+        from repro import obs
+
+        obs.enable()
+        try:
+            pipeline = FisqlPipeline(
+                model=model, llm=_GarbageFeedbackLLM(llm), routing=True
+            )
+            pipeline.correct(
+                example=year_example(),
+                database=aep_db,
+                initial_sql=YEAR_INITIAL,
+                annotator=perfect_annotator,
+                max_rounds=1,
+            )
+            regressions = obs.get_metrics().counter_total(
+                "correction.parse_regressions"
+            )
+        finally:
+            obs.disable()
+        assert regressions == 1
+
+
 class TestQueryRewrite:
     def test_year_feedback_fixed_by_rewrite(self, llm, aep_db, aep_suite):
         _benchmark, demos = aep_suite

@@ -91,3 +91,27 @@ class TestContext:
         context = build_context(scale="small")
         assert context.zero_shot_model().retriever is None
         assert context.spider_assistant_model().retriever is not None
+
+    def test_unknown_scale_raises_value_error(self):
+        with pytest.raises(ValueError, match="unknown scale 'galactic'"):
+            build_context(scale="galactic")
+
+    def test_unknown_scale_error_names_valid_scales(self):
+        with pytest.raises(ValueError) as excinfo:
+            build_context(scale="tiny")
+        message = str(excinfo.value)
+        for scale in SCALES:
+            assert scale in message
+
+    def test_annotator_unknown_example_raises_value_error(self):
+        context = build_context(scale="small")
+        annotator = context.annotator_for("spider")
+        with pytest.raises(ValueError, match="unknown example_id 'no-such-id'"):
+            annotator.give_feedback(
+                example_id="no-such-id",
+                question="?",
+                gold=None,
+                predicted=None,
+                round_index=1,
+                use_highlights=False,
+            )

@@ -1,0 +1,32 @@
+"""Observability fixtures: keep the process-global state clean per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock (seconds)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.value = start
+
+    def __call__(self) -> float:
+        return self.value
+
+    def advance(self, seconds: float) -> None:
+        self.value += seconds
+
+
+@pytest.fixture()
+def fake_clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled_after_each_test():
+    """Tests may enable() freely; the global always ends the test disabled."""
+    yield
+    obs.disable()

@@ -1,0 +1,116 @@
+"""JSONL trace round-trip and the disabled (no-op) mode."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.core.routing import FeedbackRouter
+from repro.llm.simulated import SimulatedLLM
+
+
+class TestJsonlRoundTrip:
+    def test_export_and_read_back(self, tmp_path, fake_clock):
+        obs.enable(clock=fake_clock)
+        with obs.span("outer", scale="small"):
+            fake_clock.advance(0.010)
+            with obs.span("inner"):
+                fake_clock.advance(0.002)
+        obs.count("llm.calls", kind="nl2sql")
+        obs.observe("llm.latency_ms", 1.25, kind="nl2sql")
+
+        path = tmp_path / "trace.jsonl"
+        written = obs.export_jsonl(path)
+        lines = obs.read_trace_jsonl(path)
+        assert len(lines) == written == 5  # meta + 2 spans + counter + histogram
+
+        meta = lines[0]
+        assert meta["type"] == "meta"
+        assert meta["version"] == obs.TRACE_SCHEMA_VERSION
+        assert meta["dropped_spans"] == 0
+
+        spans = {line["name"]: line for line in lines if line["type"] == "span"}
+        assert spans["outer"]["parent"] is None
+        assert spans["inner"]["parent"] == spans["outer"]["id"]
+        assert spans["inner"]["duration_ms"] == pytest.approx(2.0)
+        assert spans["outer"]["duration_ms"] == pytest.approx(12.0)
+        assert spans["outer"]["attrs"] == {"scale": "small"}
+
+        (counter,) = [line for line in lines if line["type"] == "counter"]
+        assert counter["name"] == "llm.calls"
+        assert counter["labels"] == {"kind": "nl2sql"}
+        assert counter["value"] == 1
+
+        (histogram,) = [line for line in lines if line["type"] == "histogram"]
+        assert histogram["count"] == 1
+        assert histogram["p50"] == 1.25
+
+    def test_every_line_is_standalone_json(self, tmp_path, fake_clock):
+        obs.enable(clock=fake_clock)
+        with obs.span("s"):
+            pass
+        path = tmp_path / "trace.jsonl"
+        obs.export_jsonl(path)
+        for raw in path.read_text().splitlines():
+            parsed = json.loads(raw)
+            assert "type" in parsed
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "meta"}\nnot json\n')
+        with pytest.raises(ValueError, match="malformed"):
+            obs.read_trace_jsonl(path)
+
+    def test_line_without_type_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "x"}\n')
+        with pytest.raises(ValueError, match="missing 'type'"):
+            obs.read_trace_jsonl(path)
+
+
+class TestNoopMode:
+    def test_disabled_hooks_are_shared_noops(self):
+        obs.disable()
+        assert obs.span("anything") is obs.NOOP_SPAN
+        assert obs.timer("anything") is obs.NOOP_TIMER
+        obs.count("anything")  # swallowed, never raises
+        obs.observe("anything", 1.0)
+
+    def test_disabled_snapshot_is_empty(self):
+        obs.disable()
+        snapshot = obs.snapshot()
+        assert snapshot["enabled"] is False
+        assert snapshot["counters"] == []
+        assert snapshot["spans"] == []
+
+    def test_export_requires_enabled(self, tmp_path):
+        obs.disable()
+        with pytest.raises(RuntimeError):
+            obs.export_jsonl(tmp_path / "trace.jsonl")
+
+    def test_enable_installs_fresh_registries(self, fake_clock):
+        obs.enable(clock=fake_clock)
+        obs.count("c")
+        obs.enable(clock=fake_clock)
+        assert obs.get_metrics().counter_value("c") == 0
+
+    def test_instrumented_path_identical_when_disabled(self):
+        """Routing through instrumented code must not change behaviour."""
+        obs.disable()
+        router = FeedbackRouter(SimulatedLLM())
+        label_disabled = router.route("do not give descriptions")
+        obs.enable()
+        label_enabled = router.route("do not give descriptions")
+        assert label_disabled == label_enabled == "remove"
+        # Only the enabled run recorded anything.
+        assert obs.get_metrics().counter_total("routing.decisions") == 1
+
+    def test_noop_overhead_path_records_nothing(self):
+        obs.disable()
+        llm = SimulatedLLM()
+        router = FeedbackRouter(llm)
+        router.route("also show the names")
+        assert obs.get_metrics() is None
+        assert obs.get_tracer() is None
