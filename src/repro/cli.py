@@ -7,6 +7,7 @@ Usage::
     fisql-repro figure8
     fisql-repro table3
     fisql-repro all --scale small --trace /tmp/fisql-trace.jsonl
+    fisql-repro table2 --scale small --inject-faults default --metrics
     python -m repro.cli all
 
 Scales: ``small`` (seconds), ``medium`` (default), ``full`` (the paper's
@@ -16,11 +17,18 @@ sizes: 200 databases, 1034 dev questions).
 summaries) after the artifacts; ``--trace PATH`` writes the full JSONL
 span + metric export (schema in :mod:`repro.obs.export`). With neither
 flag the instrumentation stays in no-op mode.
+
+``--inject-faults PROFILE`` runs the whole experiment against a seeded
+deterministic chaos harness (:mod:`repro.resilience`); ``--llm-retries``
+and ``--llm-timeout`` tune the retry/deadline policy of the resilient
+wrapper that absorbs those faults. Backoff waits run on a virtual clock,
+so chaos runs take no extra wall-clock time.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -40,7 +48,20 @@ from repro.eval.reporting import (
     render_table2,
     render_table3,
 )
+from repro.llm.interface import ChatModel
+from repro.llm.simulated import SimulatedLLM
 from repro.obs.reporting import render_run_report
+from repro.resilience import (
+    CircuitBreaker,
+    FaultInjectingChatModel,
+    ResilientChatModel,
+    RetryPolicy,
+    VirtualClock,
+    resolve_fault_profile,
+)
+
+#: Default retry budget when resilience flags are active.
+DEFAULT_LLM_RETRIES = 2
 
 _ARTIFACTS = {
     "figure2": (run_figure2, render_figure2),
@@ -85,12 +106,46 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="PATH",
         help="write a JSONL span/metric trace of the run to PATH",
     )
+    parser.add_argument(
+        "--inject-faults",
+        metavar="PROFILE",
+        help=(
+            "chaos-test the run: perturb LLM calls with a seeded "
+            "deterministic fault profile (named: none, default, flaky, "
+            "outage; or a spec like 'timeout=0.1,empty=0.05')"
+        ),
+    )
+    parser.add_argument(
+        "--llm-retries",
+        type=int,
+        metavar="N",
+        help=(
+            "retries for transient LLM failures "
+            f"(default {DEFAULT_LLM_RETRIES} when resilience is active)"
+        ),
+    )
+    parser.add_argument(
+        "--llm-timeout",
+        type=float,
+        metavar="MS",
+        help="per-call deadline budget in ms across retries and backoff",
+    )
     args = parser.parse_args(argv)
 
+    try:
+        llm = _build_llm(args)
+    except ValueError as error:
+        parser.error(str(error))
+
+    trace_preexisting = False
     if args.trace is not None:
         # Fail before the (possibly minutes-long) run, not at export time.
+        # Probe in append mode: an existing trace must not be truncated by
+        # the preflight — the run may still fail and the old trace is the
+        # only one the user has.
+        trace_preexisting = os.path.exists(args.trace)
         try:
-            with open(args.trace, "w", encoding="utf-8"):
+            with open(args.trace, "a", encoding="utf-8"):
                 pass
         except OSError as error:
             parser.error(f"cannot write trace file {args.trace!r}: {error}")
@@ -99,31 +154,85 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if instrumented:
         obs.enable()
 
-    context = build_context(scale=args.scale, seed=args.seed)
-    chart_renderers = {
-        "figure2": render_figure2_chart,
-        "figure8": render_figure8_chart,
-    }
-    names = sorted(_ARTIFACTS) if args.artifact == "all" else [args.artifact]
-    for index, name in enumerate(names):
-        if index:
-            print()
-        runner, renderer = _ARTIFACTS[name]
-        if args.chart and name in chart_renderers:
-            renderer = chart_renderers[name]
-        with obs.span(f"experiment.{name}", scale=args.scale):
-            result = runner(context)
-        print(renderer(result))
+    try:
+        context = build_context(scale=args.scale, seed=args.seed, llm=llm)
+        chart_renderers = {
+            "figure2": render_figure2_chart,
+            "figure8": render_figure8_chart,
+        }
+        names = (
+            sorted(_ARTIFACTS) if args.artifact == "all" else [args.artifact]
+        )
+        for index, name in enumerate(names):
+            if index:
+                print()
+            runner, renderer = _ARTIFACTS[name]
+            if args.chart and name in chart_renderers:
+                renderer = chart_renderers[name]
+            with obs.span(f"experiment.{name}", scale=args.scale):
+                result = runner(context)
+            print(renderer(result))
 
-    if args.trace is not None:
-        lines = obs.export_jsonl(args.trace)
-        print(f"\n[obs] wrote {lines} trace lines to {args.trace}")
-    if args.metrics:
-        print()
-        print(render_run_report(obs.snapshot()))
-    if instrumented:
-        obs.disable()
+        if args.trace is not None:
+            lines = obs.export_jsonl(args.trace)
+            print(f"\n[obs] wrote {lines} trace lines to {args.trace}")
+        if args.metrics:
+            print()
+            print(render_run_report(obs.snapshot()))
+    except BaseException:
+        if args.trace is not None and not trace_preexisting:
+            _remove_empty_stub(args.trace)
+        raise
+    finally:
+        if instrumented:
+            obs.disable()
     return 0
+
+
+def _build_llm(args: argparse.Namespace) -> Optional[ChatModel]:
+    """The chat-model stack for this run; None keeps the cached default.
+
+    Only assembled when a resilience flag is present, so plain runs stay
+    byte-identical to the unwrapped pipeline.
+    """
+    if (
+        args.inject_faults is None
+        and args.llm_retries is None
+        and args.llm_timeout is None
+    ):
+        return None
+    llm: ChatModel = SimulatedLLM()
+    if args.inject_faults is not None:
+        profile = resolve_fault_profile(args.inject_faults, seed=args.seed)
+        llm = FaultInjectingChatModel(llm, profile)
+    retries = (
+        args.llm_retries if args.llm_retries is not None else DEFAULT_LLM_RETRIES
+    )
+    if args.llm_timeout is not None and args.llm_timeout <= 0:
+        raise ValueError(f"--llm-timeout must be > 0 ms: {args.llm_timeout}")
+    # 1 ms of virtual latency per clock reading stands in for per-call
+    # wall time, so an open breaker's cooldown elapses with call traffic.
+    clock = VirtualClock(tick=0.001)
+    return ResilientChatModel(
+        llm,
+        retry=RetryPolicy(
+            max_retries=retries,
+            deadline_ms=args.llm_timeout,
+            seed=args.seed,
+        ),
+        breaker=CircuitBreaker(reset_after_ms=250.0, clock=clock.now),
+        clock=clock.now,
+        sleep=clock.sleep,
+    )
+
+
+def _remove_empty_stub(path: str) -> None:
+    """Drop the preflight-created trace file if the run never filled it."""
+    try:
+        if os.path.exists(path) and os.path.getsize(path) == 0:
+            os.remove(path)
+    except OSError:
+        pass
 
 
 if __name__ == "__main__":

@@ -20,7 +20,7 @@ from repro.core.nl2sql import Nl2SqlModel
 from repro.core.routing import FeedbackRouter
 from repro.core.user import SimulatedAnnotator
 from repro.datasets.base import Example
-from repro.errors import SqlError
+from repro.errors import LLMError, SqlError
 from repro.llm.interface import ChatModel
 from repro.llm.prompts import feedback_prompt
 from repro.sql import ast
@@ -32,7 +32,12 @@ from repro.sql.parser import parse_query
 
 @dataclass
 class RoundRecord:
-    """What happened in one feedback round."""
+    """What happened in one feedback round.
+
+    ``degraded`` marks rounds where regeneration failed (LLM error after
+    retries, or an empty completion) and the previous SQL was kept — the
+    round happened, produced nothing, and the session moved on.
+    """
 
     round_index: int
     feedback_text: str
@@ -41,16 +46,23 @@ class RoundRecord:
     sql_before: str
     sql_after: str
     corrected: bool
+    degraded: bool = False
     notes: list[str] = field(default_factory=list)
 
 
 @dataclass
 class CorrectionOutcome:
-    """The result of a multi-round correction session."""
+    """The result of a multi-round correction session.
+
+    ``failure`` is set by the experiment runners when the whole session
+    aborted on a backend failure (skip-and-record); such outcomes count as
+    uncorrected in every rate.
+    """
 
     example_id: str
     corrected_round: Optional[int]  # 1-based; None = never corrected
     rounds: list[RoundRecord] = field(default_factory=list)
+    failure: Optional[str] = None
 
     @property
     def corrected(self) -> bool:
@@ -172,9 +184,19 @@ class FisqlPipeline:
 
             feedback_type: Optional[str] = None
             feedback_demos: list[str]
+            routing_note: Optional[str] = None
             if self._routing:
-                feedback_type = self._router.route(feedback.text)
-                feedback_demos = self._demo_store.for_type(feedback_type)
+                try:
+                    feedback_type = self._router.route(feedback.text)
+                except LLMError as error:
+                    # Routing is an optimization, not a requirement: fall
+                    # back to the generic demo set (the -Routing ablation's
+                    # configuration) and keep the round alive.
+                    obs.count("resilience.degraded", stage="routing")
+                    routing_note = f"routing failed ({error}); generic demos"
+                    feedback_demos = self._demo_store.generic()
+                else:
+                    feedback_demos = self._demo_store.for_type(feedback_type)
             else:
                 feedback_demos = self._demo_store.generic()
 
@@ -194,10 +216,33 @@ class FisqlPipeline:
                 highlight=feedback.highlight.text if feedback.highlight else None,
                 context_key=f"{example.example_id}:{round_index}",
             )
-            completion = self._llm.complete(prompt)
-            new_sql = completion.text.strip().rstrip(";")
+            degraded = False
+            notes: list[str] = []
+            if routing_note is not None:
+                notes.append(routing_note)
+            try:
+                completion = self._llm.complete(prompt)
+            except LLMError as error:
+                # Regeneration failed after retries: keep the previous SQL
+                # and record a degraded round instead of crashing the
+                # session. The next round gets a fresh chance.
+                obs.count("resilience.degraded", stage="regeneration")
+                new_sql = current_sql
+                degraded = True
+                notes.append(f"regeneration failed ({error}); kept previous SQL")
+            else:
+                notes.extend(completion.notes)
+                new_sql = completion.text.strip().rstrip(";")
+                if not new_sql:
+                    obs.count("correction.empty_completions")
+                    obs.count("resilience.degraded", stage="empty_completion")
+                    new_sql = current_sql
+                    degraded = True
+                    notes.append("empty completion; kept previous SQL")
 
-            corrected = _matches(database, gold_result, new_sql, ordered)
+            corrected = False if degraded else _matches(
+                database, gold_result, new_sql, ordered
+            )
             obs.count("correction.rounds", round=round_index)
             obs.count(
                 "correction.feedback_types", type=feedback_type or "unrouted"
@@ -209,6 +254,7 @@ class FisqlPipeline:
             round_span.set("feedback_type", feedback_type)
             round_span.set("highlight", feedback.highlight is not None)
             round_span.set("corrected", corrected)
+            round_span.set("degraded", degraded)
             return RoundRecord(
                 round_index=round_index,
                 feedback_text=feedback.text,
@@ -217,7 +263,8 @@ class FisqlPipeline:
                 sql_before=current_sql,
                 sql_after=new_sql,
                 corrected=corrected,
-                notes=list(completion.notes),
+                degraded=degraded,
+                notes=notes,
             )
 
 
@@ -233,7 +280,12 @@ def _try_parse(sql: str) -> Optional[ast.Select]:
 
 def _run(database: Database, query: ast.Query) -> QueryResult:
     result = database.execute_ast(query)
-    assert isinstance(result, QueryResult)
+    if not isinstance(result, QueryResult):
+        # A bare assert here would be stripped under ``python -O`` and let
+        # a DDL/DML-shaped gold query fall through with a non-result.
+        raise SqlError(
+            f"gold query did not produce rows (got {type(result).__name__})"
+        )
     return result
 
 

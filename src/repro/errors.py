@@ -53,5 +53,34 @@ class PromptError(ReproError):
     """Raised when a prompt cannot be built or understood by the LLM sim."""
 
 
+class LLMError(ReproError):
+    """Base class for chat-model backend failures.
+
+    The resilience layer (:mod:`repro.resilience`) raises and handles this
+    family; the pipeline treats any ``LLMError`` that escapes retry as a
+    signal to degrade gracefully rather than abort the run.
+    """
+
+
+class TransientLLMError(LLMError):
+    """A retryable backend failure (5xx-style blip, dropped connection)."""
+
+
+class LLMTimeoutError(TransientLLMError):
+    """The backend did not answer within the deadline."""
+
+
+class RateLimitError(TransientLLMError):
+    """The backend rejected the call for quota/rate reasons (429-style)."""
+
+
+class CircuitOpenError(LLMError):
+    """The circuit breaker is open; the call was rejected locally.
+
+    Not retryable by the policy that raised it: the breaker exists to stop
+    hammering a failing backend, so callers should degrade instead.
+    """
+
+
 class FeedbackError(ReproError):
     """Raised when user feedback cannot be interpreted at all."""

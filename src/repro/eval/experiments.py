@@ -15,7 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs
 from repro.core.feedback import Feedback
+from repro.errors import LLMError
 from repro.core.rewrite import QueryRewriteBaseline
 from repro.core.session import CorrectionOutcome, FisqlPipeline
 from repro.datasets.base import Example
@@ -114,15 +116,28 @@ def _run_fisql(
     outcomes = []
     for record in errors:
         database = benchmark.database(record.example.db_id)
-        outcome = pipeline.correct(
-            example=record.example,
-            database=database,
-            initial_sql=record.predicted_sql,
-            annotator=annotator,
-            max_rounds=max_rounds,
-        )
+        try:
+            outcome = pipeline.correct(
+                example=record.example,
+                database=database,
+                initial_sql=record.predicted_sql,
+                annotator=annotator,
+                max_rounds=max_rounds,
+            )
+        except LLMError as error:
+            outcome = _failed_outcome(record.example.example_id, error)
         outcomes.append(outcome)
     return outcomes
+
+
+def _failed_outcome(example_id: str, error: Exception) -> CorrectionOutcome:
+    """Skip-and-record: an aborted session counts as uncorrected."""
+    obs.count("eval.correction_failures")
+    return CorrectionOutcome(
+        example_id=example_id,
+        corrected_round=None,
+        failure=f"{type(error).__name__}: {error}",
+    )
 
 
 def _run_query_rewrite(
@@ -143,9 +158,15 @@ def _run_query_rewrite(
         )
         feedback = _first_feedback(annotator, example, record.predicted_sql)
         if feedback is not None:
-            step = baseline.incorporate(example.question, feedback, database)
-            if execution_correct(database, example.gold_sql, step.prediction.sql):
-                outcome.corrected_round = 1
+            try:
+                step = baseline.incorporate(example.question, feedback, database)
+            except LLMError as error:
+                outcome = _failed_outcome(example.example_id, error)
+            else:
+                if execution_correct(
+                    database, example.gold_sql, step.prediction.sql
+                ):
+                    outcome.corrected_round = 1
         outcomes.append(outcome)
     return outcomes
 

@@ -22,6 +22,7 @@ from repro.datasets.base import (
 from repro.datasets.aep import generate_aep_suite
 from repro.datasets.spider import SpiderSuite, generate_spider_suite
 from repro.eval.metrics import AccuracyReport, PredictionRecord, evaluate_model
+from repro.llm.interface import ChatModel
 from repro.llm.simulated import SimulatedLLM
 from repro.sql import ast
 from repro.sql.parser import parse_query
@@ -51,7 +52,7 @@ class ExperimentContext:
     spider: SpiderSuite
     aep_benchmark: Benchmark
     aep_demos: list[Demonstration]
-    llm: SimulatedLLM = field(default_factory=SimulatedLLM)
+    llm: ChatModel = field(default_factory=SimulatedLLM)
     _spider_retriever: Optional[DemonstrationRetriever] = None
     _aep_retriever: Optional[DemonstrationRetriever] = None
     _assistant_reports: dict = field(default_factory=dict)
@@ -180,8 +181,17 @@ def _try_select(sql: str) -> Optional[ast.Select]:
 _CONTEXT_CACHE: dict[tuple[str, int], ExperimentContext] = {}
 
 
-def build_context(scale: str = "full", seed: int = 20250325) -> ExperimentContext:
+def build_context(
+    scale: str = "full",
+    seed: int = 20250325,
+    llm: Optional[ChatModel] = None,
+) -> ExperimentContext:
     """Build (or fetch the cached) experiment context.
+
+    ``llm`` swaps the context's chat model — the chaos CLI passes a
+    fault-injecting/resilient wrapper stack here. Contexts with a custom
+    model are never cached: wrapper state (fault plans, breaker state)
+    must not leak into later fault-free runs.
 
     Raises:
         ValueError: when ``scale`` is not one of :data:`SCALES`.
@@ -191,7 +201,19 @@ def build_context(scale: str = "full", seed: int = 20250325) -> ExperimentContex
         raise ValueError(f"unknown scale {scale!r}; valid scales: {valid}")
     key = (scale, seed)
     if key in _CONTEXT_CACHE:
-        return _CONTEXT_CACHE[key]
+        cached = _CONTEXT_CACHE[key]
+        if llm is None:
+            return cached
+        # Suites are llm-independent and read-only: share them, but give
+        # the custom model a fresh context (fresh retrievers/report cache).
+        return ExperimentContext(
+            scale=scale,
+            seed=seed,
+            spider=cached.spider,
+            aep_benchmark=cached.aep_benchmark,
+            aep_demos=cached.aep_demos,
+            llm=llm,
+        )
     params = SCALES[scale]
     with obs.span("harness.build_context", scale=scale, seed=seed):
         with obs.timer("harness.suite_build_ms", suite="spider"), obs.span(
@@ -217,5 +239,8 @@ def build_context(scale: str = "full", seed: int = 20250325) -> ExperimentContex
             aep_benchmark=aep_benchmark,
             aep_demos=aep_demos,
         )
-    _CONTEXT_CACHE[key] = context
+        if llm is not None:
+            context.llm = llm
+    if llm is None:
+        _CONTEXT_CACHE[key] = context
     return context

@@ -9,7 +9,7 @@ from repro import obs
 from repro.core.nl2sql import Nl2SqlModel
 from repro.core.session import CorrectionOutcome
 from repro.datasets.base import Benchmark, Example
-from repro.errors import SqlError
+from repro.errors import LLMError, SqlError
 from repro.sql.comparison import query_is_ordered, results_match
 from repro.sql.engine import Database
 from repro.sql.executor import QueryResult
@@ -18,11 +18,17 @@ from repro.sql.parser import parse_query
 
 @dataclass
 class PredictionRecord:
-    """One example's prediction and its execution verdict."""
+    """One example's prediction and its execution verdict.
+
+    ``failed`` marks examples whose prediction never materialized (the LLM
+    backend failed after retries); they score as incorrect but are kept in
+    the report so degradation is visible rather than silently dropped.
+    """
 
     example: Example
     predicted_sql: str
     correct: bool
+    failed: bool = False
     notes: list[str] = field(default_factory=list)
 
 
@@ -46,9 +52,18 @@ class AccuracyReport:
             return 0.0
         return self.correct / self.total
 
+    @property
+    def failed(self) -> int:
+        """Examples whose prediction failed outright (backend giveups)."""
+        return sum(1 for record in self.records if record.failed)
+
     def errors(self) -> list[PredictionRecord]:
         """The mispredicted examples (the raw error set)."""
         return [record for record in self.records if not record.correct]
+
+    def failures(self) -> list[PredictionRecord]:
+        """The skip-and-record examples (no prediction produced)."""
+        return [record for record in self.records if record.failed]
 
     def by_hardness(self) -> dict[str, tuple[int, int]]:
         """SPIDER-style breakdown: hardness → (correct, total)."""
@@ -84,7 +99,10 @@ def execution_correct(
     """Single-example execution-accuracy verdict."""
     gold_ast = parse_query(gold_sql)
     gold_result = database.execute_ast(gold_ast)
-    assert isinstance(gold_result, QueryResult)
+    if not isinstance(gold_result, QueryResult):
+        raise SqlError(
+            f"gold query did not produce rows (got {type(gold_result).__name__})"
+        )
     try:
         predicted_ast = parse_query(predicted_sql)
         predicted_result = database.execute_ast(predicted_ast)
@@ -110,7 +128,23 @@ def evaluate_model(
     ) as sp:
         for example in pool:
             database = benchmark.database(example.db_id)
-            prediction = model.predict(example.question, database)
+            try:
+                prediction = model.predict(example.question, database)
+            except LLMError as error:
+                # Skip-and-record: one dead backend call must not abort a
+                # benchmark sweep. The example scores as incorrect.
+                obs.count("eval.skipped_examples")
+                obs.count("eval.examples", correct=False)
+                report.records.append(
+                    PredictionRecord(
+                        example=example,
+                        predicted_sql="",
+                        correct=False,
+                        failed=True,
+                        notes=[f"prediction failed ({error})"],
+                    )
+                )
+                continue
             correct = execution_correct(
                 database, example.gold_sql, prediction.sql
             )
@@ -124,6 +158,7 @@ def evaluate_model(
                 )
             )
         sp.set("accuracy", report.accuracy)
+        sp.set("failed", report.failed)
     return report
 
 

@@ -174,6 +174,65 @@ def _render_sql(snapshot: dict) -> str:
     return "\n".join(lines)
 
 
+def _label_summary(grouped: dict) -> str:
+    return ", ".join(
+        f"{key}={_int(value)}"
+        for key, value in sorted(grouped.items(), key=lambda kv: str(kv[0]))
+    )
+
+
+def _render_resilience(snapshot: dict) -> str:
+    lines = []
+    faults = _counter_by_label(snapshot, "llm.faults.injected", "kind")
+    if faults:
+        lines.append(
+            f"faults injected: {_int(sum(faults.values()))} "
+            f"({_label_summary(faults)})"
+        )
+    retries = _counter_total(snapshot, "llm.retries")
+    giveups = _counter_by_label(snapshot, "llm.giveups", "reason")
+    total_giveups = sum(giveups.values())
+    if retries or total_giveups:
+        line = f"retries: {_int(retries)}, giveups: {_int(total_giveups)}"
+        if total_giveups:
+            line += f" ({_label_summary(giveups)})"
+        lines.append(line)
+    backoff = _histogram(snapshot, "llm.retry_backoff_ms", {})
+    if backoff and backoff["count"]:
+        lines.append(
+            "retry backoff: "
+            f"mean {_ms(backoff['mean'])} ms, "
+            f"p95 {_ms(backoff['p95'])} ms, "
+            f"max {_ms(backoff['max'])} ms"
+        )
+    transitions = _counter_by_label(snapshot, "llm.breaker.state", "state")
+    rejections = _counter_total(snapshot, "llm.breaker.rejections")
+    if transitions or rejections:
+        summary = _label_summary(transitions) if transitions else "none"
+        lines.append(
+            f"breaker transitions: {summary}; "
+            f"rejections: {_int(rejections)}"
+        )
+    degraded = _counter_by_label(snapshot, "resilience.degraded", "stage")
+    if degraded:
+        lines.append(
+            f"degraded rounds: {_int(sum(degraded.values()))} "
+            f"({_label_summary(degraded)})"
+        )
+    empty = _counter_total(snapshot, "correction.empty_completions")
+    if empty:
+        lines.append(f"empty completions: {_int(empty)}")
+    skipped = _counter_total(snapshot, "eval.skipped_examples")
+    if skipped:
+        lines.append(f"eval examples skipped: {_int(skipped)}")
+    aborted = _counter_total(snapshot, "eval.correction_failures")
+    if aborted:
+        lines.append(f"correction sessions aborted: {_int(aborted)}")
+    if not lines:
+        return "(no resilience activity recorded)"
+    return "\n".join(lines)
+
+
 def _render_pipeline(snapshot: dict) -> str:
     lines = []
     predictions = _counter_total(snapshot, "nl2sql.predictions")
@@ -208,6 +267,7 @@ def render_run_report(snapshot: dict) -> str:
         ("LLM calls by prompt kind", _render_llm(snapshot)),
         ("Routing decision distribution", _render_routing(snapshot)),
         ("Correction rounds", _render_corrections(snapshot)),
+        ("Resilience & degradation", _render_resilience(snapshot)),
         ("SQL parse/execute", _render_sql(snapshot)),
         ("Pipeline counters", _render_pipeline(snapshot)),
     )

@@ -1,0 +1,53 @@
+"""``repro.resilience`` — fault injection and resilience policies.
+
+The FISQL loop only pays off if every round completes, yet a real API
+backend times out, rate-limits, and returns garbage. This package makes
+those failure modes (a) reproducible — :class:`FaultInjectingChatModel`
+perturbs any :class:`~repro.llm.interface.ChatModel` under a seeded
+deterministic fault plan — and (b) survivable —
+:class:`ResilientChatModel` adds retry with exponential backoff + jitter,
+a per-call deadline budget, and a circuit breaker, all against an
+injectable clock so tests and chaos runs never really sleep.
+
+Layering (outermost first)::
+
+    ResilientChatModel( FaultInjectingChatModel( SimulatedLLM() ) )
+
+Everything downstream of the wrappers (pipeline, harness, CLI) degrades
+gracefully when an :class:`~repro.errors.LLMError` escapes retry; see
+DESIGN.md "Resilience & chaos testing" for the full semantics.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    FAULT_PROFILES,
+    FaultInjectingChatModel,
+    FaultProfile,
+    resolve_fault_profile,
+)
+from repro.resilience.policies import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    CircuitBreaker,
+    ResilientChatModel,
+    RetryPolicy,
+    VirtualClock,
+)
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "CircuitBreaker",
+    "FAULT_KINDS",
+    "FAULT_PROFILES",
+    "FaultInjectingChatModel",
+    "FaultProfile",
+    "ResilientChatModel",
+    "RetryPolicy",
+    "VirtualClock",
+    "resolve_fault_profile",
+]

@@ -45,12 +45,53 @@ class TestClassifier:
         assert classify_feedback("hmm") == EDIT
 
 
+class _FixedLabelLLM:
+    """A stub model that answers every routing prompt with a fixed label."""
+
+    def __init__(self, label):
+        self._label = label
+
+    def complete(self, prompt):
+        from repro.llm.interface import Completion
+
+        return Completion(text=self._label)
+
+
 class TestRouter:
     def test_router_uses_llm(self):
         router = FeedbackRouter(SimulatedLLM())
         assert router.route("we are in 2024") == EDIT
         assert router.route("do not give descriptions") == REMOVE
         assert router.route("order the names in ascending order.") == ADD
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "hmm",
+            "that's odd",
+            "???",
+            "",
+            "the result looks wrong somehow but I can't say why",
+        ],
+    )
+    def test_unroutable_feedback_falls_back_to_edit(self, text):
+        """Ambiguous/contentless feedback takes the catch-all Edit route."""
+        assert FeedbackRouter(SimulatedLLM()).route(text) == EDIT
+
+    @pytest.mark.parametrize(
+        "label", ["Addendum", "yes", "", "add remove edit", "ADD!"]
+    )
+    def test_unknown_model_label_falls_back_to_edit(self, label):
+        """A label outside add/remove/edit must not leak downstream."""
+        assert FeedbackRouter(_FixedLabelLLM(label)).route("whatever") == EDIT
+
+    @pytest.mark.parametrize(
+        "label,expected",
+        [("Add", ADD), ("  REMOVE \n", REMOVE), ("edit", EDIT)],
+    )
+    def test_label_normalization(self, label, expected):
+        """Case/whitespace variants of valid labels still route."""
+        assert FeedbackRouter(_FixedLabelLLM(label)).route("x") == expected
 
 
 class TestDemoStore:

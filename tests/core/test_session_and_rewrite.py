@@ -247,6 +247,33 @@ class TestParseRegressionRollback:
         assert regressions == 1
 
 
+class TestCorrectionOutcomeCorrectedBy:
+    def test_never_corrected_is_false_for_any_round(self):
+        from repro.core.session import CorrectionOutcome
+
+        outcome = CorrectionOutcome(example_id="x", corrected_round=None)
+        assert not outcome.corrected
+        for round_index in (0, 1, 2, 100):
+            assert not outcome.corrected_by(round_index)
+
+    def test_boundary_rounds(self):
+        from repro.core.session import CorrectionOutcome
+
+        outcome = CorrectionOutcome(example_id="x", corrected_round=2)
+        assert outcome.corrected
+        assert not outcome.corrected_by(0)
+        assert not outcome.corrected_by(1)
+        assert outcome.corrected_by(2)
+        assert outcome.corrected_by(3)
+
+    def test_round_one_correction(self):
+        from repro.core.session import CorrectionOutcome
+
+        outcome = CorrectionOutcome(example_id="x", corrected_round=1)
+        assert outcome.corrected_by(1)
+        assert not outcome.corrected_by(0)
+
+
 class TestQueryRewrite:
     def test_year_feedback_fixed_by_rewrite(self, llm, aep_db, aep_suite):
         _benchmark, demos = aep_suite

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro import obs
 from repro.cli import main as cli_main
 from repro.obs.reporting import render_run_report
@@ -76,6 +78,66 @@ class TestCliTrace:
         assert roots, "at least one root span"
         counters = [line for line in lines if line["type"] == "counter"]
         assert any(line["name"] == "llm.calls" for line in counters)
+
+
+class TestTracePreflight:
+    """The --trace preflight must not destroy or strand trace files."""
+
+    def _failing_artifacts(self, monkeypatch):
+        import repro.cli as cli_module
+
+        def boom(_context):
+            raise RuntimeError("mid-run failure")
+
+        runner, renderer = cli_module._ARTIFACTS["figure2"]
+        monkeypatch.setitem(cli_module._ARTIFACTS, "figure2", (boom, renderer))
+
+    def test_existing_trace_preserved_when_run_fails(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        trace_path = tmp_path / "trace.jsonl"
+        trace_path.write_text('{"type": "meta"}\n', encoding="utf-8")
+        self._failing_artifacts(monkeypatch)
+        with pytest.raises(RuntimeError):
+            cli_main(["figure2", "--scale", "small", "--trace", str(trace_path)])
+        assert trace_path.read_text(encoding="utf-8") == '{"type": "meta"}\n'
+
+    def test_no_stub_left_behind_when_run_fails(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        trace_path = tmp_path / "trace.jsonl"
+        self._failing_artifacts(monkeypatch)
+        with pytest.raises(RuntimeError):
+            cli_main(["figure2", "--scale", "small", "--trace", str(trace_path)])
+        assert not trace_path.exists()
+
+    def test_obs_disabled_even_when_run_fails(self, tmp_path, monkeypatch):
+        self._failing_artifacts(monkeypatch)
+        with pytest.raises(RuntimeError):
+            cli_main(
+                ["figure2", "--scale", "small", "--trace",
+                 str(tmp_path / "t.jsonl")]
+            )
+        assert not obs.is_enabled()
+
+    def test_unwritable_trace_path_fails_before_the_run(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(
+                ["figure2", "--scale", "small", "--trace",
+                 "/nonexistent-dir/trace.jsonl"]
+            )
+        assert excinfo.value.code == 2
+        assert "cannot write trace file" in capsys.readouterr().err
+
+    def test_existing_trace_overwritten_on_success(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.jsonl"
+        trace_path.write_text("old content\n", encoding="utf-8")
+        exit_code = cli_main(
+            ["figure2", "--scale", "small", "--trace", str(trace_path)]
+        )
+        assert exit_code == 0
+        lines = obs.read_trace_jsonl(trace_path)
+        assert lines and lines[0]["type"] == "meta"
 
 
 class TestRunReportRendering:

@@ -1,0 +1,55 @@
+"""Resilience fixtures: stub models and obs-state hygiene."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.llm.interface import Completion, Prompt
+
+
+class StubLLM:
+    """A trivial inner model returning a fixed completion."""
+
+    def __init__(self, text: str = "SELECT name FROM singer") -> None:
+        self.text = text
+        self.calls = 0
+
+    def complete(self, prompt: Prompt) -> Completion:
+        self.calls += 1
+        return Completion(text=self.text)
+
+
+class ScriptedLLM:
+    """Raises/returns per a script: exception classes or completion texts."""
+
+    def __init__(self, script: list) -> None:
+        self._script = list(script)
+        self.calls = 0
+
+    def complete(self, prompt: Prompt) -> Completion:
+        self.calls += 1
+        if not self._script:
+            raise AssertionError("ScriptedLLM script exhausted")
+        step = self._script.pop(0)
+        if isinstance(step, type) and issubclass(step, BaseException):
+            raise step("scripted failure")
+        if isinstance(step, BaseException):
+            raise step
+        return Completion(text=step)
+
+
+@pytest.fixture()
+def stub_llm() -> StubLLM:
+    return StubLLM()
+
+
+def make_prompt(kind: str = "nl2sql") -> Prompt:
+    return Prompt(kind=kind, text="prompt text", payload={})
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled_after_each_test():
+    """Tests may enable() freely; the global always ends the test disabled."""
+    yield
+    obs.disable()

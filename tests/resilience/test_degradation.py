@@ -1,0 +1,189 @@
+"""Graceful degradation: the loop survives a failing/garbling backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.core.nl2sql import Nl2SqlModel
+from repro.core.session import CorrectionOutcome, FisqlPipeline
+from repro.core.user import AnnotatorConfig, SimulatedAnnotator
+from repro.datasets.base import Example
+from repro.errors import CircuitOpenError, TransientLLMError
+from repro.eval.metrics import evaluate_model
+from repro.llm.interface import KIND_FEEDBACK, KIND_ROUTING, Completion
+from repro.llm.simulated import SimulatedLLM
+
+
+class _KindFailingLLM:
+    """Delegates to SimulatedLLM except for the kinds told to fail."""
+
+    def __init__(self, fail_kinds, error=TransientLLMError):
+        self._inner = SimulatedLLM()
+        self._fail_kinds = set(fail_kinds)
+        self._error = error
+
+    def complete(self, prompt):
+        if prompt.kind in self._fail_kinds:
+            raise self._error(f"injected failure for {prompt.kind}")
+        return self._inner.complete(prompt)
+
+
+class _EmptyFeedbackLLM:
+    def __init__(self):
+        self._inner = SimulatedLLM()
+
+    def complete(self, prompt):
+        if prompt.kind == KIND_FEEDBACK:
+            return Completion(text="   \n")
+        return self._inner.complete(prompt)
+
+
+@pytest.fixture()
+def perfect_annotator(aep_db):
+    return SimulatedAnnotator(
+        aep_db.schema, AnnotatorConfig(vague_rate=0.0, misaligned_rate=0.0)
+    )
+
+
+def year_example():
+    return Example(
+        example_id="year-1",
+        db_id="experience_platform",
+        question="How many segments were created in January?",
+        gold_sql=(
+            "SELECT COUNT(*) FROM hkg_dim_segment WHERE createdtime >= "
+            "'2024-01-01' AND createdtime < '2024-02-01'"
+        ),
+        trap_kind="default_year",
+    )
+
+
+YEAR_INITIAL = (
+    "SELECT COUNT(*) FROM hkg_dim_segment WHERE createdtime >= "
+    "'2023-01-01' AND createdtime < '2023-02-01'"
+)
+
+
+def _correct(llm, aep_db, annotator, max_rounds=1, routing=True):
+    pipeline = FisqlPipeline(
+        model=Nl2SqlModel(llm=llm), llm=llm, routing=routing
+    )
+    return pipeline.correct(
+        example=year_example(),
+        database=aep_db,
+        initial_sql=YEAR_INITIAL,
+        annotator=annotator,
+        max_rounds=max_rounds,
+    )
+
+
+class TestRoutingDegradation:
+    def test_routing_failure_falls_back_to_generic_demos(
+        self, aep_db, perfect_annotator
+    ):
+        obs.enable()
+        llm = _KindFailingLLM({KIND_ROUTING})
+        outcome = _correct(llm, aep_db, perfect_annotator)
+        # The round survived without a routed type; the generic demo set
+        # still fixes the year trap (as in the -Routing ablation).
+        assert outcome.rounds, "round must still run"
+        record = outcome.rounds[0]
+        assert record.feedback_type is None
+        assert any("routing failed" in note for note in record.notes)
+        assert outcome.corrected
+        metrics = obs.get_metrics()
+        assert metrics.counter_value("resilience.degraded", stage="routing") == 1
+
+    def test_breaker_open_routing_degrades_too(self, aep_db, perfect_annotator):
+        llm = _KindFailingLLM({KIND_ROUTING}, error=CircuitOpenError)
+        outcome = _correct(llm, aep_db, perfect_annotator)
+        assert outcome.rounds
+        assert outcome.rounds[0].feedback_type is None
+
+
+class TestRegenerationDegradation:
+    def test_failed_regeneration_keeps_previous_sql(
+        self, aep_db, perfect_annotator
+    ):
+        obs.enable()
+        llm = _KindFailingLLM({KIND_FEEDBACK})
+        outcome = _correct(llm, aep_db, perfect_annotator, max_rounds=2)
+        assert not outcome.corrected
+        assert len(outcome.rounds) == 2  # the session kept going
+        for record in outcome.rounds:
+            assert record.degraded
+            assert not record.corrected
+            assert record.sql_after == record.sql_before == YEAR_INITIAL
+            assert any("kept previous SQL" in note for note in record.notes)
+        metrics = obs.get_metrics()
+        assert (
+            metrics.counter_value("resilience.degraded", stage="regeneration")
+            == 2
+        )
+
+    def test_empty_completion_is_a_degraded_round(
+        self, aep_db, perfect_annotator
+    ):
+        obs.enable()
+        llm = _EmptyFeedbackLLM()
+        outcome = _correct(llm, aep_db, perfect_annotator)
+        record = outcome.rounds[0]
+        assert record.degraded
+        assert record.sql_after == YEAR_INITIAL
+        assert any("empty completion" in note for note in record.notes)
+        metrics = obs.get_metrics()
+        assert metrics.counter_total("correction.empty_completions") == 1
+        assert (
+            metrics.counter_value(
+                "resilience.degraded", stage="empty_completion"
+            )
+            == 1
+        )
+
+
+class TestEvaluationDegradation:
+    def test_evaluate_model_skips_and_records(self, aep_suite):
+        obs.enable()
+        benchmark, _demos = aep_suite
+        dead_model = Nl2SqlModel(llm=_KindFailingLLM({"nl2sql"}))
+        examples = benchmark.examples[:5]
+        report = evaluate_model(dead_model, benchmark, examples=examples)
+        assert report.total == 5
+        assert report.correct == 0
+        assert report.failed == 5
+        assert all(record.failed for record in report.records)
+        assert all(record.predicted_sql == "" for record in report.records)
+        assert len(report.failures()) == 5
+        metrics = obs.get_metrics()
+        assert metrics.counter_total("eval.skipped_examples") == 5
+
+    def test_failed_predictions_are_not_correctable_errors(self, aep_suite):
+        """Skip-and-record examples drop out of the annotated error set
+        (there is no SQL to give feedback on)."""
+        benchmark, _demos = aep_suite
+        dead_model = Nl2SqlModel(llm=_KindFailingLLM({"nl2sql"}))
+        report = evaluate_model(
+            dead_model, benchmark, examples=benchmark.examples[:3]
+        )
+        from repro.sql.parser import parse_query
+        from repro.errors import SqlError
+
+        for record in report.errors():
+            with pytest.raises(SqlError):
+                parse_query(record.predicted_sql)
+
+
+class TestOutcomeBookkeeping:
+    def test_failure_outcome_counts_as_uncorrected(self):
+        from repro.eval.metrics import correction_rate
+
+        outcomes = [
+            CorrectionOutcome(example_id="a", corrected_round=1),
+            CorrectionOutcome(
+                example_id="b",
+                corrected_round=None,
+                failure="TransientLLMError: boom",
+            ),
+        ]
+        assert correction_rate(outcomes, within_rounds=1) == 50.0

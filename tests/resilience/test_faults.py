@@ -1,0 +1,147 @@
+"""Fault profile + deterministic fault-injection tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.errors import (
+    LLMTimeoutError,
+    RateLimitError,
+    TransientLLMError,
+)
+from repro.resilience import (
+    FAULT_PROFILES,
+    FaultInjectingChatModel,
+    FaultProfile,
+    resolve_fault_profile,
+)
+
+from tests.resilience.conftest import StubLLM, make_prompt
+
+
+class TestFaultProfile:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            FaultProfile(timeout_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultProfile(timeout_rate=1.2)
+        with pytest.raises(ValueError):
+            FaultProfile(timeout_rate=0.6, transient_rate=0.6)
+
+    def test_combined_rate(self):
+        profile = FaultProfile(timeout_rate=0.1, empty_rate=0.2)
+        assert profile.combined_rate == pytest.approx(0.3)
+
+    def test_fault_for_band_layout(self):
+        profile = FaultProfile(
+            timeout_rate=0.1,
+            transient_rate=0.1,
+            rate_limit_rate=0.1,
+            empty_rate=0.1,
+            truncate_rate=0.1,
+        )
+        assert profile.fault_for(0.05) == "timeout"
+        assert profile.fault_for(0.15) == "transient"
+        assert profile.fault_for(0.25) == "rate_limit"
+        assert profile.fault_for(0.35) == "empty"
+        assert profile.fault_for(0.45) == "truncate"
+        assert profile.fault_for(0.75) is None
+
+    def test_default_profile_meets_chaos_floor(self):
+        """The documented chaos baseline perturbs >= 10% of calls."""
+        assert FAULT_PROFILES["default"].combined_rate >= 0.10
+
+
+class TestResolveFaultProfile:
+    def test_named_profile_with_seed(self):
+        profile = resolve_fault_profile("default", seed=7)
+        assert profile.seed == 7
+        assert profile.timeout_rate == FAULT_PROFILES["default"].timeout_rate
+
+    def test_key_value_spec(self):
+        profile = resolve_fault_profile("timeout=0.1,empty=0.05", seed=3)
+        assert profile.timeout_rate == pytest.approx(0.1)
+        assert profile.empty_rate == pytest.approx(0.05)
+        assert profile.transient_rate == 0.0
+        assert profile.seed == 3
+
+    def test_spec_seed_overrides_argument(self):
+        profile = resolve_fault_profile("timeout=0.1,seed=42", seed=3)
+        assert profile.seed == 42
+
+    def test_unknown_name_and_key_raise(self):
+        with pytest.raises(ValueError, match="unknown fault profile"):
+            resolve_fault_profile("nope")
+        with pytest.raises(ValueError, match="unknown fault profile key"):
+            resolve_fault_profile("bogus=0.1")
+        with pytest.raises(ValueError, match="malformed value"):
+            resolve_fault_profile("timeout=lots")
+
+
+def _run_sequence(profile: FaultProfile, calls: int) -> list[str]:
+    """The observable outcome of each call: fault class name or text."""
+    model = FaultInjectingChatModel(StubLLM(), profile)
+    outcomes = []
+    for _ in range(calls):
+        try:
+            completion = model.complete(make_prompt())
+        except (LLMTimeoutError, RateLimitError, TransientLLMError) as error:
+            outcomes.append(type(error).__name__)
+        else:
+            outcomes.append(completion.text)
+    return outcomes
+
+
+class TestFaultInjection:
+    def test_zero_profile_is_passthrough(self, stub_llm):
+        model = FaultInjectingChatModel(stub_llm, FaultProfile())
+        for _ in range(50):
+            assert model.complete(make_prompt()).text == stub_llm.text
+        assert model.fault_counts == {}
+        assert model.calls == 50
+
+    def test_all_timeout_profile(self, stub_llm):
+        model = FaultInjectingChatModel(
+            stub_llm, FaultProfile(timeout_rate=1.0)
+        )
+        with pytest.raises(LLMTimeoutError):
+            model.complete(make_prompt())
+        assert stub_llm.calls == 0  # the backend never answered
+
+    def test_empty_and_truncate_perturb_completions(self, stub_llm):
+        empty = FaultInjectingChatModel(stub_llm, FaultProfile(empty_rate=1.0))
+        assert empty.complete(make_prompt()).text == ""
+        truncating = FaultInjectingChatModel(
+            stub_llm, FaultProfile(truncate_rate=1.0)
+        )
+        garbled = truncating.complete(make_prompt()).text
+        assert garbled != stub_llm.text
+        assert garbled.endswith("...")
+
+    def test_same_seed_same_fault_sequence(self):
+        profile = FAULT_PROFILES["outage"]
+        first = _run_sequence(profile, 200)
+        second = _run_sequence(profile, 200)
+        assert first == second
+        assert any(outcome.endswith("Error") for outcome in first)
+
+    def test_different_seeds_differ(self):
+        profile = FAULT_PROFILES["outage"]
+        from dataclasses import replace
+
+        other = replace(profile, seed=1)
+        assert _run_sequence(profile, 200) != _run_sequence(other, 200)
+
+    def test_fault_counts_and_metrics(self, stub_llm):
+        obs.enable()
+        model = FaultInjectingChatModel(
+            stub_llm, FaultProfile(rate_limit_rate=1.0)
+        )
+        for _ in range(5):
+            with pytest.raises(RateLimitError):
+                model.complete(make_prompt())
+        assert model.fault_counts == {"rate_limit": 5}
+        assert obs.get_metrics().counter_value(
+            "llm.faults.injected", kind="rate_limit"
+        ) == 5
