@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The session server end-to-end: boot, converse over HTTP, drain.
+
+Starts the :mod:`repro.serve` server in a thread on an ephemeral port,
+drives a two-round ask → feedback → corrected conversation through
+:class:`repro.serve.ServeClient` (a real socket, the same bytes a curl
+user would see), then prints the server-side transcript and the
+``/metrics`` run report before draining gracefully.
+
+Run:  python examples/serve_client.py
+"""
+
+from repro import obs
+from repro.core import DemonstrationRetriever
+from repro.datasets import build_aep_database, generate_aep_suite
+from repro.serve import CatalogEntry, ServeApp, ServeClient, start_in_thread
+
+
+def build_app() -> ServeApp:
+    """One hosted database (the AEP workload) with its RAG demo pool."""
+    database = build_aep_database()
+    _traffic, demos = generate_aep_suite(n_questions=10)
+    catalog = {"aep": CatalogEntry(database, DemonstrationRetriever(demos))}
+    return ServeApp(catalog)
+
+
+def main() -> None:
+    obs.enable()  # the server is born instrumented: /metrics is live
+    app = build_app()
+    server, _thread = start_in_thread(app)  # port 0 -> ephemeral
+    client = ServeClient.connect(port=server.port)
+
+    session = client.create_session(db="aep", tenant="demo")
+    session_id = session["id"]
+    print(f"opened session {session_id} on db={session['db']}\n")
+
+    reply = client.ask(
+        session_id, "How many audiences were created in January?"
+    )
+    print(f"[round 0] SQL: {reply['answer']['sql']}")
+
+    # Round 1: the model assumed the wrong year; say so.
+    reply = client.feedback(session_id, "we are in 2024")
+    print(f"[round 1] SQL: {reply['answer']['sql']}")
+
+    # Round 2: trim the projection.
+    client.ask(session_id, "List the audiences created in June.")
+    reply = client.feedback(session_id, "do not give descriptions")
+    print(f"[round 2] SQL: {reply['answer']['sql']}")
+
+    print("\n--- transcript (server side) " + "-" * 30)
+    print(client.transcript(session_id)["transcript"])
+
+    print("\n--- /healthz " + "-" * 46)
+    print(client.healthz())
+
+    print("\n--- /metrics " + "-" * 46)
+    print(client.metrics())
+
+    app.begin_drain()
+    app.await_idle(timeout=5.0)
+    server.shutdown()
+    print("server drained and stopped.")
+
+
+if __name__ == "__main__":
+    main()

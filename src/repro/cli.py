@@ -1,28 +1,28 @@
-"""Command-line entry point: regenerate any of the paper's artifacts.
+"""Command-line entry point: artifacts, the session server, trace tooling.
 
-Usage::
+Subcommands::
 
-    fisql-repro figure2 --scale medium
-    fisql-repro table2  --scale full --metrics
-    fisql-repro figure8
-    fisql-repro table3
-    fisql-repro all --scale small --trace /tmp/fisql-trace.jsonl
-    fisql-repro table2 --scale small --inject-faults default --metrics
-    python -m repro.cli all
+    fisql-repro run figure2 --scale medium          # paper artifacts
+    fisql-repro run all --scale small --metrics --trace /tmp/t.jsonl
+    fisql-repro serve --port 8080 --scale small     # session server
+    fisql-repro trace-summary /tmp/t.jsonl          # re-render a trace
 
-Scales: ``small`` (seconds), ``medium`` (default), ``full`` (the paper's
-sizes: 200 databases, 1034 dev questions).
+Back-compat: the bare artifact form still works — ``fisql-repro figure2
+--scale small`` is an alias for ``fisql-repro run figure2 --scale small``,
+so existing docs and CI invocations keep running unchanged.
 
-``--metrics`` prints a run report (span/latency/routing/correction
-summaries) after the artifacts; ``--trace PATH`` writes the full JSONL
-span + metric export (schema in :mod:`repro.obs.export`). With neither
-flag the instrumentation stays in no-op mode.
+``run`` flags: ``--metrics`` prints a run report after the artifacts;
+``--trace PATH`` writes the full JSONL span + metric export (schema in
+:mod:`repro.obs.export`); ``--inject-faults PROFILE`` runs the experiment
+against a seeded deterministic chaos harness (:mod:`repro.resilience`),
+with ``--llm-retries``/``--llm-timeout`` tuning the resilient wrapper.
 
-``--inject-faults PROFILE`` runs the whole experiment against a seeded
-deterministic chaos harness (:mod:`repro.resilience`); ``--llm-retries``
-and ``--llm-timeout`` tune the retry/deadline policy of the resilient
-wrapper that absorbs those faults. Backoff waits run on a virtual clock,
-so chaos runs take no extra wall-clock time.
+``serve`` boots the :mod:`repro.serve` session server over the databases
+of an experiment context, instrumented from the start (``/metrics`` is
+live immediately); SIGINT/SIGTERM drain gracefully.
+
+``trace-summary`` re-renders a saved ``--trace`` file as a flame-style
+rollup with per-round drill-down — no experiment re-run needed.
 """
 
 from __future__ import annotations
@@ -70,43 +70,76 @@ _ARTIFACTS = {
     "table3": (run_table3, render_table3),
 }
 
+_SUBCOMMANDS = ("run", "serve", "trace-summary")
+
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Run the requested experiment(s) and print the paper-format output."""
+    """Dispatch a subcommand (or the bare-artifact alias for ``run``)."""
+    parser = _build_parser()
+    args = parser.parse_args(_normalize_argv(argv))
+    return args.func(args, parser)
+
+
+def _normalize_argv(argv: Optional[Sequence[str]]) -> list:
+    """Treat ``fisql-repro <artifact> …`` as ``fisql-repro run <artifact> …``.
+
+    The alias triggers only when the first token is not a subcommand and
+    some token names an artifact (or ``all``) — so ``fisql-repro -h`` and
+    plain typos still reach the top-level parser untouched.
+    """
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if (
+        argv
+        and argv[0] not in _SUBCOMMANDS
+        and (set(argv) & (set(_ARTIFACTS) | {"all"}))
+    ):
+        return ["run"] + argv
+    return argv
+
+
+def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="fisql-repro",
-        description="Regenerate the FISQL paper's tables and figures.",
+        description=(
+            "FISQL reproduction: regenerate the paper's artifacts, host "
+            "the interactive-correction session server, or inspect traces."
+        ),
     )
-    parser.add_argument(
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser(
+        "run", help="regenerate the paper's tables and figures"
+    )
+    run.add_argument(
         "artifact",
         choices=sorted(_ARTIFACTS) + ["all"],
         help="which table/figure to regenerate",
     )
-    parser.add_argument(
+    run.add_argument(
         "--scale",
         choices=sorted(SCALES),
         default="medium",
         help="experiment scale (full = the paper's sizes; default: medium)",
     )
-    parser.add_argument(
+    run.add_argument(
         "--seed", type=int, default=20250325, help="generator seed"
     )
-    parser.add_argument(
+    run.add_argument(
         "--chart",
         action="store_true",
         help="render figures as ASCII bar charts instead of tables",
     )
-    parser.add_argument(
+    run.add_argument(
         "--metrics",
         action="store_true",
         help="print an observability run report after the artifacts",
     )
-    parser.add_argument(
+    run.add_argument(
         "--trace",
         metavar="PATH",
         help="write a JSONL span/metric trace of the run to PATH",
     )
-    parser.add_argument(
+    run.add_argument(
         "--inject-faults",
         metavar="PROFILE",
         help=(
@@ -115,7 +148,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "outage; or a spec like 'timeout=0.1,empty=0.05')"
         ),
     )
-    parser.add_argument(
+    run.add_argument(
         "--llm-retries",
         type=int,
         metavar="N",
@@ -124,14 +157,101 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"(default {DEFAULT_LLM_RETRIES} when resilience is active)"
         ),
     )
-    parser.add_argument(
+    run.add_argument(
         "--llm-timeout",
         type=float,
         metavar="MS",
         help="per-call deadline budget in ms across retries and backoff",
     )
-    args = parser.parse_args(argv)
+    run.set_defaults(func=_cmd_run)
 
+    serve = subparsers.add_parser(
+        "serve", help="host the interactive-correction session server"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="small",
+        help="which experiment context to preload (default: small)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=20250325, help="generator seed"
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=128,
+        metavar="N",
+        help="resident-session cap before LRU eviction / admission refusal",
+    )
+    serve.add_argument(
+        "--session-ttl",
+        type=float,
+        default=900.0,
+        metavar="SECONDS",
+        help="idle time after which a session is evicted (0 disables)",
+    )
+    serve.add_argument(
+        "--llm-retries",
+        type=int,
+        default=DEFAULT_LLM_RETRIES,
+        metavar="N",
+        help="per-tenant retries for transient LLM failures",
+    )
+    serve.add_argument(
+        "--llm-timeout",
+        type=float,
+        metavar="MS",
+        help="per-tenant per-call deadline budget in ms",
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        metavar="N",
+        help="consecutive failures before a tenant's circuit opens",
+    )
+    serve.add_argument(
+        "--breaker-reset-ms",
+        type=float,
+        default=30_000.0,
+        metavar="MS",
+        help="cooldown before an open tenant circuit half-opens",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="how long to wait for in-flight requests on SIGINT/SIGTERM",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    summary = subparsers.add_parser(
+        "trace-summary",
+        help="re-render a saved --trace JSONL file (no re-run needed)",
+    )
+    summary.add_argument("path", help="path to a JSONL trace file")
+    summary.add_argument(
+        "--depth",
+        type=int,
+        metavar="N",
+        help="limit the flame rollup to N levels",
+    )
+    summary.set_defaults(func=_cmd_trace_summary)
+
+    return parser
+
+
+# -- run ---------------------------------------------------------------------------
+
+
+def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Run the requested experiment(s) and print the paper-format output."""
     try:
         llm = _build_llm(args)
     except ValueError as error:
@@ -233,6 +353,66 @@ def _remove_empty_stub(path: str) -> None:
             os.remove(path)
     except OSError:
         pass
+
+
+# -- serve -------------------------------------------------------------------------
+
+
+def _cmd_serve(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """Preload the context, build the app, and serve until signalled."""
+    from repro.serve import ServeApp, SessionManager, TenantPolicy, run_server
+
+    if args.max_sessions < 1:
+        parser.error(f"--max-sessions must be >= 1: {args.max_sessions}")
+    if args.llm_timeout is not None and args.llm_timeout <= 0:
+        parser.error(f"--llm-timeout must be > 0 ms: {args.llm_timeout}")
+
+    # The server is instrumented from the start: /metrics renders the live
+    # registry, and every request is spanned/counted.
+    obs.enable()
+    print(
+        f"fisql-serve preloading context (scale={args.scale}, "
+        f"seed={args.seed})..."
+    )
+    context = build_context(scale=args.scale, seed=args.seed)
+    manager = SessionManager(
+        max_sessions=args.max_sessions,
+        ttl_seconds=args.session_ttl if args.session_ttl > 0 else None,
+    )
+    policy = TenantPolicy(
+        max_retries=args.llm_retries,
+        deadline_ms=args.llm_timeout,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_ms=args.breaker_reset_ms,
+    )
+    app = ServeApp.from_context(context, manager=manager, policy=policy)
+    try:
+        return run_server(
+            app,
+            host=args.host,
+            port=args.port,
+            drain_grace=args.drain_grace,
+        )
+    finally:
+        obs.disable()
+
+
+# -- trace-summary -----------------------------------------------------------------
+
+
+def _cmd_trace_summary(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """Render the flame rollup + drill-downs for a saved trace."""
+    from repro.obs.trace_summary import summarize_trace_file
+
+    try:
+        print(summarize_trace_file(args.path, max_depth=args.depth))
+    except (OSError, ValueError) as error:
+        parser.error(f"cannot summarize {args.path!r}: {error}")
+    return 0
 
 
 if __name__ == "__main__":

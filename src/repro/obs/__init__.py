@@ -40,6 +40,7 @@ from repro.obs.metrics import (
     percentile,
     summarize_histogram,
 )
+from repro.obs.trace_summary import summarize_trace, summarize_trace_file
 from repro.obs.tracer import (
     DEFAULT_MAX_SPANS,
     NOOP_SPAN,
@@ -71,6 +72,8 @@ __all__ = [
     "snapshot",
     "span",
     "summarize_histogram",
+    "summarize_trace",
+    "summarize_trace_file",
     "timer",
     "trace_lines",
     "write_trace_jsonl",

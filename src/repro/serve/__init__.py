@@ -1,0 +1,98 @@
+"""``repro.serve`` — the concurrent interactive-correction session server.
+
+The paper's FISQL is a deployed chat tool, not a batch script: users ask,
+read the four-part response, and reply with feedback, live. This package
+is that serving layer for the reproduction — a zero-dependency
+JSON-over-HTTP service hosting many concurrent
+:class:`~repro.core.chat.ChatSession`'s over shared, preloaded database
+contexts, instrumented with :mod:`repro.obs` and isolated per tenant via
+:mod:`repro.resilience` policies.
+
+Layers:
+
+* :mod:`repro.serve.protocol` — typed request/response payloads, the
+  canonical JSON codec, and structured error payloads.
+* :mod:`repro.serve.sessions` — thread-safe session registry with
+  per-session locks, TTL + LRU eviction, and a max-sessions gate.
+* :mod:`repro.serve.server`  — the routes, per-tenant resilience stacks,
+  graceful drain, and the stdlib ``ThreadingHTTPServer`` binding.
+* :mod:`repro.serve.client`  — a blocking client over a real socket or an
+  in-process transport (same bytes either way).
+
+Start one from the CLI with ``fisql-repro serve`` or in code::
+
+    from repro.serve import ServeApp, ServeClient, start_in_thread
+
+    app = ServeApp.from_context(build_context(scale="small"))
+    server, _ = start_in_thread(app)
+    client = ServeClient.connect(port=server.port)
+    session = client.create_session(db="aep")
+    client.ask(session["id"], "How many audiences were created in January?")
+    client.feedback(session["id"], "we are in 2024")
+"""
+
+from repro.serve.client import (
+    HttpTransport,
+    InProcessTransport,
+    ServeClient,
+    ServeClientError,
+)
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    AskRequest,
+    CreateSessionRequest,
+    FeedbackRequest,
+    ProtocolError,
+    answer_view,
+    error_payload,
+    json_decode,
+    json_encode,
+    turn_view,
+)
+from repro.serve.server import (
+    DEFAULT_DRAIN_GRACE,
+    CatalogEntry,
+    ServeApp,
+    ServeHTTPServer,
+    TenantPolicy,
+    run_server,
+    start_in_thread,
+)
+from repro.serve.sessions import (
+    DEFAULT_MAX_SESSIONS,
+    SessionError,
+    SessionLimitError,
+    SessionManager,
+    SessionRecord,
+    UnknownSessionError,
+)
+
+__all__ = [
+    "DEFAULT_DRAIN_GRACE",
+    "DEFAULT_MAX_SESSIONS",
+    "PROTOCOL_VERSION",
+    "AskRequest",
+    "CatalogEntry",
+    "CreateSessionRequest",
+    "FeedbackRequest",
+    "HttpTransport",
+    "InProcessTransport",
+    "ProtocolError",
+    "ServeApp",
+    "ServeClient",
+    "ServeClientError",
+    "ServeHTTPServer",
+    "SessionError",
+    "SessionLimitError",
+    "SessionManager",
+    "SessionRecord",
+    "TenantPolicy",
+    "UnknownSessionError",
+    "answer_view",
+    "error_payload",
+    "json_decode",
+    "json_encode",
+    "run_server",
+    "start_in_thread",
+    "turn_view",
+]

@@ -1,0 +1,180 @@
+"""Blocking client for the session server, plus an in-process transport.
+
+:class:`ServeClient` speaks the protocol of :mod:`repro.serve.server`
+over either transport:
+
+* :class:`HttpTransport` — a real socket via :mod:`http.client` (one
+  connection per request, so a client instance is safe to share only
+  per-thread; tests create one client per worker thread).
+* :class:`InProcessTransport` — calls ``ServeApp.handle`` directly. Both
+  transports move the *same bytes*, which is what the parity tests rely
+  on: an in-process run and a socket run of the same script produce
+  byte-identical response bodies.
+
+Non-2xx responses raise :class:`ServeClientError` carrying the HTTP
+status and the structured error payload (``error.code`` et al.).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Optional, Protocol, Tuple
+
+from repro.errors import ReproError
+from repro.serve.protocol import json_encode
+from repro.serve.server import ServeApp
+
+
+class ServeClientError(ReproError):
+    """A non-2xx response from the server."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        error = payload.get("error", {}) if isinstance(payload, dict) else {}
+        code = error.get("code", "unknown")
+        message = error.get("message", "request failed")
+        super().__init__(f"[{status}/{code}] {message}")
+        self.status = status
+        self.code = code
+        self.payload = payload
+
+
+class Transport(Protocol):
+    """Anything that can move a request to a serve app."""
+
+    def request(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Tuple[int, bytes]:
+        """Returns ``(status, body_bytes)``."""
+        ...  # pragma: no cover
+
+
+class HttpTransport:
+    """Requests over a real socket (a fresh connection per request)."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 30.0
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+
+    def request(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Tuple[int, bytes]:
+        connection = http.client.HTTPConnection(
+            self._host, self._port, timeout=self._timeout
+        )
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read()
+        finally:
+            connection.close()
+
+
+class InProcessTransport:
+    """Requests straight into a :class:`ServeApp`, no socket."""
+
+    def __init__(self, app: ServeApp) -> None:
+        self._app = app
+
+    def request(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Tuple[int, bytes]:
+        status, _ctype, payload = self._app.handle(method, path, body or b"")
+        return status, payload
+
+
+class ServeClient:
+    """A small blocking client for examples, tests, and load generators."""
+
+    def __init__(self, transport: Transport) -> None:
+        self._transport = transport
+
+    @classmethod
+    def connect(
+        cls, host: str = "127.0.0.1", port: int = 8080, timeout: float = 30.0
+    ) -> "ServeClient":
+        return cls(HttpTransport(host, port, timeout=timeout))
+
+    @classmethod
+    def in_process(cls, app: ServeApp) -> "ServeClient":
+        return cls(InProcessTransport(app))
+
+    # -- raw plumbing ---------------------------------------------------------
+
+    def request_raw(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> Tuple[int, bytes]:
+        """The raw ``(status, body_bytes)`` — parity tests compare these."""
+        body = json_encode(payload) if payload is not None else None
+        return self._transport.request(method, path, body)
+
+    def _request(
+        self, method: str, path: str, payload: Optional[dict] = None
+    ) -> dict:
+        status, raw = self.request_raw(method, path, payload)
+        try:
+            parsed = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            parsed = {"error": {"code": "bad_body", "message": repr(raw)}}
+        if status >= 400:
+            raise ServeClientError(status, parsed)
+        return parsed
+
+    # -- endpoints ------------------------------------------------------------------
+
+    def create_session(
+        self, db: str, tenant: str = "default", routing: bool = True
+    ) -> dict:
+        """Open a session; returns the session view (``id`` inside)."""
+        payload = self._request(
+            "POST",
+            "/sessions",
+            {"db": db, "tenant": tenant, "routing": routing},
+        )
+        return payload["session"]
+
+    def list_sessions(self) -> list:
+        return self._request("GET", "/sessions")["sessions"]
+
+    def session_info(self, session_id: str) -> dict:
+        return self._request("GET", f"/sessions/{session_id}")["session"]
+
+    def delete_session(self, session_id: str) -> dict:
+        return self._request("DELETE", f"/sessions/{session_id}")
+
+    def ask(self, session_id: str, question: str) -> dict:
+        """Ask a fresh question; returns the response payload."""
+        return self._request(
+            "POST", f"/sessions/{session_id}/ask", {"question": question}
+        )
+
+    def feedback(
+        self,
+        session_id: str,
+        feedback: str,
+        highlight: Optional[str] = None,
+    ) -> dict:
+        """Send feedback on the last answer; returns the revised payload."""
+        body: dict = {"feedback": feedback}
+        if highlight is not None:
+            body["highlight"] = highlight
+        return self._request(
+            "POST", f"/sessions/{session_id}/feedback", body
+        )
+
+    def transcript(self, session_id: str) -> dict:
+        return self._request("GET", f"/sessions/{session_id}/transcript")
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The ``/metrics`` run report as text."""
+        status, raw = self.request_raw("GET", "/metrics")
+        if status >= 400:
+            raise ServeClientError(status, {})
+        return raw.decode("utf-8")

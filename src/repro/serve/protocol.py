@@ -1,0 +1,242 @@
+"""The serve wire protocol: typed requests/responses + canonical JSON.
+
+Every body on the wire is a JSON object. Requests are validated into
+frozen dataclasses (unknown fields, missing fields, and wrong types all
+become a structured 400 — :class:`ProtocolError` carries the HTTP status
+and a machine-readable ``code``). Responses are built through the
+``*_view`` helpers and serialized with :func:`json_encode`, which is
+*canonical* (sorted keys, compact separators): the same payload always
+produces the same bytes, which is what lets the parity tests compare the
+HTTP surface against the in-process pipeline byte-for-byte.
+
+Error payload shape (all non-2xx responses)::
+
+    {"error": {"code": "unknown_session", "message": "...", ...detail}}
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.assistant import AssistantResponse
+from repro.core.chat import ChatTurn
+from repro.errors import ReproError
+
+#: Bump when a request/response shape changes.
+PROTOCOL_VERSION = 1
+
+_MISSING = object()
+
+
+class ProtocolError(ReproError):
+    """A request the server refuses, with an HTTP status and error code."""
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        detail: Optional[dict] = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.detail = dict(detail or {})
+
+    def payload(self) -> dict:
+        """The structured error body sent on the wire."""
+        error = {"code": self.code, "message": self.message}
+        error.update(self.detail)
+        return {"error": error}
+
+
+# -- JSON codec --------------------------------------------------------------------
+
+
+def json_encode(payload: dict) -> bytes:
+    """Canonical JSON bytes: sorted keys, compact, UTF-8."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    ).encode("utf-8")
+
+
+def json_decode(raw: bytes) -> dict:
+    """Parse a request body; anything but a JSON object is a 400."""
+    if not raw:
+        raise ProtocolError(400, "invalid_json", "request body is empty")
+    try:
+        parsed = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(
+            400, "invalid_json", f"request body is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(parsed, dict):
+        raise ProtocolError(
+            400,
+            "invalid_json",
+            f"request body must be a JSON object, got {type(parsed).__name__}",
+        )
+    return parsed
+
+
+# -- request validation ------------------------------------------------------------
+
+
+def _validate(payload: dict, fields: dict) -> dict:
+    """Check ``payload`` against ``fields`` ({name: (types, default)}).
+
+    A default of ``_MISSING`` marks the field required. Returns the
+    validated value map; raises :class:`ProtocolError` (400) otherwise.
+    """
+    unknown = sorted(set(payload) - set(fields))
+    if unknown:
+        raise ProtocolError(
+            400,
+            "invalid_request",
+            f"unknown field(s): {', '.join(unknown)}",
+            {"fields": unknown},
+        )
+    values = {}
+    for name, (types, default) in fields.items():
+        if name not in payload:
+            if default is _MISSING:
+                raise ProtocolError(
+                    400,
+                    "invalid_request",
+                    f"missing required field {name!r}",
+                    {"field": name},
+                )
+            values[name] = default
+            continue
+        value = payload[name]
+        if not isinstance(value, types) or (
+            isinstance(value, bool) and bool not in _as_tuple(types)
+        ):
+            expected = "/".join(t.__name__ for t in _as_tuple(types))
+            raise ProtocolError(
+                400,
+                "invalid_request",
+                f"field {name!r} must be {expected}, "
+                f"got {type(value).__name__}",
+                {"field": name},
+            )
+        values[name] = value
+    return values
+
+
+def _as_tuple(types) -> tuple:
+    return types if isinstance(types, tuple) else (types,)
+
+
+def _non_empty(value: str, name: str) -> str:
+    if not value.strip():
+        raise ProtocolError(
+            400,
+            "invalid_request",
+            f"field {name!r} must not be empty",
+            {"field": name},
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class CreateSessionRequest:
+    """``POST /sessions`` — open a chat session against a hosted database."""
+
+    db: str
+    tenant: str = "default"
+    routing: bool = True
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CreateSessionRequest":
+        values = _validate(
+            payload,
+            {
+                "db": (str, _MISSING),
+                "tenant": (str, "default"),
+                "routing": (bool, True),
+            },
+        )
+        _non_empty(values["db"], "db")
+        _non_empty(values["tenant"], "tenant")
+        return cls(**values)
+
+
+@dataclass(frozen=True)
+class AskRequest:
+    """``POST /sessions/{id}/ask`` — a fresh natural-language question."""
+
+    question: str
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "AskRequest":
+        values = _validate(payload, {"question": (str, _MISSING)})
+        _non_empty(values["question"], "question")
+        return cls(**values)
+
+
+@dataclass(frozen=True)
+class FeedbackRequest:
+    """``POST /sessions/{id}/feedback`` — feedback on the last answer."""
+
+    feedback: str
+    highlight: Optional[str] = None
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FeedbackRequest":
+        values = _validate(
+            payload,
+            {
+                "feedback": (str, _MISSING),
+                "highlight": ((str, type(None)), None),
+            },
+        )
+        _non_empty(values["feedback"], "feedback")
+        return cls(**values)
+
+
+# -- response views ----------------------------------------------------------------
+
+
+def answer_view(response: AssistantResponse) -> dict:
+    """The four-part assistant response as a wire payload.
+
+    Mirrors what the tool shows a user: execution result, reformulation,
+    explanation, and the SQL behind 'Show Source' — plus the rendered chat
+    bubble and the error line when the SQL failed.
+    """
+    result = None
+    if response.result is not None:
+        result = {
+            "columns": list(response.result.columns),
+            "rows": [list(row) for row in response.result.rows],
+        }
+    return {
+        "sql": response.sql,
+        "text": response.render(),
+        "result": result,
+        "result_text": response.result_text(),
+        "reformulation": response.reformulation,
+        "explanation": response.explanation,
+        "error": response.error,
+    }
+
+
+def turn_view(turn: ChatTurn) -> dict:
+    """One chat turn as a wire payload."""
+    return {
+        "role": turn.role,
+        "text": turn.text,
+        "sql": turn.sql,
+        "highlight": turn.highlight,
+    }
+
+
+def error_payload(code: str, message: str, **detail: object) -> dict:
+    """An error body outside the :class:`ProtocolError` path."""
+    error: dict = {"code": code, "message": message}
+    error.update(detail)
+    return {"error": error}

@@ -1,0 +1,539 @@
+"""The FISQL session server: JSON-over-HTTP on the stdlib, no deps.
+
+Two layers:
+
+* :class:`ServeApp` — the transport-independent request handler. It owns
+  the database catalog, the :class:`~repro.serve.sessions.SessionManager`,
+  and one resilience stack *per tenant*; ``handle()`` maps
+  ``(method, path, body)`` to ``(status, content-type, body bytes)``.
+  Tests and the in-process client transport call it directly, so every
+  behaviour is exercisable without binding a port.
+* :class:`ServeHTTPServer` — a ``ThreadingHTTPServer`` whose handler is a
+  thin shim over ``app.handle``; one OS thread per in-flight request.
+
+Routes::
+
+    POST   /sessions                  open a session        -> 201
+    GET    /sessions                  list resident ids     -> 200
+    GET    /sessions/{id}             session info          -> 200
+    DELETE /sessions/{id}             close a session       -> 200
+    POST   /sessions/{id}/ask         fresh question        -> 200
+    POST   /sessions/{id}/feedback    feedback on answer    -> 200
+    GET    /sessions/{id}/transcript  full conversation     -> 200
+    GET    /healthz                   liveness + residency  -> 200
+    GET    /metrics                   obs run report (text) -> 200
+
+**Tenant isolation.** Each tenant gets its own
+:class:`~repro.resilience.ResilientChatModel` (retry/deadline) around the
+shared base model, with a *private* circuit breaker: a failing tenant's
+breaker trips to 503 ``circuit_open`` while every other tenant keeps
+completing — one noisy tenant cannot starve the rest.
+
+**Graceful drain.** ``begin_drain()`` flips the app into drain mode: new
+mutating requests are refused with 503 ``draining`` (``/healthz`` reports
+``"draining"``), in-flight requests run to completion, and
+``await_idle()`` blocks until the last one finishes. ``run_server``
+wires SIGINT/SIGTERM to exactly that sequence before closing the socket.
+"""
+
+from __future__ import annotations
+
+import re
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional, Tuple
+
+from repro import obs
+from repro.core.chat import ChatSession
+from repro.core.nl2sql import Nl2SqlModel
+from repro.core.retrieval import DemonstrationRetriever
+from repro.errors import CircuitOpenError, LLMError, ReproError
+from repro.llm.interface import ChatModel
+from repro.llm.simulated import SimulatedLLM
+from repro.obs.reporting import render_run_report
+from repro.resilience import CircuitBreaker, ResilientChatModel, RetryPolicy
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    AskRequest,
+    CreateSessionRequest,
+    FeedbackRequest,
+    ProtocolError,
+    answer_view,
+    error_payload,
+    json_decode,
+    json_encode,
+    turn_view,
+)
+from repro.serve.sessions import (
+    SessionLimitError,
+    SessionManager,
+    SessionRecord,
+    UnknownSessionError,
+)
+from repro.sql.engine import Database
+
+JSON = "application/json"
+TEXT = "text/plain; charset=utf-8"
+
+#: Seconds ``run_server`` waits for in-flight requests after a signal.
+DEFAULT_DRAIN_GRACE = 10.0
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant resilience configuration (one stack per tenant)."""
+
+    max_retries: int = 2
+    deadline_ms: Optional[float] = None
+    breaker_threshold: int = 5
+    breaker_reset_ms: float = 30_000.0
+
+
+@dataclass
+class CatalogEntry:
+    """One hosted database plus the demo retriever its sessions share."""
+
+    database: Database
+    retriever: Optional[DemonstrationRetriever] = None
+
+
+class ServeApp:
+    """Transport-independent request handling for the session server."""
+
+    def __init__(
+        self,
+        catalog: dict[str, CatalogEntry],
+        llm: Optional[ChatModel] = None,
+        manager: Optional[SessionManager] = None,
+        policy: TenantPolicy = TenantPolicy(),
+        llm_factory: Optional[Callable[[str], ChatModel]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not catalog:
+            raise ValueError("catalog must host at least one database")
+        self._catalog = dict(catalog)
+        self._base_llm = llm or SimulatedLLM()
+        # `manager or ...` would discard an *empty* manager (len() == 0
+        # makes it falsy); test for None explicitly.
+        self._manager = manager if manager is not None else SessionManager()
+        self._policy = policy
+        self._llm_factory = llm_factory or self._default_llm_factory
+        self._clock = clock
+        self._tenant_llms: dict[str, ChatModel] = {}
+        self._tenant_lock = threading.Lock()
+        self._draining = False
+        self._inflight = 0
+        self._idle = threading.Condition()
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_context(cls, context, **kwargs) -> "ServeApp":
+        """Host every database of an experiment context.
+
+        SPIDER databases share the SPIDER train-pool retriever, AEP
+        databases the in-house demo retriever — the same RAG stacks the
+        batch experiments use, preloaded once and shared read-only by
+        every session.
+        """
+        catalog: dict[str, CatalogEntry] = {}
+        spider_retriever = context.spider_assistant_model().retriever
+        for db_id, database in context.spider.benchmark.databases.items():
+            catalog[db_id] = CatalogEntry(database, spider_retriever)
+        aep_retriever = context.aep_assistant_model().retriever
+        for db_id, database in context.aep_benchmark.databases.items():
+            catalog.setdefault(db_id, CatalogEntry(database, aep_retriever))
+        kwargs.setdefault("llm", context.llm)
+        return cls(catalog, **kwargs)
+
+    @property
+    def manager(self) -> SessionManager:
+        return self._manager
+
+    @property
+    def databases(self) -> list[str]:
+        return sorted(self._catalog)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- tenant isolation -----------------------------------------------------------
+
+    def _default_llm_factory(self, tenant: str) -> ChatModel:
+        policy = self._policy
+        return ResilientChatModel(
+            self._base_llm,
+            retry=RetryPolicy(
+                max_retries=policy.max_retries,
+                deadline_ms=policy.deadline_ms,
+            ),
+            breaker=CircuitBreaker(
+                failure_threshold=policy.breaker_threshold,
+                reset_after_ms=policy.breaker_reset_ms,
+                clock=self._clock,
+            ),
+            clock=self._clock,
+        )
+
+    def llm_for_tenant(self, tenant: str) -> ChatModel:
+        """The tenant's resilience stack (created on first use)."""
+        with self._tenant_lock:
+            if tenant not in self._tenant_llms:
+                self._tenant_llms[tenant] = self._llm_factory(tenant)
+                obs.count("serve.tenants.created")
+            return self._tenant_llms[tenant]
+
+    # -- drain ----------------------------------------------------------------------
+
+    def begin_drain(self) -> None:
+        """Stop admitting mutating requests; in-flight ones complete."""
+        self._draining = True
+        obs.count("serve.drain.begun")
+
+    def await_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until no request is in flight; False on timeout."""
+        with self._idle:
+            return self._idle.wait_for(
+                lambda: self._inflight == 0, timeout=timeout
+            )
+
+    # -- dispatch ---------------------------------------------------------------------
+
+    _ROUTES = [
+        (re.compile(r"^/healthz$"), "healthz", {"GET"}),
+        (re.compile(r"^/metrics$"), "metrics", {"GET"}),
+        (re.compile(r"^/sessions$"), "sessions", {"GET", "POST"}),
+        (re.compile(r"^/sessions/([^/]+)$"), "session", {"GET", "DELETE"}),
+        (re.compile(r"^/sessions/([^/]+)/ask$"), "ask", {"POST"}),
+        (re.compile(r"^/sessions/([^/]+)/feedback$"), "feedback", {"POST"}),
+        (
+            re.compile(r"^/sessions/([^/]+)/transcript$"),
+            "transcript",
+            {"GET"},
+        ),
+    ]
+
+    def handle(
+        self, method: str, path: str, raw_body: bytes = b""
+    ) -> Tuple[int, str, bytes]:
+        """One request in, ``(status, content_type, body_bytes)`` out."""
+        route, session_id, allowed = self._match(path)
+        with self._idle:
+            self._inflight += 1
+        try:
+            with obs.span("serve.request", route=route, method=method) as sp:
+                with obs.timer("serve.latency_ms", route=route):
+                    status, ctype, body = self._dispatch(
+                        route, allowed, method, session_id, raw_body
+                    )
+                sp.set("status", status)
+            obs.count("serve.requests", route=route, status=status)
+            return status, ctype, body
+        finally:
+            with self._idle:
+                self._inflight -= 1
+                self._idle.notify_all()
+
+    def _match(self, path: str):
+        for pattern, route, allowed in self._ROUTES:
+            match = pattern.match(path)
+            if match:
+                groups = match.groups()
+                return route, (groups[0] if groups else None), allowed
+        return "unknown", None, set()
+
+    def _dispatch(
+        self,
+        route: str,
+        allowed: set,
+        method: str,
+        session_id: Optional[str],
+        raw_body: bytes,
+    ) -> Tuple[int, str, bytes]:
+        try:
+            if route == "unknown":
+                raise ProtocolError(404, "not_found", "no such route")
+            if method not in allowed:
+                raise ProtocolError(
+                    405,
+                    "method_not_allowed",
+                    f"{method} not allowed here",
+                    {"allowed": sorted(allowed)},
+                )
+            if self._draining and method in ("POST", "DELETE"):
+                raise ProtocolError(
+                    503,
+                    "draining",
+                    "server is draining; not accepting new work",
+                )
+            if route == "healthz":
+                return self._json(200, self._health_payload())
+            if route == "metrics":
+                return 200, TEXT, self._metrics_text().encode("utf-8")
+            if route == "sessions" and method == "POST":
+                return self._create_session(raw_body)
+            if route == "sessions":
+                return self._json(
+                    200, {"sessions": sorted(self._manager.ids())}
+                )
+            assert session_id is not None
+            if route == "session" and method == "DELETE":
+                if not self._manager.remove(session_id):
+                    raise UnknownSessionError(session_id)
+                return self._json(200, {"deleted": session_id})
+            if route == "session":
+                return self._session_info(session_id)
+            if route == "ask":
+                return self._ask(session_id, raw_body)
+            if route == "feedback":
+                return self._feedback(session_id, raw_body)
+            if route == "transcript":
+                return self._transcript(session_id)
+            raise ProtocolError(404, "not_found", "no such route")
+        except ProtocolError as error:
+            return self._json(error.status, error.payload())
+        except UnknownSessionError as error:
+            return self._json(
+                404,
+                error_payload(
+                    "unknown_session",
+                    str(error),
+                    session_id=error.session_id,
+                ),
+            )
+        except SessionLimitError as error:
+            return self._json(503, error_payload("capacity", str(error)))
+        except CircuitOpenError as error:
+            return self._json(
+                503, error_payload("circuit_open", str(error))
+            )
+        except LLMError as error:
+            return self._json(
+                502,
+                error_payload(
+                    "llm_unavailable",
+                    f"{type(error).__name__}: {error}",
+                ),
+            )
+        except ReproError as error:
+            return self._json(
+                409,
+                error_payload(
+                    "conflict", f"{type(error).__name__}: {error}"
+                ),
+            )
+        except Exception as error:  # noqa: BLE001 - last-resort 500
+            obs.count("serve.internal_errors")
+            return self._json(
+                500,
+                error_payload(
+                    "internal", f"{type(error).__name__}: {error}"
+                ),
+            )
+
+    @staticmethod
+    def _json(status: int, payload: dict) -> Tuple[int, str, bytes]:
+        return status, JSON, json_encode(payload)
+
+    # -- route handlers ---------------------------------------------------------------
+
+    def _health_payload(self) -> dict:
+        stats = self._manager.stats()
+        return {
+            "status": "draining" if self._draining else "ok",
+            "protocol": PROTOCOL_VERSION,
+            "databases": len(self._catalog),
+            "sessions": stats,
+        }
+
+    def _metrics_text(self) -> str:
+        if not obs.is_enabled():
+            return (
+                "(observability disabled; start the server with "
+                "instrumentation to populate /metrics)\n"
+            )
+        return render_run_report(obs.snapshot()) + "\n"
+
+    def _create_session(self, raw_body: bytes) -> Tuple[int, str, bytes]:
+        request = CreateSessionRequest.from_payload(json_decode(raw_body))
+        entry = self._catalog.get(request.db)
+        if entry is None:
+            raise ProtocolError(
+                404,
+                "unknown_database",
+                f"no hosted database {request.db!r}",
+                {"db": request.db},
+            )
+        llm = self.llm_for_tenant(request.tenant)
+
+        def chat_factory() -> ChatSession:
+            model = Nl2SqlModel(llm=llm, retriever=entry.retriever)
+            return ChatSession(
+                entry.database, model, llm=llm, routing=request.routing
+            )
+
+        record = self._manager.create(
+            chat_factory, tenant=request.tenant, db_id=request.db
+        )
+        return self._json(201, {"session": self._session_view(record)})
+
+    @staticmethod
+    def _session_view(record: SessionRecord) -> dict:
+        return {
+            "id": record.session_id,
+            "db": record.db_id,
+            "tenant": record.tenant,
+            "turns": len(record.chat.turns),
+        }
+
+    def _session_info(self, session_id: str) -> Tuple[int, str, bytes]:
+        with self._manager.acquire(session_id) as record:
+            return self._json(200, {"session": self._session_view(record)})
+
+    def _ask(self, session_id: str, raw_body: bytes) -> Tuple[int, str, bytes]:
+        request = AskRequest.from_payload(json_decode(raw_body))
+        with self._manager.acquire(session_id) as record:
+            response = record.chat.ask(request.question)
+            obs.count("serve.asks", tenant=record.tenant)
+            return self._json(
+                200,
+                {
+                    "session_id": record.session_id,
+                    "answer": answer_view(response),
+                    "turns": len(record.chat.turns),
+                },
+            )
+
+    def _feedback(
+        self, session_id: str, raw_body: bytes
+    ) -> Tuple[int, str, bytes]:
+        request = FeedbackRequest.from_payload(json_decode(raw_body))
+        with self._manager.acquire(session_id) as record:
+            if record.chat.current_sql is None:
+                raise ProtocolError(
+                    409,
+                    "no_question",
+                    "feedback before any question was asked",
+                )
+            response = record.chat.give_feedback(
+                request.feedback, highlight=request.highlight
+            )
+            obs.count("serve.feedbacks", tenant=record.tenant)
+            return self._json(
+                200,
+                {
+                    "session_id": record.session_id,
+                    "answer": answer_view(response),
+                    "turns": len(record.chat.turns),
+                },
+            )
+
+    def _transcript(self, session_id: str) -> Tuple[int, str, bytes]:
+        with self._manager.acquire(session_id) as record:
+            return self._json(
+                200,
+                {
+                    "session": self._session_view(record),
+                    "turns": [turn_view(t) for t in record.chat.turns],
+                    "transcript": record.chat.transcript(),
+                },
+            )
+
+
+# -- HTTP layer --------------------------------------------------------------------
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    """Thin shim: read the body, delegate to the app, write the reply."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "fisql-serve"
+
+    def _dispatch(self) -> None:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        raw = self.rfile.read(length) if length > 0 else b""
+        status, ctype, body = self.server.app.handle(
+            self.command, self.path, raw
+        )
+        self.send_response(status)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    do_GET = _dispatch
+    do_POST = _dispatch
+    do_DELETE = _dispatch
+
+    def log_message(self, *_args) -> None:  # default stderr chatter off
+        pass
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`ServeApp`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], app: ServeApp) -> None:
+        super().__init__(address, _RequestHandler)
+        self.app = app
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def start_in_thread(app: ServeApp, host: str = "127.0.0.1", port: int = 0):
+    """Bind and serve on a daemon thread; returns ``(server, thread)``."""
+    server = ServeHTTPServer((host, port), app)
+    thread = threading.Thread(
+        target=server.serve_forever, name="fisql-serve", daemon=True
+    )
+    thread.start()
+    return server, thread
+
+
+def run_server(
+    app: ServeApp,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    drain_grace: float = DEFAULT_DRAIN_GRACE,
+    install_signals: bool = True,
+) -> int:
+    """Serve until SIGINT/SIGTERM, then drain gracefully and exit 0."""
+    server = ServeHTTPServer((host, port), app)
+
+    def _shutdown() -> None:
+        app.begin_drain()
+        app.await_idle(timeout=drain_grace)
+        server.shutdown()
+
+    def _on_signal(_signum, _frame) -> None:
+        threading.Thread(target=_shutdown, daemon=True).start()
+
+    if install_signals and threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGINT, _on_signal)
+        signal.signal(signal.SIGTERM, _on_signal)
+
+    print(
+        f"fisql-serve listening on http://{host}:{server.port} "
+        f"({len(app.databases)} databases hosted)"
+    )
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+    stats = app.manager.stats()
+    print(
+        "fisql-serve drained: "
+        f"{stats['created']} sessions served, {stats['resident']} resident"
+    )
+    return 0

@@ -1,0 +1,259 @@
+"""Thread-safe session registry: IDs, per-session locks, TTL + LRU.
+
+:class:`SessionManager` owns the map from session IDs to live
+:class:`~repro.core.chat.ChatSession` objects. Its concurrency model:
+
+* One **manager lock** guards the registry map itself (create/lookup/
+  evict). It is never held across a chat turn.
+* One **per-session lock** serializes the turns of a single conversation,
+  so two racing requests against the same session cannot interleave their
+  ask/feedback state. Different sessions proceed fully in parallel.
+
+Capacity policy (checked on every ``create``):
+
+1. **TTL sweep** — sessions idle longer than ``ttl_seconds`` are evicted
+   (lazily on create, or explicitly via :meth:`sweep`).
+2. **LRU eviction** — at ``max_sessions``, the least-recently-used *idle*
+   session is evicted to admit the newcomer.
+3. **Admission gate** — if every resident session is mid-request, the
+   create is refused with :class:`SessionLimitError` (a 503 on the wire):
+   shedding new conversations beats stalling live ones.
+
+A session whose lock is held is never evicted, by TTL or LRU: eviction
+must not yank a conversation out from under an in-flight turn.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
+from repro import obs
+from repro.core.chat import ChatSession
+from repro.errors import ReproError
+
+#: Default registry capacity.
+DEFAULT_MAX_SESSIONS = 128
+
+
+class SessionError(ReproError):
+    """Base class for session-registry failures."""
+
+
+class UnknownSessionError(SessionError):
+    """The session ID is not (or no longer) resident."""
+
+    def __init__(self, session_id: str) -> None:
+        super().__init__(f"unknown session {session_id!r}")
+        self.session_id = session_id
+
+
+class SessionLimitError(SessionError):
+    """The registry is full and nothing is evictable right now."""
+
+    def __init__(self, max_sessions: int) -> None:
+        super().__init__(
+            f"session limit reached ({max_sessions}); all resident "
+            "sessions are busy — retry shortly"
+        )
+        self.max_sessions = max_sessions
+
+
+class SessionRecord:
+    """One resident session and its bookkeeping."""
+
+    __slots__ = (
+        "session_id",
+        "tenant",
+        "db_id",
+        "chat",
+        "lock",
+        "created_at",
+        "last_used_at",
+        "requests",
+    )
+
+    def __init__(
+        self,
+        session_id: str,
+        tenant: str,
+        db_id: str,
+        chat: ChatSession,
+        now: float,
+    ) -> None:
+        self.session_id = session_id
+        self.tenant = tenant
+        self.db_id = db_id
+        self.chat = chat
+        self.lock = threading.Lock()
+        self.created_at = now
+        self.last_used_at = now
+        self.requests = 0
+
+
+def _default_id_factory() -> Callable[[], str]:
+    counter = itertools.count(1)
+    prefix = os.urandom(3).hex()
+
+    def make() -> str:
+        return f"s-{prefix}-{next(counter):04d}"
+
+    return make
+
+
+class SessionManager:
+    """Registry of live sessions with TTL + LRU eviction and admission."""
+
+    def __init__(
+        self,
+        max_sessions: int = DEFAULT_MAX_SESSIONS,
+        ttl_seconds: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+        id_factory: Optional[Callable[[], str]] = None,
+    ) -> None:
+        if max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1: {max_sessions}")
+        if ttl_seconds is not None and ttl_seconds <= 0:
+            raise ValueError(f"ttl_seconds must be > 0: {ttl_seconds}")
+        self._max_sessions = max_sessions
+        self._ttl_seconds = ttl_seconds
+        self._clock = clock
+        self._id_factory = id_factory or _default_id_factory()
+        self._lock = threading.Lock()
+        self._records: dict[str, SessionRecord] = {}
+        self.created = 0
+        self.evicted_ttl = 0
+        self.evicted_lru = 0
+        self.rejected = 0
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    @property
+    def max_sessions(self) -> int:
+        return self._max_sessions
+
+    def ids(self) -> list[str]:
+        with self._lock:
+            return list(self._records)
+
+    def stats(self) -> dict:
+        """Lifetime counters plus current residency."""
+        with self._lock:
+            return {
+                "resident": len(self._records),
+                "max_sessions": self._max_sessions,
+                "created": self.created,
+                "evicted_ttl": self.evicted_ttl,
+                "evicted_lru": self.evicted_lru,
+                "rejected": self.rejected,
+            }
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def create(
+        self,
+        chat_factory: Callable[[], ChatSession],
+        tenant: str = "default",
+        db_id: str = "",
+    ) -> SessionRecord:
+        """Admit a new session, evicting per the capacity policy.
+
+        Raises:
+            SessionLimitError: full and every resident session is busy.
+        """
+        with self._lock:
+            now = self._clock()
+            self._sweep_locked(now)
+            if len(self._records) >= self._max_sessions:
+                victim = self._lru_victim_locked()
+                if victim is None:
+                    self.rejected += 1
+                    obs.count("serve.sessions.rejected")
+                    raise SessionLimitError(self._max_sessions)
+                self._evict_locked(victim, reason="lru")
+            session_id = self._id_factory()
+            if session_id in self._records:
+                raise SessionError(
+                    f"id factory produced a duplicate id {session_id!r}"
+                )
+            record = SessionRecord(session_id, tenant, db_id, chat_factory(), now)
+            self._records[session_id] = record
+            self.created += 1
+            obs.count("serve.sessions.created", tenant=tenant)
+            return record
+
+    def remove(self, session_id: str) -> bool:
+        """Drop a session; False when it was not resident."""
+        with self._lock:
+            return self._records.pop(session_id, None) is not None
+
+    def sweep(self) -> list[str]:
+        """Evict every TTL-expired idle session; returns the evicted IDs."""
+        with self._lock:
+            return self._sweep_locked(self._clock())
+
+    @contextmanager
+    def acquire(self, session_id: str) -> Iterator[SessionRecord]:
+        """Hold a session's lock for the duration of one request.
+
+        Blocks while another request is mid-turn on the same session.
+        Raises :class:`UnknownSessionError` when the ID is not resident —
+        including the (tiny) window where the session was evicted between
+        lookup and lock acquisition.
+        """
+        with self._lock:
+            record = self._records.get(session_id)
+        if record is None:
+            raise UnknownSessionError(session_id)
+        with record.lock:
+            with self._lock:
+                if self._records.get(session_id) is not record:
+                    raise UnknownSessionError(session_id)
+                record.last_used_at = self._clock()
+            try:
+                yield record
+            finally:
+                with self._lock:
+                    record.last_used_at = self._clock()
+                    record.requests += 1
+
+    # -- eviction internals (manager lock held) -------------------------------------
+
+    def _sweep_locked(self, now: float) -> list[str]:
+        if self._ttl_seconds is None:
+            return []
+        expired = [
+            record
+            for record in self._records.values()
+            if now - record.last_used_at > self._ttl_seconds
+            and not record.lock.locked()
+        ]
+        for record in expired:
+            self._evict_locked(record, reason="ttl")
+        return [record.session_id for record in expired]
+
+    def _lru_victim_locked(self) -> Optional[SessionRecord]:
+        idle = [
+            record
+            for record in self._records.values()
+            if not record.lock.locked()
+        ]
+        if not idle:
+            return None
+        return min(idle, key=lambda record: record.last_used_at)
+
+    def _evict_locked(self, record: SessionRecord, reason: str) -> None:
+        del self._records[record.session_id]
+        if reason == "ttl":
+            self.evicted_ttl += 1
+        else:
+            self.evicted_lru += 1
+        obs.count("serve.sessions.evicted", reason=reason)

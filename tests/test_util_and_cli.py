@@ -62,6 +62,41 @@ class TestCli:
         with pytest.raises(SystemExit):
             cli_main(["figure99"])
 
+    def test_explicit_run_subcommand(self, capsys):
+        # `fisql-repro run ...` and the bare-artifact alias are the same.
+        exit_code = cli_main(["run", "figure2", "--scale", "small"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out and "SPIDER" in out
+
+    def test_trace_summary_subcommand(self, capsys, tmp_path):
+        trace_path = tmp_path / "run.jsonl"
+        exit_code = cli_main(
+            [
+                "run",
+                "figure2",
+                "--scale",
+                "small",
+                "--trace",
+                str(trace_path),
+            ]
+        )
+        assert exit_code == 0
+        assert trace_path.exists()
+        capsys.readouterr()
+
+        exit_code = cli_main(["trace-summary", str(trace_path)])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Trace summary" in out
+        assert "Flame rollup" in out
+        assert "experiment.figure2" in out
+        assert "correction.round" in out
+
+    def test_trace_summary_missing_file_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["trace-summary", "/nonexistent/trace.jsonl"])
+
 
 @pytest.mark.parametrize(
     "script",
@@ -70,6 +105,7 @@ class TestCli:
         "marketing_analytics.py",
         "build_up_queries.py",
         "assistant_chat.py",
+        "serve_client.py",
     ],
 )
 def test_example_scripts_run(script):
