@@ -1,0 +1,101 @@
+"""Execution-layer speedup snapshot (``BENCH_exec.json``).
+
+Times the Table 2 correction benchmark three ways — sequential cold,
+parallel cold (``workers=4`` + batched dispatch filling the completion
+cache), and parallel warm (same, cache pre-filled) — and persists the
+wall-clocks plus the speedup ratios. The acceptance bar for the dispatch
+layer is >= 2x for parallel-warm over sequential-cold; the test asserts
+the outputs stayed byte-identical while getting there, so the speedup is
+never bought with drift.
+
+Suite construction is excluded from every timing (the pristine context is
+prebuilt and its suites shared), isolating the execution path this layer
+actually changed.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.eval.experiments import run_table2
+from repro.eval.harness import build_context
+from repro.eval.reporting import render_table2
+from repro.llm.dispatch import CachingChatModel, CompletionCache
+from repro.llm.simulated import SimulatedLLM
+
+SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / "BENCH_exec.json"
+
+WORKERS = 4
+BATCH_SIZE = 8
+
+
+def _timed_table2(context):
+    started = time.perf_counter()
+    result = run_table2(context)
+    elapsed = time.perf_counter() - started
+    return render_table2(result), elapsed
+
+
+def test_bench_exec_snapshot():
+    # Prebuild suites so no variant pays (or skips) construction cost.
+    build_context(scale="small")
+
+    sequential_render, sequential_s = _timed_table2(
+        build_context(scale="small")
+    )
+
+    cache = CompletionCache()
+    cold_render, cold_s = _timed_table2(
+        build_context(
+            scale="small",
+            llm=CachingChatModel(SimulatedLLM(), cache),
+            workers=WORKERS,
+            batch_size=BATCH_SIZE,
+        )
+    )
+    cold_stats = cache.stats()
+
+    warm_render, warm_s = _timed_table2(
+        build_context(
+            scale="small",
+            llm=CachingChatModel(SimulatedLLM(), cache),
+            workers=WORKERS,
+            batch_size=BATCH_SIZE,
+        )
+    )
+
+    assert cold_render == sequential_render
+    assert warm_render == sequential_render
+    speedup_warm = sequential_s / warm_s
+    assert speedup_warm >= 2.0, (
+        f"parallel-warm must be >= 2x sequential-cold, got {speedup_warm:.2f}x "
+        f"({sequential_s * 1000:.1f} ms -> {warm_s * 1000:.1f} ms)"
+    )
+
+    document = {
+        "benchmark": "table2",
+        "scale": "small",
+        "workers": WORKERS,
+        "batch_size": BATCH_SIZE,
+        "timings_ms": {
+            "sequential_cold": round(sequential_s * 1000, 2),
+            "parallel_cold": round(cold_s * 1000, 2),
+            "parallel_warm": round(warm_s * 1000, 2),
+        },
+        "speedup": {
+            "parallel_cold": round(sequential_s / cold_s, 2),
+            "parallel_warm": round(speedup_warm, 2),
+        },
+        "cache": {
+            "cold_misses": cold_stats["misses"],
+            "cold_hits": cold_stats["hits"],
+            "entries": len(cache),
+        },
+        "byte_identical_outputs": True,
+    }
+    SNAPSHOT_PATH.write_text(json.dumps(document, indent=2, default=str) + "\n")
+
+    reloaded = json.loads(SNAPSHOT_PATH.read_text())
+    assert reloaded["speedup"]["parallel_warm"] >= 2.0

@@ -163,6 +163,34 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="MS",
         help="per-call deadline budget in ms across retries and backoff",
     )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker threads for evaluation sweeps and correction loops "
+            "(results are byte-identical to --workers 1; default: 1)"
+        ),
+    )
+    run.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "LLM prompts grouped per batched dispatch during evaluation "
+            "(default: 1 = sequential complete calls)"
+        ),
+    )
+    run.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help=(
+            "persist the completion cache under DIR (completions.json): "
+            "warm runs answer repeated prompts from the cache"
+        ),
+    )
     run.set_defaults(func=_cmd_run)
 
     serve = subparsers.add_parser(
@@ -229,6 +257,31 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="how long to wait for in-flight requests on SIGINT/SIGTERM",
     )
+    serve.add_argument(
+        "--batch-max",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "coalesce up to N concurrent same-tenant LLM calls into one "
+            "batched dispatch (default: 1 = no coalescing)"
+        ),
+    )
+    serve.add_argument(
+        "--batch-wait-ms",
+        type=float,
+        default=5.0,
+        metavar="MS",
+        help="bounded wait for a coalesced batch to fill (default: 5)",
+    )
+    serve.add_argument(
+        "--session-dir",
+        metavar="DIR",
+        help=(
+            "persist evicted session transcripts as JSON under DIR; "
+            "'resume' in POST /sessions restores them"
+        ),
+    )
     serve.set_defaults(func=_cmd_serve)
 
     summary = subparsers.add_parser(
@@ -252,10 +305,23 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     """Run the requested experiment(s) and print the paper-format output."""
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1: {args.workers}")
+    if args.batch_size < 1:
+        parser.error(f"--batch-size must be >= 1: {args.batch_size}")
     try:
         llm = _build_llm(args)
     except ValueError as error:
         parser.error(str(error))
+
+    cache = None
+    if args.cache_dir is not None:
+        from repro.llm.dispatch import CachingChatModel, CompletionCache
+
+        cache = CompletionCache.load(args.cache_dir)
+        # Cache hits return the deterministic backend's own completions,
+        # so the artifact output stays byte-identical to an uncached run.
+        llm = CachingChatModel(llm if llm is not None else SimulatedLLM(), cache)
 
     trace_preexisting = False
     if args.trace is not None:
@@ -275,7 +341,13 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         obs.enable()
 
     try:
-        context = build_context(scale=args.scale, seed=args.seed, llm=llm)
+        context = build_context(
+            scale=args.scale,
+            seed=args.seed,
+            llm=llm,
+            workers=args.workers,
+            batch_size=args.batch_size,
+        )
         chart_renderers = {
             "figure2": render_figure2_chart,
             "figure8": render_figure8_chart,
@@ -299,6 +371,16 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         if args.metrics:
             print()
             print(render_run_report(obs.snapshot()))
+        if cache is not None:
+            entries = cache.save(args.cache_dir)
+            stats = cache.stats()
+            # Diagnostics go to stderr so stdout (the artifacts) stays
+            # byte-comparable across cold/warm/parallel runs.
+            print(
+                f"[cache] {stats['hits']} hits, {stats['misses']} misses; "
+                f"{entries} entries saved to {args.cache_dir}",
+                file=sys.stderr,
+            )
     except BaseException:
         if args.trace is not None and not trace_preexisting:
             _remove_empty_stub(args.trace)
@@ -362,12 +444,22 @@ def _cmd_serve(
     args: argparse.Namespace, parser: argparse.ArgumentParser
 ) -> int:
     """Preload the context, build the app, and serve until signalled."""
-    from repro.serve import ServeApp, SessionManager, TenantPolicy, run_server
+    from repro.serve import (
+        ServeApp,
+        SessionManager,
+        SessionStore,
+        TenantPolicy,
+        run_server,
+    )
 
     if args.max_sessions < 1:
         parser.error(f"--max-sessions must be >= 1: {args.max_sessions}")
     if args.llm_timeout is not None and args.llm_timeout <= 0:
         parser.error(f"--llm-timeout must be > 0 ms: {args.llm_timeout}")
+    if args.batch_max < 1:
+        parser.error(f"--batch-max must be >= 1: {args.batch_max}")
+    if args.batch_wait_ms < 0:
+        parser.error(f"--batch-wait-ms must be >= 0: {args.batch_wait_ms}")
 
     # The server is instrumented from the start: /metrics renders the live
     # registry, and every request is spanned/counted.
@@ -377,15 +469,21 @@ def _cmd_serve(
         f"seed={args.seed})..."
     )
     context = build_context(scale=args.scale, seed=args.seed)
+    store = (
+        SessionStore(args.session_dir) if args.session_dir is not None else None
+    )
     manager = SessionManager(
         max_sessions=args.max_sessions,
         ttl_seconds=args.session_ttl if args.session_ttl > 0 else None,
+        store=store,
     )
     policy = TenantPolicy(
         max_retries=args.llm_retries,
         deadline_ms=args.llm_timeout,
         breaker_threshold=args.breaker_threshold,
         breaker_reset_ms=args.breaker_reset_ms,
+        batch_max=args.batch_max,
+        batch_wait_ms=args.batch_wait_ms,
     )
     app = ServeApp.from_context(context, manager=manager, policy=policy)
     try:

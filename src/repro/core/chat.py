@@ -170,6 +170,44 @@ class ChatSession:
             error=error,
         )
 
+    # -- persistence -------------------------------------------------------------
+
+    def state(self) -> dict:
+        """The conversation state as plain JSON-serializable data.
+
+        Everything :meth:`restore_state` needs to resume the session:
+        the transcript turns plus the active question/SQL pair. Feedback
+        context keys are derived from the turn count, so a restored
+        session continues the same deterministic key sequence.
+        """
+        return {
+            "turns": [
+                {
+                    "role": turn.role,
+                    "text": turn.text,
+                    "sql": turn.sql,
+                    "highlight": turn.highlight,
+                }
+                for turn in self._turns
+            ],
+            "question": self._question,
+            "sql": self._sql,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Resume a conversation from a :meth:`state` snapshot."""
+        self._turns = [
+            ChatTurn(
+                role=turn.get("role", "user"),
+                text=turn.get("text", ""),
+                sql=turn.get("sql"),
+                highlight=turn.get("highlight"),
+            )
+            for turn in state.get("turns", [])
+        ]
+        self._question = state.get("question")
+        self._sql = state.get("sql")
+
     # -- rendering ----------------------------------------------------------------
 
     def transcript(self) -> str:

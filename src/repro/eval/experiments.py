@@ -12,8 +12,9 @@ them in the paper's row/series format.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro import obs
 from repro.core.feedback import Feedback
@@ -47,8 +48,18 @@ class Figure2Result:
 def run_figure2(context: ExperimentContext) -> Figure2Result:
     """Reproduce Figure 2 (zero-shot prompt of Figure 1 on both datasets)."""
     model = context.zero_shot_model()
-    spider_report = evaluate_model(model, context.spider.benchmark)
-    aep_report = evaluate_model(model, context.aep_benchmark)
+    spider_report = evaluate_model(
+        model,
+        context.spider.benchmark,
+        workers=context.workers,
+        batch_size=context.batch_size,
+    )
+    aep_report = evaluate_model(
+        model,
+        context.aep_benchmark,
+        workers=context.workers,
+        batch_size=context.batch_size,
+    )
     return Figure2Result(
         spider_accuracy=100.0 * spider_report.accuracy,
         aep_accuracy=100.0 * aep_report.accuracy,
@@ -99,6 +110,27 @@ def _assistant_model(context: ExperimentContext, dataset: str):
     return context.aep_assistant_model()
 
 
+def _map_corrections(
+    context: ExperimentContext,
+    errors: list[PredictionRecord],
+    correct_one: Callable[[PredictionRecord], CorrectionOutcome],
+) -> list[CorrectionOutcome]:
+    """Run one correction per error record, in record order.
+
+    With ``context.workers > 1`` the per-record corrections fan out over a
+    thread pool; every correction is a deterministic function of its
+    record (annotator draws are keyed by example id), so the ordered
+    result list is identical to the sequential one.
+    """
+    if context.workers <= 1 or len(errors) <= 1:
+        return [correct_one(record) for record in errors]
+    with ThreadPoolExecutor(
+        max_workers=min(context.workers, len(errors)),
+        thread_name_prefix="correct",
+    ) as executor:
+        return list(executor.map(correct_one, errors))
+
+
 def _run_fisql(
     context: ExperimentContext,
     dataset: str,
@@ -113,11 +145,11 @@ def _run_fisql(
     )
     annotator = context.annotator_for(dataset)
     benchmark = context.benchmark(dataset)
-    outcomes = []
-    for record in errors:
+
+    def correct_one(record: PredictionRecord) -> CorrectionOutcome:
         database = benchmark.database(record.example.db_id)
         try:
-            outcome = pipeline.correct(
+            return pipeline.correct(
                 example=record.example,
                 database=database,
                 initial_sql=record.predicted_sql,
@@ -125,9 +157,9 @@ def _run_fisql(
                 max_rounds=max_rounds,
             )
         except LLMError as error:
-            outcome = _failed_outcome(record.example.example_id, error)
-        outcomes.append(outcome)
-    return outcomes
+            return _failed_outcome(record.example.example_id, error)
+
+    return _map_corrections(context, errors, correct_one)
 
 
 def _failed_outcome(example_id: str, error: Exception) -> CorrectionOutcome:
@@ -149,8 +181,8 @@ def _run_query_rewrite(
     baseline = QueryRewriteBaseline(llm=context.llm, model=model)
     annotator = context.annotator_for(dataset)
     benchmark = context.benchmark(dataset)
-    outcomes = []
-    for record in errors:
+
+    def correct_one(record: PredictionRecord) -> CorrectionOutcome:
         example = record.example
         database = benchmark.database(example.db_id)
         outcome = CorrectionOutcome(
@@ -167,8 +199,9 @@ def _run_query_rewrite(
                     database, example.gold_sql, step.prediction.sql
                 ):
                     outcome.corrected_round = 1
-        outcomes.append(outcome)
-    return outcomes
+        return outcome
+
+    return _map_corrections(context, errors, correct_one)
 
 
 def _first_feedback(

@@ -7,6 +7,7 @@ harness builds it once per (scale, seed) and caches it in-process.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -53,6 +54,10 @@ class ExperimentContext:
     aep_benchmark: Benchmark
     aep_demos: list[Demonstration]
     llm: ChatModel = field(default_factory=SimulatedLLM)
+    #: Evaluation parallelism: worker threads for sharded sweeps and the
+    #: LLM batch size per shard. Both default to the sequential seed path.
+    workers: int = 1
+    batch_size: int = 1
     _spider_retriever: Optional[DemonstrationRetriever] = None
     _aep_retriever: Optional[DemonstrationRetriever] = None
     _assistant_reports: dict = field(default_factory=dict)
@@ -83,11 +88,17 @@ class ExperimentContext:
         if dataset not in self._assistant_reports:
             if dataset == "spider":
                 report = evaluate_model(
-                    self.spider_assistant_model(), self.spider.benchmark
+                    self.spider_assistant_model(),
+                    self.spider.benchmark,
+                    workers=self.workers,
+                    batch_size=self.batch_size,
                 )
             elif dataset == "aep":
                 report = evaluate_model(
-                    self.aep_assistant_model(), self.aep_benchmark
+                    self.aep_assistant_model(),
+                    self.aep_benchmark,
+                    workers=self.workers,
+                    batch_size=self.batch_size,
                 )
             else:
                 raise ValueError(f"unknown dataset {dataset!r}")
@@ -134,6 +145,7 @@ class _MultiDbAnnotator:
     def __init__(self, benchmark: Benchmark, config: AnnotatorConfig) -> None:
         self._benchmark = benchmark
         self._config = config
+        self._lock = threading.Lock()
         self._per_db: dict[str, SimulatedAnnotator] = {}
         self._example_db: dict[str, str] = {
             example.example_id: example.db_id
@@ -148,10 +160,13 @@ class _MultiDbAnnotator:
                 f"unknown example_id {example_id!r}: not part of benchmark "
                 f"{self._benchmark.name!r}"
             ) from None
-        if db_id not in self._per_db:
-            schema = self._benchmark.database(db_id).schema
-            self._per_db[db_id] = SimulatedAnnotator(schema, self._config)
-        return self._per_db[db_id]
+        # Worker threads share one facade; the per-db annotators themselves
+        # are stateless per call.
+        with self._lock:
+            if db_id not in self._per_db:
+                schema = self._benchmark.database(db_id).schema
+                self._per_db[db_id] = SimulatedAnnotator(schema, self._config)
+            return self._per_db[db_id]
 
     def can_annotate(self, example_id, gold, predicted):
         return self._annotator(example_id).can_annotate(
@@ -185,13 +200,17 @@ def build_context(
     scale: str = "full",
     seed: int = 20250325,
     llm: Optional[ChatModel] = None,
+    workers: int = 1,
+    batch_size: int = 1,
 ) -> ExperimentContext:
     """Build (or fetch the cached) experiment context.
 
     ``llm`` swaps the context's chat model — the chaos CLI passes a
     fault-injecting/resilient wrapper stack here. Contexts with a custom
     model are never cached: wrapper state (fault plans, breaker state)
-    must not leak into later fault-free runs.
+    must not leak into later fault-free runs. ``workers``/``batch_size``
+    configure evaluation parallelism; non-default values likewise get a
+    fresh (uncached) context so the pristine sequential one stays pristine.
 
     Raises:
         ValueError: when ``scale`` is not one of :data:`SCALES`.
@@ -199,10 +218,11 @@ def build_context(
     if scale not in SCALES:
         valid = ", ".join(sorted(SCALES))
         raise ValueError(f"unknown scale {scale!r}; valid scales: {valid}")
+    pristine = llm is None and workers == 1 and batch_size == 1
     key = (scale, seed)
     if key in _CONTEXT_CACHE:
         cached = _CONTEXT_CACHE[key]
-        if llm is None:
+        if pristine:
             return cached
         # Suites are llm-independent and read-only: share them, but give
         # the custom model a fresh context (fresh retrievers/report cache).
@@ -212,7 +232,9 @@ def build_context(
             spider=cached.spider,
             aep_benchmark=cached.aep_benchmark,
             aep_demos=cached.aep_demos,
-            llm=llm,
+            llm=llm if llm is not None else cached.llm,
+            workers=workers,
+            batch_size=batch_size,
         )
     params = SCALES[scale]
     with obs.span("harness.build_context", scale=scale, seed=seed):
@@ -241,6 +263,8 @@ def build_context(
         )
         if llm is not None:
             context.llm = llm
-    if llm is None:
+        context.workers = workers
+        context.batch_size = batch_size
+    if pristine:
         _CONTEXT_CACHE[key] = context
     return context

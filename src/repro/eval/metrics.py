@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
@@ -115,48 +116,140 @@ def execution_correct(
     )
 
 
-def evaluate_model(
+def _failed_record(example: Example, error: LLMError) -> PredictionRecord:
+    """Skip-and-record: one dead backend call must not abort a sweep."""
+    obs.count("eval.skipped_examples")
+    obs.count("eval.examples", correct=False)
+    return PredictionRecord(
+        example=example,
+        predicted_sql="",
+        correct=False,
+        failed=True,
+        notes=[f"prediction failed ({error})"],
+    )
+
+
+def _scored_record(
+    benchmark: Benchmark, example: Example, predicted_sql: str, notes: list[str]
+) -> PredictionRecord:
+    correct = execution_correct(
+        benchmark.database(example.db_id), example.gold_sql, predicted_sql
+    )
+    obs.count("eval.examples", correct=correct)
+    return PredictionRecord(
+        example=example,
+        predicted_sql=predicted_sql,
+        correct=correct,
+        notes=notes,
+    )
+
+
+def _evaluate_examples(
     model: Nl2SqlModel,
     benchmark: Benchmark,
-    examples: Optional[Sequence[Example]] = None,
-) -> AccuracyReport:
-    """Run a model over a benchmark and score execution accuracy."""
-    report = AccuracyReport()
-    pool = list(examples if examples is not None else benchmark.examples)
-    with obs.span(
-        "eval.evaluate_model", benchmark=benchmark.name, n=len(pool)
-    ) as sp:
+    pool: Sequence[Example],
+    batch_size: int,
+) -> list[PredictionRecord]:
+    """Score a contiguous run of examples (one worker's shard).
+
+    ``batch_size > 1`` routes predictions through the model's settled
+    batch path; outcomes come back in example order either way, so the
+    produced records are identical to the sequential ones.
+    """
+    records: list[PredictionRecord] = []
+    if batch_size <= 1:
         for example in pool:
             database = benchmark.database(example.db_id)
             try:
                 prediction = model.predict(example.question, database)
             except LLMError as error:
-                # Skip-and-record: one dead backend call must not abort a
-                # benchmark sweep. The example scores as incorrect.
-                obs.count("eval.skipped_examples")
-                obs.count("eval.examples", correct=False)
-                report.records.append(
-                    PredictionRecord(
-                        example=example,
-                        predicted_sql="",
-                        correct=False,
-                        failed=True,
-                        notes=[f"prediction failed ({error})"],
+                records.append(_failed_record(example, error))
+                continue
+            records.append(
+                _scored_record(
+                    benchmark, example, prediction.sql, prediction.notes
+                )
+            )
+        return records
+    for start in range(0, len(pool), batch_size):
+        chunk = pool[start : start + batch_size]
+        outcomes = model.predict_batch(
+            [
+                (example.question, benchmark.database(example.db_id))
+                for example in chunk
+            ]
+        )
+        for example, outcome in zip(chunk, outcomes):
+            if isinstance(outcome, LLMError):
+                records.append(_failed_record(example, outcome))
+            else:
+                records.append(
+                    _scored_record(
+                        benchmark, example, outcome.sql, outcome.notes
                     )
                 )
-                continue
-            correct = execution_correct(
-                database, example.gold_sql, prediction.sql
+    return records
+
+
+def shard_examples(
+    pool: Sequence[Example], workers: int
+) -> list[list[Example]]:
+    """Contiguous, near-equal shards (empty shards are dropped).
+
+    Contiguity + concatenation in shard order is what makes the parallel
+    merge deterministic: the merged record list equals the sequential one
+    regardless of which worker finished first.
+    """
+    workers = max(1, workers)
+    pool = list(pool)
+    shards: list[list[Example]] = []
+    base, extra = divmod(len(pool), workers)
+    cursor = 0
+    for worker in range(workers):
+        size = base + (1 if worker < extra else 0)
+        if size == 0:
+            continue
+        shards.append(pool[cursor : cursor + size])
+        cursor += size
+    return shards
+
+
+def evaluate_model(
+    model: Nl2SqlModel,
+    benchmark: Benchmark,
+    examples: Optional[Sequence[Example]] = None,
+    workers: int = 1,
+    batch_size: int = 1,
+) -> AccuracyReport:
+    """Run a model over a benchmark and score execution accuracy.
+
+    ``workers > 1`` shards the pool across a thread pool (contiguous
+    shards, merged back in shard order — results are byte-identical to a
+    sequential run). ``batch_size > 1`` groups each shard's predictions
+    into settled LLM batches.
+    """
+    report = AccuracyReport()
+    pool = list(examples if examples is not None else benchmark.examples)
+    with obs.span(
+        "eval.evaluate_model", benchmark=benchmark.name, n=len(pool)
+    ) as sp:
+        if workers <= 1:
+            report.records.extend(
+                _evaluate_examples(model, benchmark, pool, batch_size)
             )
-            obs.count("eval.examples", correct=correct)
-            report.records.append(
-                PredictionRecord(
-                    example=example,
-                    predicted_sql=prediction.sql,
-                    correct=correct,
-                    notes=prediction.notes,
-                )
-            )
+        else:
+            shards = shard_examples(pool, workers)
+            with ThreadPoolExecutor(
+                max_workers=len(shards), thread_name_prefix="eval"
+            ) as executor:
+                futures = [
+                    executor.submit(
+                        _evaluate_examples, model, benchmark, shard, batch_size
+                    )
+                    for shard in shards
+                ]
+                for future in futures:
+                    report.records.extend(future.result())
         sp.set("accuracy", report.accuracy)
         sp.set("failed", report.failed)
     return report

@@ -1,5 +1,13 @@
-"""Simulated LLM backend and prompt library."""
+"""Simulated LLM backend, prompt library, and batched/cached dispatch."""
 
+from repro.llm.dispatch import (
+    BatchingChatModel,
+    CachingChatModel,
+    CompletionCache,
+    canonical_prompt_key,
+    complete_batch,
+    settle_batch,
+)
 from repro.llm.interface import (
     KIND_FEEDBACK,
     KIND_NL2SQL,
@@ -19,14 +27,19 @@ from repro.llm.prompts import (
 from repro.llm.simulated import SimulatedLLM, derive_conventions, merge_glossaries
 
 __all__ = [
+    "BatchingChatModel",
+    "CachingChatModel",
     "ChatModel",
     "Completion",
+    "CompletionCache",
     "KIND_FEEDBACK",
     "KIND_NL2SQL",
     "KIND_REWRITE",
     "KIND_ROUTING",
     "Prompt",
     "SimulatedLLM",
+    "canonical_prompt_key",
+    "complete_batch",
     "derive_conventions",
     "feedback_prompt",
     "merge_glossaries",
@@ -34,4 +47,5 @@ __all__ = [
     "render_feedback_demo",
     "rewrite_prompt",
     "routing_prompt",
+    "settle_batch",
 ]

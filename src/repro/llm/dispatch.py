@@ -1,0 +1,470 @@
+"""Unified batched/cached LLM dispatch.
+
+Every LLM interaction in the stack used to funnel through single-prompt
+:meth:`ChatModel.complete` calls. This module restructures that call-chain
+shape once, for every layer above it:
+
+* :func:`complete_batch` / :func:`settle_batch` — the dispatch adapters.
+  They route a list of prompts through a model's *native* batch path when
+  it has one and fall back to sequential ``complete`` otherwise, so any
+  :class:`~repro.llm.interface.ChatModel` keeps working unchanged.
+  ``settle_batch`` never raises for a single item: each slot settles to
+  either a :class:`~repro.llm.interface.Completion` or the
+  :class:`~repro.errors.LLMError` that item died with (the semantics the
+  evaluation loop's skip-and-record path needs).
+* :func:`canonical_prompt_key` — a deterministic content hash over a
+  prompt's kind, rendered text, and the payload fields that influence the
+  completion but are *not* part of the rendered text (``context_key``,
+  ``feedback_type``, demonstration glossaries). Two prompts with equal
+  keys are guaranteed to produce equal completions from the deterministic
+  backend.
+* :class:`CompletionCache` — a thread-safe completion store keyed on
+  canonical prompt hashes, with optional JSON persistence (one
+  ``completions.json`` per cache directory) so predictions and generated
+  correction suites survive across processes.
+* :class:`CachingChatModel` — a :class:`ChatModel` wrapper that consults
+  the cache before dispatching, batch-aware on both sides: cache misses
+  inside a batch are re-batched to the inner model.
+* :class:`BatchingChatModel` — a bounded-wait request coalescer: concurrent
+  ``complete`` calls from many threads are grouped into one
+  ``complete_batch`` dispatch (leader/follower, ``max_wait_ms`` bounded).
+  The serve layer hangs one of these per tenant.
+
+Metric names: ``llm.batch_size`` (histogram, one observation per batch
+dispatch), ``cache.hit`` / ``cache.miss`` (counters, labelled by prompt
+kind).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+from repro import obs
+from repro.datasets.base import Demonstration
+from repro.errors import LLMError
+from repro.llm.interface import ChatModel, Completion, Prompt
+from repro.sql.schema import DatabaseSchema
+
+#: Bump when the cache file layout changes (old files are ignored).
+CACHE_SCHEMA_VERSION = 1
+
+#: File name used inside a ``--cache-dir`` directory.
+CACHE_FILENAME = "completions.json"
+
+#: One settled batch slot: the completion, or the error the item died with.
+BatchOutcome = Union[Completion, LLMError]
+
+
+# -- canonical prompt hashing ------------------------------------------------------
+
+
+def _canonical_value(value: object) -> object:
+    """A JSON-stable projection of a payload value.
+
+    Scalars pass through; demonstrations contribute their glossary (which
+    influences the simulated model's in-context learning but is *not* part
+    of the rendered prompt text); schemas contribute only their name (the
+    full DDL is already in the text). Everything else degrades to ``str``.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_canonical_value(item) for item in value]
+    if isinstance(value, dict):
+        return {
+            str(key): _canonical_value(val)
+            for key, val in sorted(value.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(value, Demonstration):
+        return {
+            "question": value.question,
+            "sql": value.sql,
+            "db_id": value.db_id,
+            "glossary": dict(sorted(value.glossary.items())),
+        }
+    if isinstance(value, DatabaseSchema):
+        return {"schema": value.name}
+    return str(value)
+
+
+def canonical_prompt_key(prompt: Prompt) -> str:
+    """A deterministic hex digest identifying a prompt's full content."""
+    material = json.dumps(
+        {
+            "kind": prompt.kind,
+            "text": prompt.text,
+            "payload": _canonical_value(prompt.payload),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=False,
+        default=str,
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+# -- batch dispatch adapters -------------------------------------------------------
+
+
+def _dispatch_batch(model: ChatModel, prompts: Sequence[Prompt]) -> list[Completion]:
+    """Native batch when available, sequential otherwise. No metrics."""
+    native = getattr(model, "complete_batch", None)
+    if callable(native):
+        return list(native(prompts))
+    return [model.complete(prompt) for prompt in prompts]
+
+
+def _settle_batch(model: ChatModel, prompts: Sequence[Prompt]) -> list[BatchOutcome]:
+    """Per-item settled dispatch (native when available). No metrics."""
+    native = getattr(model, "complete_batch_settled", None)
+    if callable(native):
+        return list(native(prompts))
+    outcomes: list[BatchOutcome] = []
+    for prompt in prompts:
+        try:
+            outcomes.append(model.complete(prompt))
+        except LLMError as error:
+            outcomes.append(error)
+    return outcomes
+
+
+def complete_batch(model: ChatModel, prompts: Sequence[Prompt]) -> list[Completion]:
+    """Batch-complete ``prompts`` against any :class:`ChatModel`.
+
+    Uses the model's native ``complete_batch`` when it has one; otherwise
+    falls back to sequential ``complete`` calls, so every model keeps
+    working. Raises the first item's :class:`~repro.errors.LLMError` when
+    an item fails — use :func:`settle_batch` for per-item outcomes.
+    """
+    prompts = list(prompts)
+    if not prompts:
+        return []
+    obs.observe("llm.batch_size", len(prompts))
+    return _dispatch_batch(model, prompts)
+
+
+def settle_batch(model: ChatModel, prompts: Sequence[Prompt]) -> list[BatchOutcome]:
+    """Batch-complete with per-item outcomes (never raises per item).
+
+    Each returned slot is either the item's :class:`Completion` or the
+    :class:`~repro.errors.LLMError` it failed with, in prompt order.
+    """
+    prompts = list(prompts)
+    if not prompts:
+        return []
+    obs.observe("llm.batch_size", len(prompts))
+    return _settle_batch(model, prompts)
+
+
+# -- completion cache --------------------------------------------------------------
+
+
+class CompletionCache:
+    """A thread-safe, deterministic completion store.
+
+    Entries are keyed on :func:`canonical_prompt_key` digests and hold the
+    completion's text and notes. ``load``/``save`` persist the whole store
+    as canonical JSON inside a directory, so a warm cache carries nl2sql
+    predictions and generated correction completions across processes.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[str, tuple[str, tuple[str, ...]]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.loaded = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: str) -> Optional[Completion]:
+        """The cached completion (a fresh copy), or None on miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+        text, notes = entry
+        return Completion(text=text, notes=list(notes))
+
+    def put(self, key: str, completion: Completion) -> None:
+        """Store one completion under its canonical key."""
+        with self._lock:
+            self._entries[key] = (completion.text, tuple(completion.notes))
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "loaded": self.loaded,
+            }
+
+    # -- persistence ----------------------------------------------------------
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> "CompletionCache":
+        """A cache warmed from ``directory`` (empty when nothing persisted).
+
+        Unreadable or schema-mismatched files are ignored rather than
+        fatal: a corrupt cache degrades to a cold one.
+        """
+        cache = cls()
+        path = Path(directory) / CACHE_FILENAME
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if (
+            not isinstance(document, dict)
+            or document.get("version") != CACHE_SCHEMA_VERSION
+        ):
+            return cache
+        entries = document.get("entries")
+        if not isinstance(entries, dict):
+            return cache
+        for key, entry in entries.items():
+            if (
+                isinstance(key, str)
+                and isinstance(entry, dict)
+                and isinstance(entry.get("text"), str)
+            ):
+                notes = entry.get("notes", [])
+                if isinstance(notes, list) and all(
+                    isinstance(note, str) for note in notes
+                ):
+                    cache._entries[key] = (entry["text"], tuple(notes))
+        cache.loaded = len(cache._entries)
+        return cache
+
+    def save(self, directory: Union[str, Path]) -> int:
+        """Persist the store to ``directory`` (atomic); returns entry count.
+
+        The file is canonical JSON (sorted keys, stable separators): two
+        processes that cached the same completions write identical bytes.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        with self._lock:
+            entries = {
+                key: {"text": text, "notes": list(notes)}
+                for key, (text, notes) in self._entries.items()
+            }
+        document = {"version": CACHE_SCHEMA_VERSION, "entries": entries}
+        path = directory / CACHE_FILENAME
+        tmp_path = path.with_suffix(".json.tmp")
+        tmp_path.write_text(
+            json.dumps(document, sort_keys=True, separators=(",", ":")) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp_path, path)
+        return len(entries)
+
+
+class CachingChatModel:
+    """A :class:`ChatModel` wrapper that memoizes completions.
+
+    Hits are answered from the :class:`CompletionCache` without touching
+    the inner model; misses inside a batch are re-batched to the inner
+    model's native dispatch. Settled errors are never cached — a failed
+    item retries against the backend on the next call.
+    """
+
+    def __init__(
+        self, inner: ChatModel, cache: Optional[CompletionCache] = None
+    ) -> None:
+        self._inner = inner
+        self._cache = cache if cache is not None else CompletionCache()
+
+    @property
+    def inner(self) -> ChatModel:
+        return self._inner
+
+    @property
+    def cache(self) -> CompletionCache:
+        return self._cache
+
+    def complete(self, prompt: Prompt) -> Completion:
+        key = canonical_prompt_key(prompt)
+        cached = self._cache.get(key)
+        if cached is not None:
+            obs.count("cache.hit", kind=prompt.kind)
+            return cached
+        obs.count("cache.miss", kind=prompt.kind)
+        completion = self._inner.complete(prompt)
+        self._cache.put(key, completion)
+        return completion
+
+    def complete_batch(self, prompts: Sequence[Prompt]) -> list[Completion]:
+        prompts = list(prompts)
+        results: list[Optional[Completion]] = [None] * len(prompts)
+        keys = [canonical_prompt_key(prompt) for prompt in prompts]
+        missing: list[int] = []
+        for index, (prompt, key) in enumerate(zip(prompts, keys)):
+            cached = self._cache.get(key)
+            if cached is not None:
+                obs.count("cache.hit", kind=prompt.kind)
+                results[index] = cached
+            else:
+                obs.count("cache.miss", kind=prompt.kind)
+                missing.append(index)
+        if missing:
+            fetched = _dispatch_batch(
+                self._inner, [prompts[index] for index in missing]
+            )
+            for index, completion in zip(missing, fetched):
+                self._cache.put(keys[index], completion)
+                results[index] = completion
+        return results  # type: ignore[return-value]
+
+    def complete_batch_settled(
+        self, prompts: Sequence[Prompt]
+    ) -> list[BatchOutcome]:
+        prompts = list(prompts)
+        results: list[Optional[BatchOutcome]] = [None] * len(prompts)
+        keys = [canonical_prompt_key(prompt) for prompt in prompts]
+        missing: list[int] = []
+        for index, (prompt, key) in enumerate(zip(prompts, keys)):
+            cached = self._cache.get(key)
+            if cached is not None:
+                obs.count("cache.hit", kind=prompt.kind)
+                results[index] = cached
+            else:
+                obs.count("cache.miss", kind=prompt.kind)
+                missing.append(index)
+        if missing:
+            settled = _settle_batch(
+                self._inner, [prompts[index] for index in missing]
+            )
+            for index, outcome in zip(missing, settled):
+                if isinstance(outcome, Completion):
+                    self._cache.put(keys[index], outcome)
+                results[index] = outcome
+        return results  # type: ignore[return-value]
+
+
+# -- bounded-wait request coalescing -----------------------------------------------
+
+
+class _PendingItem:
+    """One enqueued prompt awaiting its slot of a coalesced dispatch."""
+
+    __slots__ = ("prompt", "outcome", "done")
+
+    def __init__(self, prompt: Prompt) -> None:
+        self.prompt = prompt
+        self.outcome: Optional[BatchOutcome] = None
+        self.done = False
+
+
+class BatchingChatModel:
+    """Coalesces concurrent ``complete`` calls into batched dispatches.
+
+    Leader/follower over one condition variable: the first caller with no
+    active leader becomes the leader, waits up to ``max_wait_ms`` for the
+    queue to fill (or until ``max_batch`` items arrived), dispatches the
+    collected prompts as one settled batch against the inner model, and
+    distributes the per-item outcomes. A solitary caller therefore pays at
+    most ``max_wait_ms`` extra latency; concurrent callers on the same
+    model share one dispatch.
+
+    With ``max_batch=1`` the wrapper degenerates to pass-through
+    ``complete`` calls (no queueing, no added latency).
+    """
+
+    def __init__(
+        self,
+        inner: ChatModel,
+        max_batch: int = 8,
+        max_wait_ms: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1: {max_batch}")
+        if max_wait_ms < 0:
+            raise ValueError(f"max_wait_ms must be >= 0: {max_wait_ms}")
+        self._inner = inner
+        self._max_batch = max_batch
+        self._max_wait = max_wait_ms / 1000.0
+        self._clock = clock
+        self._cond = threading.Condition()
+        self._queue: list[_PendingItem] = []
+        self._leader_active = False
+        self.dispatches = 0
+        self.coalesced = 0
+
+    @property
+    def inner(self) -> ChatModel:
+        return self._inner
+
+    def complete(self, prompt: Prompt) -> Completion:
+        if self._max_batch == 1:
+            return self._inner.complete(prompt)
+        item = _PendingItem(prompt)
+        with self._cond:
+            self._queue.append(item)
+            self._cond.notify_all()
+        while True:
+            batch: list[_PendingItem] = []
+            with self._cond:
+                if item.done:
+                    break
+                if self._leader_active:
+                    # Follower: wait for the current leader's round, then
+                    # re-check (our item may ride the next round).
+                    self._cond.wait(timeout=max(self._max_wait, 0.01))
+                    if item.done:
+                        break
+                    continue
+                self._leader_active = True
+                deadline = self._clock() + self._max_wait
+                while len(self._queue) < self._max_batch:
+                    remaining = deadline - self._clock()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(timeout=remaining)
+                batch = self._queue[: self._max_batch]
+                del self._queue[: self._max_batch]
+            # Dispatch outside the lock so followers can keep enqueueing.
+            outcomes = settle_batch(
+                self._inner, [pending.prompt for pending in batch]
+            )
+            with self._cond:
+                for pending, outcome in zip(batch, outcomes):
+                    pending.outcome = outcome
+                    pending.done = True
+                self.dispatches += 1
+                self.coalesced += len(batch)
+                self._leader_active = False
+                self._cond.notify_all()
+            if item.done:
+                break
+        if isinstance(item.outcome, LLMError):
+            raise item.outcome
+        assert item.outcome is not None
+        return item.outcome
+
+    def complete_batch(self, prompts: Sequence[Prompt]) -> list[Completion]:
+        """An explicit batch bypasses coalescing: it already is one."""
+        with self._cond:
+            self.dispatches += 1
+            self.coalesced += len(prompts)
+        return complete_batch(self._inner, prompts)
+
+    def complete_batch_settled(
+        self, prompts: Sequence[Prompt]
+    ) -> list[BatchOutcome]:
+        with self._cond:
+            self.dispatches += 1
+            self.coalesced += len(prompts)
+        return settle_batch(self._inner, prompts)

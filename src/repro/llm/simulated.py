@@ -121,6 +121,24 @@ class SimulatedLLM:
         ):
             return self._dispatch(prompt)
 
+    def complete_batch(self, prompts: Sequence[Prompt]) -> list[Completion]:
+        """Answer a batch of prompts natively (one ``llm.complete_batch`` span).
+
+        Per-prompt accounting (``llm.calls`` counters, ``llm.latency_ms``
+        timers) is preserved so a batched run's metrics stay comparable to
+        a sequential one.
+        """
+        prompts = list(prompts)
+        if not obs.is_enabled():
+            return [self._dispatch(prompt) for prompt in prompts]
+        with obs.span("llm.complete_batch", n=len(prompts)):
+            completions = []
+            for prompt in prompts:
+                obs.count("llm.calls", kind=prompt.kind)
+                with obs.timer("llm.latency_ms", kind=prompt.kind):
+                    completions.append(self._dispatch(prompt))
+            return completions
+
     def _dispatch(self, prompt: Prompt) -> Completion:
         if prompt.kind == KIND_NL2SQL:
             return self._nl2sql(prompt)

@@ -143,20 +143,55 @@ class MetricsRegistry:
         with self._lock:
             return list(self._histograms.get((name, _label_key(labels)), []))
 
+    # -- merging -------------------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's series into this one.
+
+        Counters add; histogram observation lists concatenate. Used to
+        combine per-worker registries into one report — merge order does
+        not affect :meth:`snapshot` output because snapshots are sorted.
+        """
+        with other._lock:
+            counters = dict(other._counters)
+            histograms = {
+                key: list(values) for key, values in other._histograms.items()
+            }
+        with self._lock:
+            for key, value in counters.items():
+                self._counters[key] = self._counters.get(key, 0) + value
+            for key, values in histograms.items():
+                self._histograms.setdefault(key, []).extend(values)
+
     # -- snapshot ------------------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """All counters and histogram summaries, in insertion order."""
+        """All counters and histogram summaries, sorted by (name, labels).
+
+        Sorted rendering (rather than insertion order) is what keeps
+        ``--metrics`` reports byte-identical under concurrency: with
+        worker threads, which series gets created first is scheduler
+        dependent, but the sorted view is not.
+        """
         with self._lock:
             counters = [
                 {"name": name, "labels": dict(labels), "value": value}
-                for (name, labels), value in self._counters.items()
+                for (name, labels), value in sorted(
+                    self._counters.items(), key=_series_sort_key
+                )
             ]
             histograms = [
                 summarize_histogram(name, dict(labels), values)
-                for (name, labels), values in self._histograms.items()
+                for (name, labels), values in sorted(
+                    self._histograms.items(), key=_series_sort_key
+                )
             ]
         return {"counters": counters, "histograms": histograms}
+
+
+def _series_sort_key(item: tuple) -> tuple:
+    (name, labels), _value = item
+    return (name, tuple((key, str(value)) for key, value in labels))
 
 
 def summarize_histogram(

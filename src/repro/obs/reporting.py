@@ -86,24 +86,49 @@ def _render_spans(snapshot: dict) -> str:
 
 def _render_llm(snapshot: dict) -> str:
     calls_by_kind = _counter_by_label(snapshot, "llm.calls", "kind")
-    if not calls_by_kind:
+    hits = _counter_by_label(snapshot, "cache.hit", "kind")
+    misses = _counter_by_label(snapshot, "cache.miss", "kind")
+    batch = _histogram(snapshot, "llm.batch_size", {})
+    if not calls_by_kind and not hits and not misses:
         return "(no LLM calls recorded)"
-    rows = []
-    for kind in sorted(calls_by_kind, key=str):
-        latency = _histogram(snapshot, "llm.latency_ms", {"kind": kind})
-        rows.append(
-            [
-                str(kind),
-                _int(calls_by_kind[kind]),
-                _ms(latency["sum"]) if latency else "-",
-                _ms(latency["mean"]) if latency else "-",
-                _ms(latency["p50"]) if latency else "-",
-                _ms(latency["p95"]) if latency else "-",
-            ]
+    lines = []
+    if calls_by_kind:
+        rows = []
+        for kind in sorted(calls_by_kind, key=str):
+            latency = _histogram(snapshot, "llm.latency_ms", {"kind": kind})
+            rows.append(
+                [
+                    str(kind),
+                    _int(calls_by_kind[kind]),
+                    _ms(latency["sum"]) if latency else "-",
+                    _ms(latency["mean"]) if latency else "-",
+                    _ms(latency["p50"]) if latency else "-",
+                    _ms(latency["p95"]) if latency else "-",
+                ]
+            )
+        lines.append(
+            _table(
+                ["Prompt kind", "Calls", "Total ms", "Mean ms", "p50 ms", "p95 ms"],
+                rows,
+            )
         )
-    return _table(
-        ["Prompt kind", "Calls", "Total ms", "Mean ms", "p50 ms", "p95 ms"], rows
-    )
+    if hits or misses:
+        total_hits = sum(hits.values())
+        total = total_hits + sum(misses.values())
+        rate = 100.0 * total_hits / total if total else 0.0
+        line = (
+            f"completion cache: {_int(total_hits)}/{_int(total)} hits "
+            f"({rate:.1f}%)"
+        )
+        if hits:
+            line += f"; by kind: {_label_summary(hits)}"
+        lines.append(line)
+    if batch and batch["count"]:
+        lines.append(
+            f"batch dispatches: {_int(batch['count'])}, "
+            f"mean size {batch['mean']:.1f}, max {_int(batch['max'])}"
+        )
+    return "\n".join(lines)
 
 
 def _render_routing(snapshot: dict) -> str:

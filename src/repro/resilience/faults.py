@@ -12,10 +12,13 @@ reproducible as the fault-free ones.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, fields, replace
+from typing import Sequence
 
 from repro import obs
 from repro.errors import (
+    LLMError,
     LLMTimeoutError,
     RateLimitError,
     TransientLLMError,
@@ -180,6 +183,7 @@ class FaultInjectingChatModel:
     def __init__(self, inner: ChatModel, profile: FaultProfile) -> None:
         self._inner = inner
         self._profile = profile
+        self._lock = threading.Lock()
         self._calls = 0
         self.fault_counts: dict[str, int] = {}
 
@@ -199,15 +203,17 @@ class FaultInjectingChatModel:
     def complete(self, prompt: Prompt) -> Completion:
         from repro.util import stable_fraction
 
-        self._calls += 1
-        index = self._calls
+        with self._lock:
+            self._calls += 1
+            index = self._calls
         fault = self._profile.fault_for(
             stable_fraction("fault", self._profile.seed, index)
         )
         if fault is None:
             return self._inner.complete(prompt)
 
-        self.fault_counts[fault] = self.fault_counts.get(fault, 0) + 1
+        with self._lock:
+            self.fault_counts[fault] = self.fault_counts.get(fault, 0) + 1
         obs.count("llm.faults.injected", kind=fault)
         if fault == FAULT_TIMEOUT:
             raise LLMTimeoutError(
@@ -230,3 +236,27 @@ class FaultInjectingChatModel:
             text=garbled,
             notes=completion.notes + ["injected truncated completion"],
         )
+
+    def complete_batch(self, prompts: Sequence[Prompt]) -> list[Completion]:
+        """Batch completion with the same per-index fault plan.
+
+        Items are drawn in prompt order, so a batch of N prompts consumes
+        exactly the same fault-plan indices as N sequential calls — the
+        injected fault sequence is independent of batching. The first
+        faulted item's error propagates (use ``complete_batch_settled``
+        for per-item outcomes).
+        """
+        return [self.complete(prompt) for prompt in prompts]
+
+    def complete_batch_settled(
+        self, prompts: Sequence[Prompt]
+    ) -> "list[Completion | LLMError]":
+        """Per-item settled batch: every prompt draws its fault, errors
+        settle in place instead of aborting the remainder of the batch."""
+        outcomes: list[Completion | LLMError] = []
+        for prompt in prompts:
+            try:
+                outcomes.append(self.complete(prompt))
+            except LLMError as error:
+                outcomes.append(error)
+        return outcomes

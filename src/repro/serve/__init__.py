@@ -37,6 +37,7 @@ from repro.serve.client import (
     ServeClient,
     ServeClientError,
 )
+from repro.serve.persistence import SESSION_SCHEMA_VERSION, SessionStore
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     AskRequest,
@@ -78,6 +79,7 @@ __all__ = [
     "HttpTransport",
     "InProcessTransport",
     "ProtocolError",
+    "SESSION_SCHEMA_VERSION",
     "ServeApp",
     "ServeClient",
     "ServeClientError",
@@ -86,6 +88,7 @@ __all__ = [
     "SessionLimitError",
     "SessionManager",
     "SessionRecord",
+    "SessionStore",
     "TenantPolicy",
     "UnknownSessionError",
     "answer_view",

@@ -1,0 +1,111 @@
+"""Session persistence: transcripts serialized to JSON across evictions.
+
+:class:`SessionStore` is the disk side of the ROADMAP's "session
+persistence" item. When the :class:`~repro.serve.sessions.SessionManager`
+evicts an idle session (TTL or LRU), the conversation state —
+transcript turns, current question, current SQL — is written as one
+canonical-JSON file per session id. A later ``POST /sessions`` with
+``resume: <id>`` restores the conversation into a fresh
+:class:`~repro.core.chat.ChatSession` and removes the file (resume is
+move semantics: a session is resident *or* persisted, never both).
+
+Files live flat in one directory, ``<session_id>.json``, schema-versioned
+so stale layouts are ignored rather than mis-restored.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+from pathlib import Path
+from typing import Optional, Union
+
+#: Bump when the persisted session layout changes.
+SESSION_SCHEMA_VERSION = 1
+
+#: Session ids must be safe as bare file names.
+_SAFE_ID = re.compile(r"^[A-Za-z0-9._-]+$")
+
+
+class SessionStore:
+    """One-directory JSON persistence for evicted chat sessions."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self.saved = 0
+        self.restored = 0
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def _path_for(self, session_id: str) -> Optional[Path]:
+        if not _SAFE_ID.match(session_id):
+            return None
+        return self._directory / f"{session_id}.json"
+
+    def ids(self) -> list[str]:
+        """Persisted session ids, sorted."""
+        return sorted(
+            path.stem for path in self._directory.glob("*.json")
+        )
+
+    def save(
+        self, session_id: str, tenant: str, db_id: str, state: dict
+    ) -> bool:
+        """Persist one evicted session; False when the id is unsafe."""
+        path = self._path_for(session_id)
+        if path is None:
+            return False
+        document = {
+            "version": SESSION_SCHEMA_VERSION,
+            "session_id": session_id,
+            "tenant": tenant,
+            "db": db_id,
+            "state": state,
+        }
+        encoded = (
+            json.dumps(document, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        with self._lock:
+            tmp_path = path.with_suffix(".json.tmp")
+            tmp_path.write_text(encoded, encoding="utf-8")
+            os.replace(tmp_path, path)
+            self.saved += 1
+        return True
+
+    def load(self, session_id: str) -> Optional[dict]:
+        """The persisted document for an id (None when absent/unreadable)."""
+        path = self._path_for(session_id)
+        if path is None:
+            return None
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(document, dict)
+            or document.get("version") != SESSION_SCHEMA_VERSION
+            or not isinstance(document.get("state"), dict)
+        ):
+            return None
+        return document
+
+    def pop(self, session_id: str) -> Optional[dict]:
+        """Load and remove a persisted session (move semantics for resume)."""
+        with self._lock:
+            document = self.load(session_id)
+            if document is not None:
+                path = self._path_for(session_id)
+                try:
+                    assert path is not None
+                    path.unlink()
+                except OSError:
+                    pass
+                else:
+                    self.restored += 1
+            return document

@@ -144,11 +144,16 @@ def _non_empty(value: str, name: str) -> str:
 
 @dataclass(frozen=True)
 class CreateSessionRequest:
-    """``POST /sessions`` — open a chat session against a hosted database."""
+    """``POST /sessions`` — open a chat session against a hosted database.
+
+    ``resume`` names a previously evicted session id: its persisted
+    transcript is restored and the session keeps that id.
+    """
 
     db: str
     tenant: str = "default"
     routing: bool = True
+    resume: Optional[str] = None
 
     @classmethod
     def from_payload(cls, payload: dict) -> "CreateSessionRequest":
@@ -158,10 +163,13 @@ class CreateSessionRequest:
                 "db": (str, _MISSING),
                 "tenant": (str, "default"),
                 "routing": (bool, True),
+                "resume": ((str, type(None)), None),
             },
         )
         _non_empty(values["db"], "db")
         _non_empty(values["tenant"], "tenant")
+        if values["resume"] is not None:
+            _non_empty(values["resume"], "resume")
         return cls(**values)
 
 

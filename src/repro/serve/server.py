@@ -51,6 +51,7 @@ from repro.core.chat import ChatSession
 from repro.core.nl2sql import Nl2SqlModel
 from repro.core.retrieval import DemonstrationRetriever
 from repro.errors import CircuitOpenError, LLMError, ReproError
+from repro.llm.dispatch import BatchingChatModel
 from repro.llm.interface import ChatModel
 from repro.llm.simulated import SimulatedLLM
 from repro.obs.reporting import render_run_report
@@ -84,12 +85,20 @@ DEFAULT_DRAIN_GRACE = 10.0
 
 @dataclass(frozen=True)
 class TenantPolicy:
-    """Per-tenant resilience configuration (one stack per tenant)."""
+    """Per-tenant resilience + dispatch configuration (one stack each).
+
+    ``batch_max > 1`` puts a bounded-wait request coalescer in front of the
+    tenant's resilience stack: concurrent asks from that tenant's sessions
+    are grouped into one ``complete_batch`` dispatch, waiting at most
+    ``batch_wait_ms`` to fill a batch.
+    """
 
     max_retries: int = 2
     deadline_ms: Optional[float] = None
     breaker_threshold: int = 5
     breaker_reset_ms: float = 30_000.0
+    batch_max: int = 1
+    batch_wait_ms: float = 5.0
 
 
 @dataclass
@@ -165,7 +174,7 @@ class ServeApp:
 
     def _default_llm_factory(self, tenant: str) -> ChatModel:
         policy = self._policy
-        return ResilientChatModel(
+        resilient = ResilientChatModel(
             self._base_llm,
             retry=RetryPolicy(
                 max_retries=policy.max_retries,
@@ -177,6 +186,13 @@ class ServeApp:
                 clock=self._clock,
             ),
             clock=self._clock,
+        )
+        if policy.batch_max <= 1:
+            return resilient
+        return BatchingChatModel(
+            resilient,
+            max_batch=policy.batch_max,
+            max_wait_ms=policy.batch_wait_ms,
         )
 
     def llm_for_tenant(self, tenant: str) -> ChatModel:
@@ -377,9 +393,15 @@ class ServeApp:
             )
 
         record = self._manager.create(
-            chat_factory, tenant=request.tenant, db_id=request.db
+            chat_factory,
+            tenant=request.tenant,
+            db_id=request.db,
+            resume_id=request.resume,
         )
-        return self._json(201, {"session": self._session_view(record)})
+        payload = {"session": self._session_view(record)}
+        if request.resume is not None:
+            payload["restored"] = True
+        return self._json(201, payload)
 
     @staticmethod
     def _session_view(record: SessionRecord) -> dict:

@@ -35,6 +35,7 @@ from typing import Callable, Iterator, Optional
 from repro import obs
 from repro.core.chat import ChatSession
 from repro.errors import ReproError
+from repro.serve.persistence import SessionStore
 
 #: Default registry capacity.
 DEFAULT_MAX_SESSIONS = 128
@@ -114,6 +115,7 @@ class SessionManager:
         ttl_seconds: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
         id_factory: Optional[Callable[[], str]] = None,
+        store: Optional[SessionStore] = None,
     ) -> None:
         if max_sessions < 1:
             raise ValueError(f"max_sessions must be >= 1: {max_sessions}")
@@ -123,12 +125,15 @@ class SessionManager:
         self._ttl_seconds = ttl_seconds
         self._clock = clock
         self._id_factory = id_factory or _default_id_factory()
+        self._store = store
         self._lock = threading.Lock()
         self._records: dict[str, SessionRecord] = {}
         self.created = 0
         self.evicted_ttl = 0
         self.evicted_lru = 0
         self.rejected = 0
+        self.persisted = 0
+        self.restored = 0
 
     # -- introspection --------------------------------------------------------
 
@@ -139,6 +144,10 @@ class SessionManager:
     @property
     def max_sessions(self) -> int:
         return self._max_sessions
+
+    @property
+    def store(self) -> Optional[SessionStore]:
+        return self._store
 
     def ids(self) -> list[str]:
         with self._lock:
@@ -154,6 +163,8 @@ class SessionManager:
                 "evicted_ttl": self.evicted_ttl,
                 "evicted_lru": self.evicted_lru,
                 "rejected": self.rejected,
+                "persisted": self.persisted,
+                "restored": self.restored,
             }
 
     # -- lifecycle ------------------------------------------------------------------
@@ -163,15 +174,27 @@ class SessionManager:
         chat_factory: Callable[[], ChatSession],
         tenant: str = "default",
         db_id: str = "",
+        resume_id: Optional[str] = None,
     ) -> SessionRecord:
         """Admit a new session, evicting per the capacity policy.
 
+        ``resume_id`` re-opens a previously evicted session: its persisted
+        transcript is restored into the fresh chat and the session keeps
+        its original id. Resume is move semantics — the persisted file is
+        consumed on success.
+
         Raises:
             SessionLimitError: full and every resident session is busy.
+            UnknownSessionError: ``resume_id`` has no persisted state.
+            SessionError: ``resume_id`` is still resident, or its persisted
+                tenant/database does not match the request.
         """
         with self._lock:
             now = self._clock()
             self._sweep_locked(now)
+            saved: Optional[dict] = None
+            if resume_id is not None:
+                saved = self._load_for_resume_locked(resume_id, tenant, db_id)
             if len(self._records) >= self._max_sessions:
                 victim = self._lru_victim_locked()
                 if victim is None:
@@ -179,16 +202,55 @@ class SessionManager:
                     obs.count("serve.sessions.rejected")
                     raise SessionLimitError(self._max_sessions)
                 self._evict_locked(victim, reason="lru")
-            session_id = self._id_factory()
+            if resume_id is not None:
+                session_id = resume_id
+            else:
+                session_id = self._id_factory()
             if session_id in self._records:
                 raise SessionError(
                     f"id factory produced a duplicate id {session_id!r}"
                 )
-            record = SessionRecord(session_id, tenant, db_id, chat_factory(), now)
+            chat = chat_factory()
+            if saved is not None:
+                chat.restore_state(saved["state"])
+            record = SessionRecord(session_id, tenant, db_id, chat, now)
             self._records[session_id] = record
             self.created += 1
             obs.count("serve.sessions.created", tenant=tenant)
+            if saved is not None:
+                assert self._store is not None
+                self._store.pop(session_id)
+                self.restored += 1
+                obs.count("serve.sessions.restored", tenant=tenant)
             return record
+
+    def _load_for_resume_locked(
+        self, resume_id: str, tenant: str, db_id: str
+    ) -> dict:
+        if resume_id in self._records:
+            raise SessionError(
+                f"session {resume_id!r} is still resident; use it directly "
+                "instead of resuming"
+            )
+        if self._store is None:
+            raise SessionError(
+                "session persistence is not configured; cannot resume "
+                f"{resume_id!r}"
+            )
+        saved = self._store.load(resume_id)
+        if saved is None:
+            raise UnknownSessionError(resume_id)
+        if db_id and saved.get("db") != db_id:
+            raise SessionError(
+                f"session {resume_id!r} was opened against database "
+                f"{saved.get('db')!r}, not {db_id!r}"
+            )
+        if saved.get("tenant") != tenant:
+            raise SessionError(
+                f"session {resume_id!r} belongs to tenant "
+                f"{saved.get('tenant')!r}, not {tenant!r}"
+            )
+        return saved
 
     def remove(self, session_id: str) -> bool:
         """Drop a session; False when it was not resident."""
@@ -257,3 +319,14 @@ class SessionManager:
         else:
             self.evicted_lru += 1
         obs.count("serve.sessions.evicted", reason=reason)
+        # Only idle sessions are ever evicted, so reading the chat state
+        # here races with nothing.
+        if self._store is not None:
+            if self._store.save(
+                record.session_id,
+                record.tenant,
+                record.db_id,
+                record.chat.state(),
+            ):
+                self.persisted += 1
+                obs.count("serve.sessions.persisted", reason=reason)

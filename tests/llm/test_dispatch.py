@@ -1,0 +1,282 @@
+"""The batched/cached dispatch layer: keys, adapters, cache, batcher."""
+
+import threading
+
+import pytest
+
+from repro import obs
+from repro.datasets.base import Demonstration
+from repro.errors import TransientLLMError
+from repro.llm.dispatch import (
+    BatchingChatModel,
+    CachingChatModel,
+    CompletionCache,
+    canonical_prompt_key,
+    complete_batch,
+    settle_batch,
+)
+from repro.llm.interface import Completion, Prompt
+from repro.llm.prompts import nl2sql_prompt
+from repro.llm.simulated import SimulatedLLM
+from repro.sql.schema import DatabaseSchema
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled_after_each_test():
+    yield
+    obs.disable()
+
+
+class RecordingLLM:
+    """Sequential-only model that records every prompt it answers."""
+
+    def __init__(self) -> None:
+        self.seen = []
+
+    def complete(self, prompt: Prompt) -> Completion:
+        self.seen.append(prompt.text)
+        return Completion(text=f"SQL({prompt.text})")
+
+
+class NativeBatchLLM(RecordingLLM):
+    """A model with a native batch path, for adapter-routing assertions."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.batch_calls = 0
+
+    def complete_batch(self, prompts):
+        self.batch_calls += 1
+        return [self.complete(prompt) for prompt in prompts]
+
+
+class FlakyLLM:
+    """Fails every prompt whose text contains 'bad'."""
+
+    def complete(self, prompt: Prompt) -> Completion:
+        if "bad" in prompt.text:
+            raise TransientLLMError(f"flaky: {prompt.text}")
+        return Completion(text=prompt.text.upper())
+
+
+def _prompt(text: str, kind: str = "nl2sql", **payload) -> Prompt:
+    return Prompt(kind=kind, text=text, payload=payload)
+
+
+class TestCanonicalPromptKey:
+    def test_deterministic(self):
+        a = _prompt("q", question="q", n=1)
+        b = _prompt("q", question="q", n=1)
+        assert canonical_prompt_key(a) == canonical_prompt_key(b)
+
+    def test_text_and_kind_matter(self):
+        base = canonical_prompt_key(_prompt("q"))
+        assert canonical_prompt_key(_prompt("other")) != base
+        assert canonical_prompt_key(_prompt("q", kind="feedback")) != base
+
+    def test_payload_scalars_matter_even_outside_text(self):
+        # context_key/feedback_type influence the simulated editor but are
+        # not part of the rendered text — the key must separate them.
+        a = _prompt("same text", context_key="chat:1")
+        b = _prompt("same text", context_key="chat:3")
+        assert canonical_prompt_key(a) != canonical_prompt_key(b)
+
+    def test_demo_glossary_matters(self, music_db):
+        demo_plain = Demonstration(question="q", sql="SELECT 1", db_id="db")
+        demo_glossed = Demonstration(
+            question="q",
+            sql="SELECT 1",
+            db_id="db",
+            glossary={"audience": "segments"},
+        )
+        a = nl2sql_prompt(music_db.schema, "how many?", demos=[demo_plain])
+        b = nl2sql_prompt(music_db.schema, "how many?", demos=[demo_glossed])
+        assert a.text == b.text  # glossary is invisible in the rendering...
+        assert canonical_prompt_key(a) != canonical_prompt_key(b)
+
+    def test_schema_objects_hash_by_name(self, music_db):
+        prompt = nl2sql_prompt(music_db.schema, "how many singers?")
+        assert isinstance(prompt.payload["schema"], DatabaseSchema)
+        key = canonical_prompt_key(prompt)
+        assert key == canonical_prompt_key(
+            nl2sql_prompt(music_db.schema, "how many singers?")
+        )
+
+
+class TestBatchAdapters:
+    def test_sequential_fallback(self):
+        model = RecordingLLM()
+        prompts = [_prompt("a"), _prompt("b")]
+        completions = complete_batch(model, prompts)
+        assert [c.text for c in completions] == ["SQL(a)", "SQL(b)"]
+
+    def test_native_batch_preferred(self):
+        model = NativeBatchLLM()
+        complete_batch(model, [_prompt("a"), _prompt("b")])
+        assert model.batch_calls == 1
+
+    def test_empty_batch(self):
+        assert complete_batch(RecordingLLM(), []) == []
+        assert settle_batch(RecordingLLM(), []) == []
+
+    def test_settle_isolates_per_item_errors(self):
+        outcomes = settle_batch(
+            FlakyLLM(), [_prompt("ok"), _prompt("bad one"), _prompt("fine")]
+        )
+        assert outcomes[0].text == "OK"
+        assert isinstance(outcomes[1], TransientLLMError)
+        assert outcomes[2].text == "FINE"
+
+    def test_batch_size_histogram(self):
+        obs.enable()
+        complete_batch(RecordingLLM(), [_prompt("a"), _prompt("b")])
+        settle_batch(RecordingLLM(), [_prompt("c")])
+        values = obs.get_metrics().histogram_values("llm.batch_size")
+        assert values == [2.0, 1.0]
+
+    def test_simulated_native_batch_matches_sequential(self, music_db):
+        prompts = [
+            nl2sql_prompt(music_db.schema, "how many singers?"),
+            nl2sql_prompt(music_db.schema, "list all songs"),
+        ]
+        sequential = [SimulatedLLM().complete(p).text for p in prompts]
+        batched = [c.text for c in SimulatedLLM().complete_batch(prompts)]
+        assert batched == sequential
+
+
+class TestCompletionCache:
+    def test_get_put_roundtrip(self):
+        cache = CompletionCache()
+        cache.put("k", Completion(text="SELECT 1", notes=["n"]))
+        hit = cache.get("k")
+        assert hit.text == "SELECT 1" and hit.notes == ["n"]
+        # Mutating the returned completion must not poison the cache.
+        hit.notes.append("mutated")
+        assert cache.get("k").notes == ["n"]
+
+    def test_hit_miss_stats(self):
+        cache = CompletionCache()
+        assert cache.get("missing") is None
+        cache.put("k", Completion(text="x"))
+        cache.get("k")
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_persistence_roundtrip(self, tmp_path):
+        cache = CompletionCache()
+        cache.put("k1", Completion(text="SELECT 1", notes=["a", "b"]))
+        cache.put("k2", Completion(text="SELECT 2"))
+        assert cache.save(tmp_path) == 2
+
+        warmed = CompletionCache.load(tmp_path)
+        assert len(warmed) == 2
+        assert warmed.loaded == 2
+        assert warmed.get("k1").notes == ["a", "b"]
+
+    def test_save_is_canonical_bytes(self, tmp_path):
+        a, b = CompletionCache(), CompletionCache()
+        for cache in (a, b):
+            cache.put("k2", Completion(text="two"))
+            cache.put("k1", Completion(text="one"))
+        a.save(tmp_path / "a")
+        b.save(tmp_path / "b")
+        assert (tmp_path / "a" / "completions.json").read_bytes() == (
+            tmp_path / "b" / "completions.json"
+        ).read_bytes()
+
+    def test_corrupt_file_degrades_to_cold(self, tmp_path):
+        (tmp_path / "completions.json").write_text("{not json", encoding="utf-8")
+        assert len(CompletionCache.load(tmp_path)) == 0
+
+    def test_missing_directory_degrades_to_cold(self, tmp_path):
+        assert len(CompletionCache.load(tmp_path / "nope")) == 0
+
+
+class TestCachingChatModel:
+    def test_second_call_hits(self):
+        inner = RecordingLLM()
+        model = CachingChatModel(inner)
+        prompt = _prompt("q")
+        first = model.complete(prompt)
+        second = model.complete(prompt)
+        assert first.text == second.text
+        assert len(inner.seen) == 1
+
+    def test_batch_dispatches_only_misses(self):
+        inner = NativeBatchLLM()
+        model = CachingChatModel(inner)
+        model.complete(_prompt("a"))
+        results = model.complete_batch([_prompt("a"), _prompt("b")])
+        assert [r.text for r in results] == ["SQL(a)", "SQL(b)"]
+        assert inner.seen == ["a", "b"]  # "a" answered from cache
+
+    def test_counters_by_kind(self):
+        obs.enable()
+        model = CachingChatModel(RecordingLLM())
+        model.complete(_prompt("q"))
+        model.complete(_prompt("q"))
+        metrics = obs.get_metrics()
+        assert metrics.counter_value("cache.miss", kind="nl2sql") == 1
+        assert metrics.counter_value("cache.hit", kind="nl2sql") == 1
+
+    def test_errors_are_not_cached(self):
+        model = CachingChatModel(FlakyLLM())
+        outcomes = model.complete_batch_settled([_prompt("bad")])
+        assert isinstance(outcomes[0], TransientLLMError)
+        assert len(model.cache) == 0
+        # A later fixed backend is consulted again, not the error replayed.
+        assert model.cache.get(canonical_prompt_key(_prompt("bad"))) is None
+
+
+class TestBatchingChatModel:
+    def test_max_batch_one_is_passthrough(self):
+        inner = RecordingLLM()
+        model = BatchingChatModel(inner, max_batch=1)
+        assert model.complete(_prompt("a")).text == "SQL(a)"
+        assert model.dispatches == 0  # never queued
+
+    def test_solo_caller_completes_within_wait(self):
+        model = BatchingChatModel(RecordingLLM(), max_batch=8, max_wait_ms=5)
+        assert model.complete(_prompt("solo")).text == "SQL(solo)"
+        assert model.dispatches == 1
+        assert model.coalesced == 1
+
+    def test_concurrent_callers_coalesce(self):
+        inner = NativeBatchLLM()
+        model = BatchingChatModel(inner, max_batch=8, max_wait_ms=200)
+        barrier = threading.Barrier(4)
+        results = [None] * 4
+
+        def worker(index: int) -> None:
+            barrier.wait()
+            results[index] = model.complete(_prompt(f"p{index}"))
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert [r.text for r in results] == [f"SQL(p{i})" for i in range(4)]
+        assert model.coalesced == 4
+        assert model.dispatches < 4  # at least one batch formed
+
+    def test_error_reaches_the_right_caller(self):
+        model = BatchingChatModel(FlakyLLM(), max_batch=4, max_wait_ms=5)
+        with pytest.raises(TransientLLMError):
+            model.complete(_prompt("bad"))
+        assert model.complete(_prompt("good")).text == "GOOD"
+
+    def test_explicit_batch_bypasses_coalescing(self):
+        inner = NativeBatchLLM()
+        model = BatchingChatModel(inner, max_batch=8, max_wait_ms=50)
+        results = model.complete_batch([_prompt("a"), _prompt("b")])
+        assert [r.text for r in results] == ["SQL(a)", "SQL(b)"]
+        assert inner.batch_calls == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchingChatModel(RecordingLLM(), max_batch=0)
+        with pytest.raises(ValueError):
+            BatchingChatModel(RecordingLLM(), max_wait_ms=-1)

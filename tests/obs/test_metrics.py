@@ -124,3 +124,73 @@ class TestSnapshot:
         assert histogram["name"] == "h"
         assert histogram["labels"] == {}
         assert histogram["count"] == 1
+
+
+class TestMerge:
+    def test_counters_add_and_histograms_extend(self):
+        main = MetricsRegistry()
+        main.count("c", 2, kind="k")
+        main.observe("h", 1.0)
+        worker = MetricsRegistry()
+        worker.count("c", 3, kind="k")
+        worker.count("other")
+        worker.observe("h", 2.0)
+
+        main.merge(worker)
+        assert main.counter_value("c", kind="k") == 5
+        assert main.counter_value("other") == 1
+        assert main.histogram_values("h") == [1.0, 2.0]
+
+    def test_source_registry_unchanged(self):
+        main, worker = MetricsRegistry(), MetricsRegistry()
+        worker.count("c")
+        main.merge(worker)
+        main.count("c")
+        assert worker.counter_value("c") == 1
+
+    def test_merge_order_does_not_change_snapshot(self):
+        def worker(names):
+            registry = MetricsRegistry()
+            for name in names:
+                registry.count(name)
+                registry.observe(f"{name}.ms", 1.0)
+            return registry
+
+        a = MetricsRegistry()
+        a.merge(worker(["x", "y"]))
+        a.merge(worker(["z"]))
+        b = MetricsRegistry()
+        b.merge(worker(["z"]))
+        b.merge(worker(["x", "y"]))
+        assert a.snapshot() == b.snapshot()
+
+
+class TestSortedSnapshot:
+    def test_series_sorted_by_name_then_labels(self):
+        registry = MetricsRegistry()
+        registry.count("b", kind="z")
+        registry.count("b", kind="a")
+        registry.count("a")
+        names = [
+            (entry["name"], entry["labels"])
+            for entry in registry.snapshot()["counters"]
+        ]
+        assert names == [("a", {}), ("b", {"kind": "a"}), ("b", {"kind": "z"})]
+
+    def test_insertion_order_is_irrelevant(self):
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        series = [("m", {"w": 1}), ("m", {"w": 2}), ("k", {})]
+        for name, labels in series:
+            forward.count(name, **labels)
+            forward.observe(f"{name}.ms", 5.0, **labels)
+        for name, labels in reversed(series):
+            backward.count(name, **labels)
+            backward.observe(f"{name}.ms", 5.0, **labels)
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_mixed_label_value_types_sortable(self):
+        registry = MetricsRegistry()
+        registry.count("c", status=200)
+        registry.count("c", status="ok")
+        registry.count("c", status=True)
+        assert len(registry.snapshot()["counters"]) == 3

@@ -1,0 +1,150 @@
+"""Batch-aware fault injection and resilience policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.errors import (
+    CircuitOpenError,
+    LLMError,
+    TransientLLMError,
+)
+from repro.llm.interface import Completion
+from repro.resilience import (
+    CircuitBreaker,
+    FaultInjectingChatModel,
+    FaultProfile,
+    ResilientChatModel,
+    RetryPolicy,
+    VirtualClock,
+)
+
+from tests.resilience.conftest import ScriptedLLM, StubLLM, make_prompt
+
+SQL = "SELECT name FROM singer"
+
+
+def resilient(inner, retry=None, breaker=None, clock=None):
+    clock = clock or VirtualClock()
+    return ResilientChatModel(
+        inner,
+        retry=retry or RetryPolicy(),
+        breaker=breaker,
+        clock=clock.now,
+        sleep=clock.sleep,
+    )
+
+
+class TestFaultInjectionBatch:
+    PROFILE = FaultProfile(
+        timeout_rate=0.1, transient_rate=0.2, empty_rate=0.1, seed=7
+    )
+
+    def _sequential_outcomes(self, n: int):
+        model = FaultInjectingChatModel(StubLLM(), self.PROFILE)
+        outcomes = []
+        for _ in range(n):
+            try:
+                outcomes.append(model.complete(make_prompt()))
+            except LLMError as error:
+                outcomes.append(error)
+        return model, outcomes
+
+    def test_batch_draws_same_fault_plan_as_sequential(self):
+        n = 40
+        seq_model, seq = self._sequential_outcomes(n)
+        batch_model = FaultInjectingChatModel(StubLLM(), self.PROFILE)
+        batched = batch_model.complete_batch_settled([make_prompt()] * n)
+
+        assert [type(o) for o in batched] == [type(o) for o in seq]
+        texts = lambda outcomes: [  # noqa: E731
+            o.text for o in outcomes if isinstance(o, Completion)
+        ]
+        assert texts(batched) == texts(seq)
+        assert batch_model.fault_counts == seq_model.fault_counts
+        assert any(isinstance(o, LLMError) for o in batched)  # plan fired
+
+    def test_strict_batch_propagates_first_fault(self):
+        model = FaultInjectingChatModel(
+            StubLLM(), FaultProfile(transient_rate=1.0)
+        )
+        with pytest.raises(TransientLLMError):
+            model.complete_batch([make_prompt(), make_prompt()])
+
+
+class TestResilientBatch:
+    def test_per_item_retry_and_fatal(self):
+        inner = ScriptedLLM([TransientLLMError, SQL, LLMError, SQL])
+        model = resilient(inner, retry=RetryPolicy(max_retries=2))
+        outcomes = model.complete_batch_settled([make_prompt()] * 3)
+        # Round 1: item 0 transient, item 1 success, item 2 fatal.
+        # Round 2: item 0 retried to success.
+        assert outcomes[0].text == SQL
+        assert outcomes[1].text == SQL
+        assert isinstance(outcomes[2], LLMError)
+        assert not isinstance(outcomes[2], TransientLLMError)
+        assert model.retries == 1
+        assert model.giveups == 0
+        assert inner.calls == 4
+
+    def test_retries_exhausted_settle_as_errors(self):
+        inner = ScriptedLLM([TransientLLMError] * 6)
+        model = resilient(inner, retry=RetryPolicy(max_retries=1))
+        outcomes = model.complete_batch_settled([make_prompt()] * 3)
+        assert all(isinstance(o, TransientLLMError) for o in outcomes)
+        assert model.retries == 3
+        assert model.giveups == 3
+
+    def test_round_sleeps_max_backoff_not_sum(self):
+        inner = ScriptedLLM([TransientLLMError] * 3 + [SQL] * 3)
+        clock = VirtualClock()
+        model = resilient(
+            inner,
+            retry=RetryPolicy(max_retries=1, base_backoff_ms=100, jitter=0.0),
+            clock=clock,
+        )
+        outcomes = model.complete_batch_settled([make_prompt()] * 3)
+        assert [o.text for o in outcomes] == [SQL] * 3
+        # Three sequential calls would have slept 3 x 100 ms; the batch
+        # overlaps the waits into one 100 ms round sleep.
+        assert clock.now() == pytest.approx(0.1)
+        assert model.retries == 3
+
+    def test_shared_breaker_rejects_pending_items(self):
+        inner = ScriptedLLM([TransientLLMError] * 3)
+        breaker_clock = VirtualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, clock=breaker_clock.now
+        )
+        model = resilient(
+            inner,
+            retry=RetryPolicy(max_retries=3),
+            breaker=breaker,
+            clock=breaker_clock,
+        )
+        outcomes = model.complete_batch_settled([make_prompt()] * 3)
+        # Round 1 trips the breaker; round 2's allow() checks reject all
+        # three still-pending items without touching the inner model.
+        assert all(isinstance(o, CircuitOpenError) for o in outcomes)
+        assert model.rejections == 3
+        assert inner.calls == 3
+
+    def test_strict_batch_raises_first_error_by_index(self):
+        inner = ScriptedLLM([SQL, LLMError])
+        model = resilient(inner)
+        with pytest.raises(LLMError):
+            model.complete_batch([make_prompt(), make_prompt()])
+
+    def test_counters_keep_sequential_names(self):
+        obs.enable()
+        inner = ScriptedLLM([TransientLLMError, SQL])
+        model = resilient(inner, retry=RetryPolicy(max_retries=1))
+        model.complete_batch_settled([make_prompt(kind="feedback")])
+        metrics = obs.get_metrics()
+        assert metrics.counter_value("llm.retries", kind="feedback") == 1
+        assert len(metrics.histogram_values("llm.retry_backoff_ms")) == 1
+
+    def test_empty_batch(self):
+        assert resilient(StubLLM()).complete_batch_settled([]) == []
+        assert resilient(StubLLM()).complete_batch([]) == []

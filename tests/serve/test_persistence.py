@@ -1,0 +1,214 @@
+"""Session persistence: eviction writes JSON, resume restores the chat."""
+
+import itertools
+import json
+
+import pytest
+
+from repro.serve.persistence import SESSION_SCHEMA_VERSION, SessionStore
+from repro.serve.protocol import json_decode, json_encode
+from repro.serve.server import ServeApp
+from repro.serve.sessions import (
+    SessionError,
+    SessionManager,
+    UnknownSessionError,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class FakeChat:
+    """Chat stand-in with the state()/restore_state persistence surface."""
+
+    def __init__(self) -> None:
+        self.turns: list = []
+
+    def state(self) -> dict:
+        return {"turns": list(self.turns), "question": None, "sql": None}
+
+    def restore_state(self, state: dict) -> None:
+        self.turns = list(state.get("turns", []))
+
+
+def make_manager(store=None, **kwargs) -> SessionManager:
+    counter = itertools.count(1)
+    kwargs.setdefault("id_factory", lambda: f"s{next(counter)}")
+    return SessionManager(store=store, **kwargs)
+
+
+class TestSessionStore:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = SessionStore(tmp_path / "sessions")
+        assert store.save("s1", "acme", "aep", {"turns": [1, 2]})
+        document = store.load("s1")
+        assert document["version"] == SESSION_SCHEMA_VERSION
+        assert document["tenant"] == "acme"
+        assert document["db"] == "aep"
+        assert document["state"] == {"turns": [1, 2]}
+        assert store.ids() == ["s1"]
+
+    def test_pop_is_move_semantics(self, tmp_path):
+        store = SessionStore(tmp_path)
+        store.save("s1", "t", "db", {"turns": []})
+        assert store.pop("s1") is not None
+        assert store.pop("s1") is None
+        assert store.ids() == []
+        assert store.restored == 1
+
+    def test_unsafe_ids_refused(self, tmp_path):
+        store = SessionStore(tmp_path)
+        assert store.save("../evil", "t", "db", {}) is False
+        assert store.load("a/b") is None
+        assert list(tmp_path.iterdir()) == []
+
+    def test_corrupt_or_stale_files_ignored(self, tmp_path):
+        store = SessionStore(tmp_path)
+        (tmp_path / "bad.json").write_text("{nope", encoding="utf-8")
+        stale = {"version": SESSION_SCHEMA_VERSION + 1, "state": {}}
+        (tmp_path / "old.json").write_text(json.dumps(stale), encoding="utf-8")
+        assert store.load("bad") is None
+        assert store.load("old") is None
+
+
+class TestManagerPersistence:
+    def test_ttl_eviction_persists_state(self, tmp_path):
+        clock = FakeClock()
+        store = SessionStore(tmp_path)
+        manager = make_manager(store=store, ttl_seconds=10.0, clock=clock)
+        record = manager.create(FakeChat, tenant="acme", db_id="aep")
+        record.chat.turns.append({"role": "user", "text": "hi"})
+        clock.advance(11.0)
+        assert manager.sweep() == ["s1"]
+        assert store.ids() == ["s1"]
+        assert manager.stats()["persisted"] == 1
+        saved = store.load("s1")
+        assert saved["state"]["turns"] == [{"role": "user", "text": "hi"}]
+
+    def test_lru_eviction_persists_state(self, tmp_path):
+        clock = FakeClock()
+        store = SessionStore(tmp_path)
+        manager = make_manager(store=store, max_sessions=1, clock=clock)
+        manager.create(FakeChat)
+        clock.advance(1.0)
+        manager.create(FakeChat)
+        assert store.ids() == ["s1"]
+        assert manager.evicted_lru == 1
+
+    def test_resume_restores_and_consumes_file(self, tmp_path):
+        clock = FakeClock()
+        store = SessionStore(tmp_path)
+        manager = make_manager(store=store, ttl_seconds=10.0, clock=clock)
+        record = manager.create(FakeChat, tenant="acme", db_id="aep")
+        record.chat.turns.append({"role": "user", "text": "hi"})
+        clock.advance(11.0)
+        manager.sweep()
+
+        resumed = manager.create(
+            FakeChat, tenant="acme", db_id="aep", resume_id="s1"
+        )
+        assert resumed.session_id == "s1"  # keeps the original id
+        assert resumed.chat.turns == [{"role": "user", "text": "hi"}]
+        assert store.ids() == []  # move semantics
+        assert manager.stats()["restored"] == 1
+
+    def test_resume_resident_session_conflicts(self, tmp_path):
+        manager = make_manager(store=SessionStore(tmp_path))
+        manager.create(FakeChat)
+        with pytest.raises(SessionError, match="still resident"):
+            manager.create(FakeChat, resume_id="s1")
+
+    def test_resume_unknown_id(self, tmp_path):
+        manager = make_manager(store=SessionStore(tmp_path))
+        with pytest.raises(UnknownSessionError):
+            manager.create(FakeChat, resume_id="ghost")
+
+    def test_resume_without_store_configured(self):
+        manager = make_manager()
+        with pytest.raises(SessionError, match="not configured"):
+            manager.create(FakeChat, resume_id="s1")
+
+    def test_resume_mismatched_tenant_or_db(self, tmp_path):
+        store = SessionStore(tmp_path)
+        store.save("s9", "acme", "aep", {"turns": []})
+        manager = make_manager(store=store)
+        with pytest.raises(SessionError, match="tenant"):
+            manager.create(FakeChat, tenant="rival", db_id="aep", resume_id="s9")
+        with pytest.raises(SessionError, match="database"):
+            manager.create(FakeChat, tenant="acme", db_id="other", resume_id="s9")
+        assert store.ids() == ["s9"]  # failed resumes keep the file
+
+
+class TestServeResume:
+    def _app(self, aep_catalog, tmp_path, clock):
+        counter = itertools.count(1)
+        manager = SessionManager(
+            store=SessionStore(tmp_path),
+            ttl_seconds=10.0,
+            clock=clock,
+            id_factory=lambda: f"s{next(counter)}",
+        )
+        return ServeApp(aep_catalog, manager=manager, clock=clock)
+
+    def _post(self, app, path, payload):
+        status, _, body = app.handle("POST", path, json_encode(payload))
+        return status, json_decode(body)
+
+    def test_resume_continues_the_conversation(self, aep_catalog, tmp_path):
+        clock = FakeClock()
+        app = self._app(aep_catalog, tmp_path, clock)
+        status, created = self._post(app, "/sessions", {"db": "aep"})
+        assert status == 201
+        session_id = created["session"]["id"]
+        status, answer = self._post(
+            app,
+            f"/sessions/{session_id}/ask",
+            {"question": "How many audiences were created in January?"},
+        )
+        assert status == 200
+        turns_before = answer["turns"]
+
+        clock.advance(11.0)
+        app.manager.sweep()
+        assert app.manager.ids() == []
+
+        status, resumed = self._post(
+            app, "/sessions", {"db": "aep", "resume": session_id}
+        )
+        assert status == 201
+        assert resumed["restored"] is True
+        assert resumed["session"]["id"] == session_id
+        assert resumed["session"]["turns"] == turns_before
+        # The restored session keeps answering feedback/questions.
+        status, _ = self._post(
+            app,
+            f"/sessions/{session_id}/feedback",
+            {"feedback": "we are in 2024"},
+        )
+        assert status == 200
+
+    def test_resume_unknown_is_404(self, aep_catalog, tmp_path):
+        app = self._app(aep_catalog, tmp_path, FakeClock())
+        status, payload = self._post(
+            app, "/sessions", {"db": "aep", "resume": "ghost"}
+        )
+        assert status == 404
+        assert payload["error"]["code"] == "unknown_session"
+
+    def test_resume_resident_is_conflict(self, aep_catalog, tmp_path):
+        app = self._app(aep_catalog, tmp_path, FakeClock())
+        _, created = self._post(app, "/sessions", {"db": "aep"})
+        session_id = created["session"]["id"]
+        status, payload = self._post(
+            app, "/sessions", {"db": "aep", "resume": session_id}
+        )
+        assert status == 409
+        assert payload["error"]["code"] == "conflict"

@@ -136,3 +136,53 @@ def test_spider_feedback_study_example_runs():
     assert result.returncode == 0, result.stderr
     assert "Table 2" in result.stdout
     assert "Figure 8" in result.stdout
+
+
+class TestCliDispatchFlags:
+    """--workers/--batch-size/--cache-dir keep stdout byte-identical."""
+
+    def _run(self, capsys, argv):
+        assert cli_main(argv) == 0
+        captured = capsys.readouterr()
+        return captured.out, captured.err
+
+    def test_workers_and_batching_match_sequential_stdout(self, capsys):
+        baseline, _ = self._run(capsys, ["run", "figure2", "--scale", "small"])
+        parallel, _ = self._run(
+            capsys,
+            [
+                "run",
+                "figure2",
+                "--scale",
+                "small",
+                "--workers",
+                "4",
+                "--batch-size",
+                "8",
+            ],
+        )
+        assert parallel == baseline
+
+    def test_cache_dir_cold_then_warm(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        baseline, _ = self._run(capsys, ["run", "figure2", "--scale", "small"])
+        cold, cold_err = self._run(
+            capsys,
+            ["run", "figure2", "--scale", "small", "--cache-dir", cache_dir],
+        )
+        assert cold == baseline
+        assert "[cache]" in cold_err
+        assert (tmp_path / "cache" / "completions.json").exists()
+
+        warm, warm_err = self._run(
+            capsys,
+            ["run", "figure2", "--scale", "small", "--cache-dir", cache_dir],
+        )
+        assert warm == baseline
+        assert " 0 misses" in warm_err
+
+    def test_invalid_worker_counts_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "figure2", "--workers", "0"])
+        with pytest.raises(SystemExit):
+            cli_main(["run", "figure2", "--batch-size", "0"])
