@@ -4,7 +4,9 @@ Subcommands::
 
     fisql-repro run figure2 --scale medium          # paper artifacts
     fisql-repro run all --scale small --metrics --trace /tmp/t.jsonl
+    fisql-repro run all --journal /tmp/j --resume   # crash-safe resume
     fisql-repro serve --port 8080 --scale small     # session server
+    fisql-repro cache stats --cache-dir /tmp/cache  # completion cache ops
     fisql-repro trace-summary /tmp/t.jsonl          # re-render a trace
 
 Back-compat: the bare artifact form still works — ``fisql-repro figure2
@@ -70,7 +72,7 @@ _ARTIFACTS = {
     "table3": (run_table3, render_table3),
 }
 
-_SUBCOMMANDS = ("run", "serve", "trace-summary")
+_SUBCOMMANDS = ("run", "serve", "cache", "trace-summary")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -191,6 +193,39 @@ def _build_parser() -> argparse.ArgumentParser:
             "warm runs answer repeated prompts from the cache"
         ),
     )
+    run.add_argument(
+        "--cache-max",
+        type=int,
+        metavar="N",
+        help=(
+            "cap the completion cache at N entries with LRU eviction "
+            "(requires --cache-dir; default: unbounded)"
+        ),
+    )
+    run.add_argument(
+        "--journal",
+        metavar="DIR",
+        help=(
+            "journal each completed work item under DIR (fsync'd, "
+            "crash-safe); pair with --resume to skip journaled items"
+        ),
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "replay completed items from a non-empty --journal DIR "
+            "instead of recomputing them (required to reuse one)"
+        ),
+    )
+    run.add_argument(
+        "--suite-dir",
+        metavar="DIR",
+        help=(
+            "persist generated benchmark suites under DIR; later runs at "
+            "the same scale/seed load instead of regenerating"
+        ),
+    )
     run.set_defaults(func=_cmd_run)
 
     serve = subparsers.add_parser(
@@ -282,7 +317,59 @@ def _build_parser() -> argparse.ArgumentParser:
             "'resume' in POST /sessions restores them"
         ),
     )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        metavar="N",
+        help=(
+            "shed chat requests beyond N concurrently in flight "
+            "server-wide (503; default: unbounded)"
+        ),
+    )
+    serve.add_argument(
+        "--max-inflight-per-tenant",
+        type=int,
+        metavar="N",
+        help=(
+            "shed chat requests beyond N in flight for one tenant "
+            "(429; default: unbounded)"
+        ),
+    )
+    serve.add_argument(
+        "--request-deadline-ms",
+        type=float,
+        metavar="MS",
+        help=(
+            "shed chat requests that queued longer than MS before "
+            "reaching the LLM (503; default: no deadline)"
+        ),
+    )
+    serve.add_argument(
+        "--batch-max-queue",
+        type=int,
+        metavar="N",
+        help=(
+            "cap the per-tenant batch coalescer queue at N waiting "
+            "prompts; excess calls are shed (default: unbounded)"
+        ),
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or clear a persisted completion cache"
+    )
+    cache.add_argument(
+        "action",
+        choices=("stats", "clear"),
+        help="stats = print entry counts; clear = drop all entries",
+    )
+    cache.add_argument(
+        "--cache-dir",
+        required=True,
+        metavar="DIR",
+        help="directory holding completions.json (as passed to run)",
+    )
+    cache.set_defaults(func=_cmd_cache)
 
     summary = subparsers.add_parser(
         "trace-summary",
@@ -309,6 +396,13 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         parser.error(f"--workers must be >= 1: {args.workers}")
     if args.batch_size < 1:
         parser.error(f"--batch-size must be >= 1: {args.batch_size}")
+    if args.cache_max is not None:
+        if args.cache_dir is None:
+            parser.error("--cache-max requires --cache-dir")
+        if args.cache_max < 1:
+            parser.error(f"--cache-max must be >= 1: {args.cache_max}")
+    if args.resume and args.journal is None:
+        parser.error("--resume requires --journal")
     try:
         llm = _build_llm(args)
     except ValueError as error:
@@ -318,10 +412,22 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     if args.cache_dir is not None:
         from repro.llm.dispatch import CachingChatModel, CompletionCache
 
-        cache = CompletionCache.load(args.cache_dir)
+        cache = CompletionCache.load(args.cache_dir, max_entries=args.cache_max)
         # Cache hits return the deterministic backend's own completions,
         # so the artifact output stays byte-identical to an uncached run.
         llm = CachingChatModel(llm if llm is not None else SimulatedLLM(), cache)
+
+    journal = None
+    if args.journal is not None:
+        from repro.durability import RunJournal
+
+        journal = RunJournal(args.journal)
+        if len(journal) and not args.resume:
+            parser.error(
+                f"journal {args.journal!r} already holds {len(journal)} "
+                "records; pass --resume to replay them or point --journal "
+                "at a fresh directory"
+            )
 
     trace_preexisting = False
     if args.trace is not None:
@@ -347,6 +453,8 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
             llm=llm,
             workers=args.workers,
             batch_size=args.batch_size,
+            journal=journal,
+            suite_dir=args.suite_dir,
         )
         chart_renderers = {
             "figure2": render_figure2_chart,
@@ -381,6 +489,13 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
                 f"{entries} entries saved to {args.cache_dir}",
                 file=sys.stderr,
             )
+        if journal is not None:
+            # Seal the active segment so every record on disk is now
+            # checksummed, then report to stderr — stdout (the artifacts)
+            # must stay byte-identical across cold and resumed runs.
+            journal.seal()
+            journal.close()
+            print(f"[journal] {journal.summary()}", file=sys.stderr)
     except BaseException:
         if args.trace is not None and not trace_preexisting:
             _remove_empty_stub(args.trace)
@@ -460,6 +575,24 @@ def _cmd_serve(
         parser.error(f"--batch-max must be >= 1: {args.batch_max}")
     if args.batch_wait_ms < 0:
         parser.error(f"--batch-wait-ms must be >= 0: {args.batch_wait_ms}")
+    if args.max_inflight is not None and args.max_inflight < 1:
+        parser.error(f"--max-inflight must be >= 1: {args.max_inflight}")
+    if (
+        args.max_inflight_per_tenant is not None
+        and args.max_inflight_per_tenant < 1
+    ):
+        parser.error(
+            "--max-inflight-per-tenant must be >= 1: "
+            f"{args.max_inflight_per_tenant}"
+        )
+    if args.request_deadline_ms is not None and args.request_deadline_ms <= 0:
+        parser.error(
+            f"--request-deadline-ms must be > 0: {args.request_deadline_ms}"
+        )
+    if args.batch_max_queue is not None and args.batch_max_queue < 1:
+        parser.error(
+            f"--batch-max-queue must be >= 1: {args.batch_max_queue}"
+        )
 
     # The server is instrumented from the start: /metrics renders the live
     # registry, and every request is spanned/counted.
@@ -484,6 +617,10 @@ def _cmd_serve(
         breaker_reset_ms=args.breaker_reset_ms,
         batch_max=args.batch_max,
         batch_wait_ms=args.batch_wait_ms,
+        batch_max_queue=args.batch_max_queue,
+        max_inflight_total=args.max_inflight,
+        max_inflight_per_tenant=args.max_inflight_per_tenant,
+        request_deadline_ms=args.request_deadline_ms,
     )
     app = ServeApp.from_context(context, manager=manager, policy=policy)
     try:
@@ -495,6 +632,30 @@ def _cmd_serve(
         )
     finally:
         obs.disable()
+
+
+# -- cache -------------------------------------------------------------------------
+
+
+def _cmd_cache(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """Inspect or clear the persisted completion cache under --cache-dir."""
+    from repro.llm.dispatch import CACHE_FILENAME, CompletionCache
+
+    cache = CompletionCache.load(args.cache_dir)
+    path = os.path.join(args.cache_dir, CACHE_FILENAME)
+    if args.action == "stats":
+        stats = cache.stats()
+        size = os.path.getsize(path) if os.path.exists(path) else 0
+        print(f"cache {path}")
+        print(f"  entries: {stats['entries']}")
+        print(f"  bytes:   {size}")
+        return 0
+    dropped = cache.clear()
+    cache.save(args.cache_dir)
+    print(f"cleared {dropped} entries from {path}")
+    return 0
 
 
 # -- trace-summary -----------------------------------------------------------------

@@ -1,0 +1,72 @@
+"""``repro.durability`` — crash-safe persistence for the FISQL stack.
+
+:mod:`repro.resilience` (PR 2) covers *call-level* faults: a flaky LLM
+backend is retried, deadlined, and circuit-broken. This package covers the
+next fault domain up — **process death and torn files** — so that a killed
+``fisql-repro run`` resumes instead of redoing hours of sweep work, and a
+crash mid-write can never corrupt a cache, session, or journal file.
+
+Layers:
+
+* :mod:`repro.durability.atomic` — the shared atomic-write + checksum
+  primitive. Every JSON file the stack persists (completion cache,
+  session store, journal segments, suites) goes through temp-file +
+  ``fsync`` + ``os.replace``; readers verify a canonical-JSON checksum and
+  *quarantine* torn or corrupt files (rename to ``*.corrupt``) instead of
+  crashing or silently mis-loading.
+* :mod:`repro.durability.journal` — the write-ahead **run journal**: each
+  completed eval item / correction session is appended as one fsync'd
+  canonical-JSON record keyed by the same canonical-hash construction the
+  completion cache uses. ``fisql-repro run --journal DIR --resume`` skips
+  journaled items and merges to byte-identical artifacts.
+* :mod:`repro.durability.suites` — persisted SPIDER/AEP suites: the
+  generated benchmark (databases + splits + demos) serialized once so
+  resumes and warm starts skip the dominant ``harness.suite_build_ms``.
+* :mod:`repro.durability.crashpoints` — seeded deterministic crash
+  injection (``FISQL_CRASH_POINT=journal.append:12`` kills the process
+  with SIGKILL on the 12th journal append), the chaos half of the
+  crash-recovery proof.
+"""
+
+from repro.durability.atomic import (
+    atomic_write_text,
+    canonical_json,
+    canonical_key,
+    quarantine_file,
+    read_checksummed_json,
+    write_checksummed_json,
+)
+from repro.durability.crashpoints import (
+    CRASH_POINT_ENV,
+    SimulatedCrash,
+    arm_crash_point,
+    crash_point,
+    disarm_crash_points,
+)
+from repro.durability.journal import JOURNAL_SCHEMA_VERSION, RunJournal
+from repro.durability.suites import (
+    SUITE_SCHEMA_VERSION,
+    load_suites,
+    save_suites,
+    suite_path,
+)
+
+__all__ = [
+    "CRASH_POINT_ENV",
+    "JOURNAL_SCHEMA_VERSION",
+    "RunJournal",
+    "SUITE_SCHEMA_VERSION",
+    "SimulatedCrash",
+    "arm_crash_point",
+    "atomic_write_text",
+    "canonical_json",
+    "canonical_key",
+    "crash_point",
+    "disarm_crash_points",
+    "load_suites",
+    "quarantine_file",
+    "read_checksummed_json",
+    "save_suites",
+    "suite_path",
+    "write_checksummed_json",
+]

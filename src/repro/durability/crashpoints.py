@@ -1,0 +1,128 @@
+"""Seeded crash injection: deterministic process death at named points.
+
+The durability claims in this package ("resume after kill -9 merges to
+byte-identical artifacts") are only provable if a test can kill the
+process at a *chosen, repeatable* instant. Crash points are that
+mechanism — the process-death analogue of
+:class:`repro.resilience.FaultInjectingChatModel`'s call-level faults,
+deterministic by hit count rather than by RNG draw.
+
+Instrumented code calls ``crash_point("journal.append")`` at interesting
+moments. By default that is a no-op costing one dict lookup. Two ways to
+arm it:
+
+* **Environment** (for subprocess tests and CI chaos jobs)::
+
+      FISQL_CRASH_POINT=journal.append:12 fisql-repro run table2 --journal /tmp/j
+
+  kills the process with SIGKILL on the 12th hit of ``journal.append`` —
+  a real, unhandled kill -9: no atexit hooks, no flushes, no goodbye.
+
+* **In-process** (for unit tests): :func:`arm_crash_point` with
+  ``action="raise"`` raises :class:`SimulatedCrash` (a ``BaseException``
+  so ordinary ``except Exception`` recovery paths cannot swallow it)
+  instead of killing the interpreter running the test suite.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from typing import Optional
+
+#: ``name:N`` — die on the Nth hit of crash point ``name``.
+CRASH_POINT_ENV = "FISQL_CRASH_POINT"
+
+#: Optional override for the env-armed action: ``kill9`` (default),
+#: ``exit`` (``os._exit(137)``), or ``raise``.
+CRASH_MODE_ENV = "FISQL_CRASH_MODE"
+
+_VALID_ACTIONS = ("kill9", "exit", "raise")
+
+
+class SimulatedCrash(BaseException):
+    """An in-process stand-in for process death at a crash point.
+
+    Deliberately a ``BaseException``: recovery code that catches
+    ``Exception`` (or :class:`~repro.errors.ReproError`) must not be able
+    to "survive" a simulated crash, or the test would prove nothing.
+    """
+
+    def __init__(self, point: str, hits: int) -> None:
+        super().__init__(f"simulated crash at {point!r} (hit {hits})")
+        self.point = point
+        self.hits = hits
+
+
+class _CrashState:
+    __slots__ = ("lock", "hits", "armed")
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.hits: dict[str, int] = {}
+        # name -> (die_on_hit, action); programmatic arms shadow the env.
+        self.armed: dict[str, tuple[int, str]] = {}
+
+
+_STATE = _CrashState()
+
+
+def arm_crash_point(name: str, on_hit: int = 1, action: str = "raise") -> None:
+    """Arm a crash point programmatically (tests): die on hit ``on_hit``."""
+    if on_hit < 1:
+        raise ValueError(f"on_hit must be >= 1: {on_hit}")
+    if action not in _VALID_ACTIONS:
+        raise ValueError(f"unknown crash action {action!r}")
+    with _STATE.lock:
+        _STATE.armed[name] = (on_hit, action)
+        _STATE.hits[name] = 0
+
+
+def disarm_crash_points() -> None:
+    """Disarm everything and reset hit counters (test teardown)."""
+    with _STATE.lock:
+        _STATE.armed.clear()
+        _STATE.hits.clear()
+
+
+def _env_armed(name: str) -> Optional[tuple[int, str]]:
+    spec = os.environ.get(CRASH_POINT_ENV, "")
+    if not spec:
+        return None
+    point, _, count = spec.partition(":")
+    if point != name:
+        return None
+    try:
+        on_hit = int(count) if count else 1
+    except ValueError:
+        return None
+    action = os.environ.get(CRASH_MODE_ENV, "kill9")
+    if action not in _VALID_ACTIONS:
+        action = "kill9"
+    return on_hit, action
+
+
+def _die(action: str, name: str, hits: int) -> None:
+    if action == "kill9":
+        os.kill(os.getpid(), signal.SIGKILL)
+        # SIGKILL is not deliverable on some platforms' threads; fall
+        # through to the unconditional hard exit.
+        os._exit(137)
+    if action == "exit":
+        os._exit(137)
+    raise SimulatedCrash(name, hits)
+
+
+def crash_point(name: str) -> None:
+    """Maybe die here, per the armed configuration (no-op otherwise)."""
+    with _STATE.lock:
+        armed = _STATE.armed.get(name) or _env_armed(name)
+        if armed is None:
+            return
+        hits = _STATE.hits.get(name, 0) + 1
+        _STATE.hits[name] = hits
+        on_hit, action = armed
+        if hits != on_hit:
+            return
+    _die(action, name, hits)

@@ -1,0 +1,284 @@
+"""The write-ahead run journal: completed work items, fsync'd as they land.
+
+A long sweep (`fisql-repro run all --scale full`) is thousands of
+independent, deterministic work items: one prediction per benchmark
+example, one correction session per annotated error. The journal makes
+each of them durable the moment it completes:
+
+* ``append(key, kind, value)`` writes one canonical-JSON line to the
+  **active segment** (``segment-NNNN.jsonl``), flushes, and ``fsync``'s —
+  the record survives kill -9 from that point on. Keys are
+  :func:`~repro.durability.atomic.canonical_key` digests, the same
+  construction the completion cache uses for prompts.
+* When the active segment reaches ``segment_max_records`` it is
+  **sealed**: rewritten as one checksummed canonical-JSON document
+  (``segment-NNNN.sealed.json``) via atomic temp-file + ``os.replace``,
+  and the raw ``.jsonl`` is removed. Sealed segments are verified on
+  load; corrupt ones are quarantined and their records simply recomputed.
+* A new process always opens a **fresh** active segment (max index + 1):
+  it never appends after a possibly-torn tail from a crashed writer.
+
+Loading tolerates every crash shape: a torn final line in an active
+segment is skipped (everything before it replays), a half-written sealed
+segment was never visible (the replace is atomic), and a corrupt sealed
+file quarantines instead of raising.
+
+Replay is key-based, not order-based: the resumed run recomputes the same
+work list in the same order, and each item either replays from the journal
+or is computed and appended — so the merged result is byte-identical to an
+uninterrupted run regardless of which thread journaled what when.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+from pathlib import Path
+from typing import Optional, TextIO, Union
+
+from repro import obs
+from repro.durability.atomic import (
+    canonical_json,
+    quarantine_file,
+    read_checksummed_json,
+    write_checksummed_json,
+)
+from repro.durability.crashpoints import crash_point
+
+#: Bump when the journal record layout changes (old journals are ignored).
+JOURNAL_SCHEMA_VERSION = 1
+
+#: Records per segment before the active file is sealed.
+DEFAULT_SEGMENT_MAX_RECORDS = 256
+
+_ACTIVE_RE = re.compile(r"^segment-(\d{4})\.jsonl$")
+_SEALED_RE = re.compile(r"^segment-(\d{4})\.sealed\.json$")
+
+
+class RunJournal:
+    """Append-only, crash-safe store of completed run items.
+
+    Thread-safe: evaluation shards and parallel correction loops append
+    from worker threads. Replay hits and appends are counted both on the
+    instance (``replayed``/``appended``, always available for the CLI
+    summary) and as ``journal.*`` obs counters (when instrumented).
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        segment_max_records: int = DEFAULT_SEGMENT_MAX_RECORDS,
+        fsync: bool = True,
+    ) -> None:
+        if segment_max_records < 1:
+            raise ValueError(
+                f"segment_max_records must be >= 1: {segment_max_records}"
+            )
+        self._directory = Path(directory)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._segment_max = segment_max_records
+        self._fsync = fsync
+        self._lock = threading.Lock()
+        self._records: dict[str, dict] = {}
+        self._active_handle: Optional[TextIO] = None
+        self._active_records: list[dict] = []
+        self.appended = 0
+        self.replayed = 0
+        self.sealed = 0
+        self.quarantined = 0
+        self._next_index = self._load()
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._records
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "records": len(self._records),
+                "appended": self.appended,
+                "replayed": self.replayed,
+                "sealed": self.sealed,
+                "quarantined": self.quarantined,
+            }
+
+    def summary(self) -> str:
+        """One status line for the CLI (stderr, not part of artifacts)."""
+        stats = self.stats()
+        return (
+            f"{stats['appended']} appended, {stats['replayed']} replayed, "
+            f"{stats['records']} total records in {self._directory}"
+        )
+
+    # -- load -----------------------------------------------------------------
+
+    def _load(self) -> int:
+        """Replay every durable record; returns the next segment index."""
+        max_index = -1
+        sealed_paths: list[tuple[int, Path]] = []
+        active_paths: list[tuple[int, Path]] = []
+        for path in self._directory.iterdir():
+            match = _SEALED_RE.match(path.name)
+            if match:
+                sealed_paths.append((int(match.group(1)), path))
+                continue
+            match = _ACTIVE_RE.match(path.name)
+            if match:
+                active_paths.append((int(match.group(1)), path))
+        for index, path in sorted(sealed_paths) + sorted(active_paths):
+            max_index = max(max_index, index)
+        for index, path in sorted(sealed_paths):
+            payload = read_checksummed_json(path, kind="journal_segment")
+            if (
+                not isinstance(payload, dict)
+                or payload.get("version") != JOURNAL_SCHEMA_VERSION
+                or not isinstance(payload.get("records"), list)
+            ):
+                # read_checksummed_json already quarantined checksum-level
+                # corruption; a valid envelope with a stale/invalid payload
+                # is quarantined here.
+                if payload is not None:
+                    quarantine_file(path)
+                    obs.count(
+                        "durability.quarantined", kind="journal_segment"
+                    )
+                self.quarantined += 1
+                continue
+            for record in payload["records"]:
+                self._absorb(record)
+        for index, path in sorted(active_paths):
+            self._load_active(path)
+        return max_index + 1
+
+    def _load_active(self, path: Path) -> None:
+        """Replay an append-mode segment, tolerating a torn final line."""
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                # A torn tail from a crashed writer. Everything before it
+                # was newline-terminated and fsync'd; stop here.
+                break
+            self._absorb(record)
+
+    def _absorb(self, record: object) -> None:
+        if (
+            isinstance(record, dict)
+            and isinstance(record.get("key"), str)
+            and isinstance(record.get("kind"), str)
+            and "value" in record
+        ):
+            self._records[record["key"]] = record
+
+    # -- replay ---------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[dict]:
+        """The stored record for a key (no counters), or None."""
+        with self._lock:
+            return self._records.get(key)
+
+    def replay(self, key: str) -> Optional[dict]:
+        """The stored record for a key, counting the hit; None on miss."""
+        with self._lock:
+            record = self._records.get(key)
+            if record is None:
+                return None
+            self.replayed += 1
+        obs.count("journal.replayed", kind=record["kind"])
+        return record
+
+    # -- append ---------------------------------------------------------------
+
+    def append(self, key: str, kind: str, value: object) -> bool:
+        """Durably record one completed item; False when already present.
+
+        The line is flushed and fsync'd before returning: once ``append``
+        comes back, kill -9 cannot lose the record.
+        """
+        line = canonical_json(
+            {"key": key, "kind": kind, "v": JOURNAL_SCHEMA_VERSION,
+             "value": value}
+        )
+        with self._lock:
+            if key in self._records:
+                return False
+            handle = self._ensure_active_locked()
+            handle.write(line + "\n")
+            handle.flush()
+            if self._fsync:
+                os.fsync(handle.fileno())
+            record = {"key": key, "kind": kind, "value": value}
+            self._records[key] = record
+            self._active_records.append(record)
+            self.appended += 1
+            crash_point("journal.append")
+            if len(self._active_records) >= self._segment_max:
+                self._seal_active_locked()
+        obs.count("journal.appended", kind=kind)
+        return True
+
+    def _ensure_active_locked(self) -> TextIO:
+        if self._active_handle is None:
+            path = self._directory / f"segment-{self._next_index:04d}.jsonl"
+            self._active_handle = open(path, "a", encoding="utf-8")
+            self._active_path = path
+            self._next_index += 1
+        return self._active_handle
+
+    def _seal_active_locked(self) -> None:
+        """Rewrite the active segment as a checksummed sealed document."""
+        if self._active_handle is None:
+            return
+        crash_point("journal.seal")
+        self._active_handle.close()
+        self._active_handle = None
+        sealed_path = self._active_path.with_name(
+            self._active_path.name.replace(".jsonl", ".sealed.json")
+        )
+        write_checksummed_json(
+            sealed_path,
+            {
+                "version": JOURNAL_SCHEMA_VERSION,
+                "records": list(self._active_records),
+            },
+            fsync=self._fsync,
+        )
+        # The sealed copy is durable; the raw segment is now redundant.
+        try:
+            os.unlink(self._active_path)
+        except OSError:
+            pass
+        self._active_records = []
+        self.sealed += 1
+        obs.count("journal.segments_sealed")
+
+    def seal(self) -> None:
+        """Seal the current active segment now (e.g. at end of run)."""
+        with self._lock:
+            self._seal_active_locked()
+
+    def close(self) -> None:
+        """Close the active handle; records already on disk stay durable."""
+        with self._lock:
+            if self._active_handle is not None:
+                self._active_handle.close()
+                self._active_handle = None

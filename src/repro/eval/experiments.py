@@ -53,12 +53,16 @@ def run_figure2(context: ExperimentContext) -> Figure2Result:
         context.spider.benchmark,
         workers=context.workers,
         batch_size=context.batch_size,
+        journal=context.journal,
+        scope=context.scope("zero_shot", "spider"),
     )
     aep_report = evaluate_model(
         model,
         context.aep_benchmark,
         workers=context.workers,
         batch_size=context.batch_size,
+        journal=context.journal,
+        scope=context.scope("zero_shot", "aep"),
     )
     return Figure2Result(
         spider_accuracy=100.0 * spider_report.accuracy,
@@ -114,6 +118,7 @@ def _map_corrections(
     context: ExperimentContext,
     errors: list[PredictionRecord],
     correct_one: Callable[[PredictionRecord], CorrectionOutcome],
+    scope: Optional[dict] = None,
 ) -> list[CorrectionOutcome]:
     """Run one correction per error record, in record order.
 
@@ -121,7 +126,31 @@ def _map_corrections(
     thread pool; every correction is a deterministic function of its
     record (annotator draws are keyed by example id), so the ordered
     result list is identical to the sequential one.
+
+    When the context carries a journal, sessions already journaled under
+    ``scope`` replay instead of re-running, and each fresh session is
+    journaled on completion — per-record determinism is what makes the
+    replayed/computed mix indistinguishable from an uninterrupted run.
     """
+    if context.journal is not None and scope is not None:
+        from repro.eval.journaling import (
+            correction_key,
+            outcome_from_dict,
+            outcome_to_dict,
+        )
+
+        journal = context.journal
+        compute_one = correct_one
+
+        def correct_one(record: PredictionRecord) -> CorrectionOutcome:
+            key = correction_key(scope, record)
+            hit = journal.replay(key)
+            if hit is not None:
+                return outcome_from_dict(hit["value"])
+            outcome = compute_one(record)
+            journal.append(key, "correction", outcome_to_dict(outcome))
+            return outcome
+
     if context.workers <= 1 or len(errors) <= 1:
         return [correct_one(record) for record in errors]
     with ThreadPoolExecutor(
@@ -159,7 +188,13 @@ def _run_fisql(
         except LLMError as error:
             return _failed_outcome(record.example.example_id, error)
 
-    return _map_corrections(context, errors, correct_one)
+    scope = dict(
+        context.scope("fisql", dataset),
+        routing=routing,
+        highlights=highlights,
+        max_rounds=max_rounds,
+    )
+    return _map_corrections(context, errors, correct_one, scope)
 
 
 def _failed_outcome(example_id: str, error: Exception) -> CorrectionOutcome:
@@ -201,7 +236,9 @@ def _run_query_rewrite(
                     outcome.corrected_round = 1
         return outcome
 
-    return _map_corrections(context, errors, correct_one)
+    return _map_corrections(
+        context, errors, correct_one, context.scope("query_rewrite", dataset)
+    )
 
 
 def _first_feedback(

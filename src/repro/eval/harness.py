@@ -22,6 +22,12 @@ from repro.datasets.base import (
 )
 from repro.datasets.aep import generate_aep_suite
 from repro.datasets.spider import SpiderSuite, generate_spider_suite
+from repro.durability import (
+    RunJournal,
+    load_suites,
+    save_suites,
+    suite_path,
+)
 from repro.eval.metrics import AccuracyReport, PredictionRecord, evaluate_model
 from repro.llm.interface import ChatModel
 from repro.llm.simulated import SimulatedLLM
@@ -58,6 +64,8 @@ class ExperimentContext:
     #: LLM batch size per shard. Both default to the sequential seed path.
     workers: int = 1
     batch_size: int = 1
+    #: Write-ahead journal for resumable sweeps (None = not journaling).
+    journal: Optional[RunJournal] = None
     _spider_retriever: Optional[DemonstrationRetriever] = None
     _aep_retriever: Optional[DemonstrationRetriever] = None
     _assistant_reports: dict = field(default_factory=dict)
@@ -81,6 +89,22 @@ class ExperimentContext:
             self._aep_retriever = DemonstrationRetriever(self.aep_demos, top_k=4)
         return Nl2SqlModel(llm=self.llm, retriever=self._aep_retriever)
 
+    # -- journaling -------------------------------------------------------------
+
+    def scope(self, model: str, dataset: str) -> dict:
+        """The journal-key namespace for one (model, dataset) evaluation.
+
+        Parallelism knobs (``workers``/``batch_size``) are deliberately
+        excluded: they do not change results, so a sweep journaled at one
+        parallelism resumes cleanly at another.
+        """
+        return {
+            "scale": self.scale,
+            "seed": self.seed,
+            "model": model,
+            "dataset": dataset,
+        }
+
     # -- assistant error sets -------------------------------------------------------
 
     def assistant_report(self, dataset: str) -> AccuracyReport:
@@ -92,6 +116,8 @@ class ExperimentContext:
                     self.spider.benchmark,
                     workers=self.workers,
                     batch_size=self.batch_size,
+                    journal=self.journal,
+                    scope=self.scope("assistant", "spider"),
                 )
             elif dataset == "aep":
                 report = evaluate_model(
@@ -99,6 +125,8 @@ class ExperimentContext:
                     self.aep_benchmark,
                     workers=self.workers,
                     batch_size=self.batch_size,
+                    journal=self.journal,
+                    scope=self.scope("assistant", "aep"),
                 )
             else:
                 raise ValueError(f"unknown dataset {dataset!r}")
@@ -202,6 +230,8 @@ def build_context(
     llm: Optional[ChatModel] = None,
     workers: int = 1,
     batch_size: int = 1,
+    journal: Optional[RunJournal] = None,
+    suite_dir: Optional[str] = None,
 ) -> ExperimentContext:
     """Build (or fetch the cached) experiment context.
 
@@ -210,7 +240,13 @@ def build_context(
     model are never cached: wrapper state (fault plans, breaker state)
     must not leak into later fault-free runs. ``workers``/``batch_size``
     configure evaluation parallelism; non-default values likewise get a
-    fresh (uncached) context so the pristine sequential one stays pristine.
+    fresh (uncached) context so the pristine sequential one stays pristine,
+    and so does a ``journal`` (per-run resume state).
+
+    ``suite_dir`` enables suite persistence: a previously saved
+    ``(scale, seed)`` suite loads instead of regenerating (suites are pure
+    functions of scale+seed, so the loaded environment is identical), and
+    a cache miss generates then saves for the next start.
 
     Raises:
         ValueError: when ``scale`` is not one of :data:`SCALES`.
@@ -218,10 +254,26 @@ def build_context(
     if scale not in SCALES:
         valid = ", ".join(sorted(SCALES))
         raise ValueError(f"unknown scale {scale!r}; valid scales: {valid}")
-    pristine = llm is None and workers == 1 and batch_size == 1
+    pristine = (
+        llm is None and workers == 1 and batch_size == 1 and journal is None
+    )
     key = (scale, seed)
     if key in _CONTEXT_CACHE:
         cached = _CONTEXT_CACHE[key]
+        # A suite_dir promises the file exists after the run even when the
+        # suites came from this process's memory cache — the point is the
+        # *next* process's warm start.
+        if suite_dir is not None and not suite_path(
+            suite_dir, scale, seed
+        ).exists():
+            save_suites(
+                suite_dir,
+                scale,
+                seed,
+                cached.spider,
+                cached.aep_benchmark,
+                cached.aep_demos,
+            )
         if pristine:
             return cached
         # Suites are llm-independent and read-only: share them, but give
@@ -235,24 +287,36 @@ def build_context(
             llm=llm if llm is not None else cached.llm,
             workers=workers,
             batch_size=batch_size,
+            journal=journal,
         )
     params = SCALES[scale]
     with obs.span("harness.build_context", scale=scale, seed=seed):
-        with obs.timer("harness.suite_build_ms", suite="spider"), obs.span(
-            "harness.spider_suite", n_databases=params["n_databases"]
-        ):
-            spider = generate_spider_suite(
-                seed=seed,
-                n_databases=params["n_databases"],
-                n_dev=params["n_dev"],
-                n_train=params["n_train"],
-            )
-        with obs.timer("harness.suite_build_ms", suite="aep"), obs.span(
-            "harness.aep_suite", n_questions=params["aep_questions"]
-        ):
-            aep_benchmark, aep_demos = generate_aep_suite(
-                n_questions=params["aep_questions"]
-            )
+        loaded = None
+        if suite_dir is not None:
+            with obs.timer("harness.suite_load_ms", scale=scale):
+                loaded = load_suites(suite_dir, scale, seed)
+        if loaded is not None:
+            spider, aep_benchmark, aep_demos = loaded
+        else:
+            with obs.timer("harness.suite_build_ms", suite="spider"), obs.span(
+                "harness.spider_suite", n_databases=params["n_databases"]
+            ):
+                spider = generate_spider_suite(
+                    seed=seed,
+                    n_databases=params["n_databases"],
+                    n_dev=params["n_dev"],
+                    n_train=params["n_train"],
+                )
+            with obs.timer("harness.suite_build_ms", suite="aep"), obs.span(
+                "harness.aep_suite", n_questions=params["aep_questions"]
+            ):
+                aep_benchmark, aep_demos = generate_aep_suite(
+                    n_questions=params["aep_questions"]
+                )
+            if suite_dir is not None:
+                save_suites(
+                    suite_dir, scale, seed, spider, aep_benchmark, aep_demos
+                )
         obs.count("harness.contexts_built", scale=scale)
         context = ExperimentContext(
             scale=scale,
@@ -265,6 +329,7 @@ def build_context(
             context.llm = llm
         context.workers = workers
         context.batch_size = batch_size
+        context.journal = journal
     if pristine:
         _CONTEXT_CACHE[key] = context
     return context

@@ -149,46 +149,79 @@ def _evaluate_examples(
     benchmark: Benchmark,
     pool: Sequence[Example],
     batch_size: int,
+    journal=None,
+    scope: Optional[dict] = None,
 ) -> list[PredictionRecord]:
     """Score a contiguous run of examples (one worker's shard).
 
     ``batch_size > 1`` routes predictions through the model's settled
     batch path; outcomes come back in example order either way, so the
     produced records are identical to the sequential ones.
+
+    With a ``journal``, already-journaled examples replay from it and only
+    the rest are predicted; each freshly computed record is journaled the
+    moment it is scored. The returned list keeps pool order regardless of
+    the replay/compute mix, so a resumed run's records are identical to an
+    uninterrupted run's.
     """
-    records: list[PredictionRecord] = []
+    slots: list[Optional[PredictionRecord]] = [None] * len(pool)
+    pending: list[tuple[int, Example, Optional[str]]] = []
+    if journal is not None:
+        from repro.eval.journaling import prediction_from_dict, prediction_key
+
+        for index, example in enumerate(pool):
+            key = prediction_key(scope or {}, example)
+            hit = journal.replay(key)
+            if hit is not None:
+                slots[index] = prediction_from_dict(example, hit["value"])
+            else:
+                pending.append((index, example, key))
+    else:
+        pending = [(index, example, None) for index, example in enumerate(pool)]
+
+    def settle(index: int, key: Optional[str], record: PredictionRecord) -> None:
+        if journal is not None and key is not None:
+            from repro.eval.journaling import prediction_to_dict
+
+            journal.append(key, "prediction", prediction_to_dict(record))
+        slots[index] = record
+
     if batch_size <= 1:
-        for example in pool:
+        for index, example, key in pending:
             database = benchmark.database(example.db_id)
             try:
                 prediction = model.predict(example.question, database)
             except LLMError as error:
-                records.append(_failed_record(example, error))
+                settle(index, key, _failed_record(example, error))
                 continue
-            records.append(
+            settle(
+                index,
+                key,
                 _scored_record(
                     benchmark, example, prediction.sql, prediction.notes
-                )
+                ),
             )
-        return records
-    for start in range(0, len(pool), batch_size):
-        chunk = pool[start : start + batch_size]
-        outcomes = model.predict_batch(
-            [
-                (example.question, benchmark.database(example.db_id))
-                for example in chunk
-            ]
-        )
-        for example, outcome in zip(chunk, outcomes):
-            if isinstance(outcome, LLMError):
-                records.append(_failed_record(example, outcome))
-            else:
-                records.append(
-                    _scored_record(
-                        benchmark, example, outcome.sql, outcome.notes
+    else:
+        for start in range(0, len(pending), batch_size):
+            chunk = pending[start : start + batch_size]
+            outcomes = model.predict_batch(
+                [
+                    (example.question, benchmark.database(example.db_id))
+                    for _, example, _ in chunk
+                ]
+            )
+            for (index, example, key), outcome in zip(chunk, outcomes):
+                if isinstance(outcome, LLMError):
+                    settle(index, key, _failed_record(example, outcome))
+                else:
+                    settle(
+                        index,
+                        key,
+                        _scored_record(
+                            benchmark, example, outcome.sql, outcome.notes
+                        ),
                     )
-                )
-    return records
+    return [record for record in slots if record is not None]
 
 
 def shard_examples(
@@ -220,13 +253,19 @@ def evaluate_model(
     examples: Optional[Sequence[Example]] = None,
     workers: int = 1,
     batch_size: int = 1,
+    journal=None,
+    scope: Optional[dict] = None,
 ) -> AccuracyReport:
     """Run a model over a benchmark and score execution accuracy.
 
     ``workers > 1`` shards the pool across a thread pool (contiguous
     shards, merged back in shard order — results are byte-identical to a
     sequential run). ``batch_size > 1`` groups each shard's predictions
-    into settled LLM batches.
+    into settled LLM batches. ``journal`` (a
+    :class:`repro.durability.RunJournal`) makes the sweep resumable:
+    journaled examples replay, fresh ones are computed and journaled;
+    ``scope`` namespaces the journal keys (see
+    :mod:`repro.eval.journaling`).
     """
     report = AccuracyReport()
     pool = list(examples if examples is not None else benchmark.examples)
@@ -235,7 +274,9 @@ def evaluate_model(
     ) as sp:
         if workers <= 1:
             report.records.extend(
-                _evaluate_examples(model, benchmark, pool, batch_size)
+                _evaluate_examples(
+                    model, benchmark, pool, batch_size, journal, scope
+                )
             )
         else:
             shards = shard_examples(pool, workers)
@@ -244,7 +285,13 @@ def evaluate_model(
             ) as executor:
                 futures = [
                     executor.submit(
-                        _evaluate_examples, model, benchmark, shard, batch_size
+                        _evaluate_examples,
+                        model,
+                        benchmark,
+                        shard,
+                        batch_size,
+                        journal,
+                        scope,
                     )
                     for shard in shards
                 ]

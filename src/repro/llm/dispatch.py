@@ -39,7 +39,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 import threading
 import time
 from pathlib import Path
@@ -47,12 +46,14 @@ from typing import Callable, Optional, Sequence, Union
 
 from repro import obs
 from repro.datasets.base import Demonstration
-from repro.errors import LLMError
+from repro.durability.atomic import read_checksummed_json, write_checksummed_json
+from repro.errors import LLMError, OverloadError
 from repro.llm.interface import ChatModel, Completion, Prompt
 from repro.sql.schema import DatabaseSchema
 
 #: Bump when the cache file layout changes (old files are ignored).
-CACHE_SCHEMA_VERSION = 1
+#: v2: the file is a checksummed envelope (see repro.durability.atomic).
+CACHE_SCHEMA_VERSION = 2
 
 #: File name used inside a ``--cache-dir`` directory.
 CACHE_FILENAME = "completions.json"
@@ -166,32 +167,47 @@ def settle_batch(model: ChatModel, prompts: Sequence[Prompt]) -> list[BatchOutco
 
 
 class CompletionCache:
-    """A thread-safe, deterministic completion store.
+    """A thread-safe, deterministic completion store with LRU eviction.
 
     Entries are keyed on :func:`canonical_prompt_key` digests and hold the
-    completion's text and notes. ``load``/``save`` persist the whole store
-    as canonical JSON inside a directory, so a warm cache carries nl2sql
-    predictions and generated correction completions across processes.
+    completion's text and notes. ``max_entries`` caps the resident set:
+    at capacity the least-recently-*used* entry (read or written) is
+    evicted. ``load``/``save`` persist the whole store as one checksummed
+    canonical-JSON document inside a directory, so a warm cache carries
+    nl2sql predictions and generated correction completions across
+    processes — and a torn or corrupt file degrades to a cold cache
+    (quarantined aside) instead of crashing the loader.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1: {max_entries}")
         self._lock = threading.Lock()
+        # dict preserves insertion order; hits/puts re-insert at the end,
+        # so iteration order is LRU-first.
         self._entries: dict[str, tuple[str, tuple[str, ...]]] = {}
+        self._max_entries = max_entries
         self.hits = 0
         self.misses = 0
         self.loaded = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
+    @property
+    def max_entries(self) -> Optional[int]:
+        return self._max_entries
+
     def get(self, key: str) -> Optional[Completion]:
         """The cached completion (a fresh copy), or None on miss."""
         with self._lock:
-            entry = self._entries.get(key)
+            entry = self._entries.pop(key, None)
             if entry is None:
                 self.misses += 1
                 return None
+            self._entries[key] = entry  # re-insert: most recently used
             self.hits += 1
         text, notes = entry
         return Completion(text=text, notes=list(notes))
@@ -199,32 +215,54 @@ class CompletionCache:
     def put(self, key: str, completion: Completion) -> None:
         """Store one completion under its canonical key."""
         with self._lock:
+            self._entries.pop(key, None)
             self._entries[key] = (completion.text, tuple(completion.notes))
+            self._evict_over_cap_locked()
+
+    def _evict_over_cap_locked(self) -> None:
+        if self._max_entries is None:
+            return
+        while len(self._entries) > self._max_entries:
+            victim = next(iter(self._entries))
+            del self._entries[victim]
+            self.evictions += 1
+            obs.count("cache.evictions")
+
+    def clear(self) -> int:
+        """Drop every resident entry; returns how many were dropped."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+        return dropped
 
     def stats(self) -> dict:
         with self._lock:
             return {
                 "entries": len(self._entries),
+                "max_entries": self._max_entries,
                 "hits": self.hits,
                 "misses": self.misses,
                 "loaded": self.loaded,
+                "evictions": self.evictions,
             }
 
     # -- persistence ----------------------------------------------------------
 
     @classmethod
-    def load(cls, directory: Union[str, Path]) -> "CompletionCache":
+    def load(
+        cls,
+        directory: Union[str, Path],
+        max_entries: Optional[int] = None,
+    ) -> "CompletionCache":
         """A cache warmed from ``directory`` (empty when nothing persisted).
 
-        Unreadable or schema-mismatched files are ignored rather than
-        fatal: a corrupt cache degrades to a cold one.
+        A corrupt file (torn write, checksum mismatch, manual edit) is
+        quarantined and the cache starts cold; a stale schema version is
+        simply ignored. Loading never raises.
         """
-        cache = cls()
+        cache = cls(max_entries=max_entries)
         path = Path(directory) / CACHE_FILENAME
-        try:
-            document = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
-            return cache
+        document = read_checksummed_json(path, kind="completion_cache")
         if (
             not isinstance(document, dict)
             or document.get("version") != CACHE_SCHEMA_VERSION
@@ -245,13 +283,17 @@ class CompletionCache:
                 ):
                     cache._entries[key] = (entry["text"], tuple(notes))
         cache.loaded = len(cache._entries)
+        with cache._lock:
+            cache._evict_over_cap_locked()
         return cache
 
     def save(self, directory: Union[str, Path]) -> int:
         """Persist the store to ``directory`` (atomic); returns entry count.
 
-        The file is canonical JSON (sorted keys, stable separators): two
-        processes that cached the same completions write identical bytes.
+        The document is checksummed canonical JSON written via temp-file +
+        ``os.replace``: two processes that cached the same completions
+        write identical bytes, and a crash mid-save leaves the previous
+        file intact rather than a torn one.
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
@@ -261,13 +303,7 @@ class CompletionCache:
                 for key, (text, notes) in self._entries.items()
             }
         document = {"version": CACHE_SCHEMA_VERSION, "entries": entries}
-        path = directory / CACHE_FILENAME
-        tmp_path = path.with_suffix(".json.tmp")
-        tmp_path.write_text(
-            json.dumps(document, sort_keys=True, separators=(",", ":")) + "\n",
-            encoding="utf-8",
-        )
-        os.replace(tmp_path, path)
+        write_checksummed_json(directory / CACHE_FILENAME, document)
         return len(entries)
 
 
@@ -380,6 +416,15 @@ class BatchingChatModel:
 
     With ``max_batch=1`` the wrapper degenerates to pass-through
     ``complete`` calls (no queueing, no added latency).
+
+    **Backpressure.** ``max_queue`` bounds the number of prompts waiting
+    for a coalesced dispatch; an enqueue beyond it is shed with
+    :class:`~repro.errors.OverloadError` instead of growing the queue
+    without limit. **Drain.** :meth:`begin_drain` rejects new prompts
+    (``OverloadError`` with reason ``draining``) while already-enqueued
+    ones run to completion; :meth:`await_idle` blocks until the queue is
+    empty and no dispatch is in flight — the SIGTERM half of graceful
+    shutdown.
     """
 
     def __init__(
@@ -387,31 +432,84 @@ class BatchingChatModel:
         inner: ChatModel,
         max_batch: int = 8,
         max_wait_ms: float = 5.0,
+        max_queue: Optional[int] = None,
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1: {max_batch}")
         if max_wait_ms < 0:
             raise ValueError(f"max_wait_ms must be >= 0: {max_wait_ms}")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1: {max_queue}")
         self._inner = inner
         self._max_batch = max_batch
         self._max_wait = max_wait_ms / 1000.0
+        self._max_queue = max_queue
         self._clock = clock
         self._cond = threading.Condition()
         self._queue: list[_PendingItem] = []
         self._leader_active = False
+        self._draining = False
         self.dispatches = 0
         self.coalesced = 0
+        self.shed = 0
 
     @property
     def inner(self) -> ChatModel:
         return self._inner
 
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def queued(self) -> int:
+        """Prompts currently waiting in the coalescer queue."""
+        with self._cond:
+            return len(self._queue)
+
+    def begin_drain(self) -> None:
+        """Reject new prompts; enqueued ones still dispatch and settle."""
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+
+    def await_idle(self, timeout: Optional[float] = None) -> bool:
+        """Block until the queue is empty and no leader is dispatching."""
+        with self._cond:
+            return self._cond.wait_for(
+                lambda: not self._queue and not self._leader_active,
+                timeout=timeout,
+            )
+
+    def _shed(self, reason: str) -> OverloadError:
+        self.shed += 1
+        obs.count("llm.batch.shed", reason=reason)
+        if reason == "draining":
+            return OverloadError(
+                "batcher is draining; not accepting new prompts",
+                reason="draining",
+            )
+        return OverloadError(
+            f"batch queue is full ({self._max_queue} waiting); shedding",
+            reason="queue_full",
+        )
+
     def complete(self, prompt: Prompt) -> Completion:
         if self._max_batch == 1:
+            if self._draining:
+                with self._cond:
+                    raise self._shed("draining")
             return self._inner.complete(prompt)
         item = _PendingItem(prompt)
         with self._cond:
+            if self._draining:
+                raise self._shed("draining")
+            if (
+                self._max_queue is not None
+                and len(self._queue) >= self._max_queue
+            ):
+                raise self._shed("queue_full")
             self._queue.append(item)
             self._cond.notify_all()
         while True:
@@ -457,6 +555,8 @@ class BatchingChatModel:
     def complete_batch(self, prompts: Sequence[Prompt]) -> list[Completion]:
         """An explicit batch bypasses coalescing: it already is one."""
         with self._cond:
+            if self._draining:
+                raise self._shed("draining")
             self.dispatches += 1
             self.coalesced += len(prompts)
         return complete_batch(self._inner, prompts)
@@ -465,6 +565,8 @@ class BatchingChatModel:
         self, prompts: Sequence[Prompt]
     ) -> list[BatchOutcome]:
         with self._cond:
+            if self._draining:
+                raise self._shed("draining")
             self.dispatches += 1
             self.coalesced += len(prompts)
         return settle_batch(self._inner, prompts)

@@ -258,6 +258,60 @@ def _render_resilience(snapshot: dict) -> str:
     return "\n".join(lines)
 
 
+def _render_durability(snapshot: dict) -> str:
+    lines = []
+    appended = _counter_by_label(snapshot, "journal.appended", "kind")
+    replayed = _counter_by_label(snapshot, "journal.replayed", "kind")
+    if appended or replayed:
+        line = (
+            f"journal: {_int(sum(appended.values()))} appended, "
+            f"{_int(sum(replayed.values()))} replayed"
+        )
+        if replayed:
+            line += f" (replayed by kind: {_label_summary(replayed)})"
+        lines.append(line)
+    sealed = _counter_total(snapshot, "journal.segments_sealed")
+    if sealed:
+        lines.append(f"journal segments sealed: {_int(sealed)}")
+    suites_saved = _counter_total(snapshot, "suite.saved")
+    suites_loaded = _counter_total(snapshot, "suite.loaded")
+    # Suite timers carry a scale label; match by name only.
+    build = _histogram(snapshot, "harness.suite_build_ms")
+    load = _histogram(snapshot, "harness.suite_load_ms")
+    if suites_saved or suites_loaded:
+        lines.append(
+            f"suites: {_int(suites_saved)} saved, {_int(suites_loaded)} loaded"
+        )
+    if build and build["count"]:
+        lines.append(f"suite build: {_ms(build['sum'])} ms")
+    if load and load["count"]:
+        lines.append(f"suite load: {_ms(load['sum'])} ms")
+    shed = _counter_by_label(snapshot, "serve.shed", "reason")
+    if shed:
+        lines.append(
+            f"requests shed: {_int(sum(shed.values()))} "
+            f"({_label_summary(shed)})"
+        )
+    batch_shed = _counter_by_label(snapshot, "llm.batch.shed", "reason")
+    if batch_shed:
+        lines.append(
+            f"batched prompts shed: {_int(sum(batch_shed.values()))} "
+            f"({_label_summary(batch_shed)})"
+        )
+    evictions = _counter_total(snapshot, "cache.evictions")
+    if evictions:
+        lines.append(f"cache entries evicted (LRU): {_int(evictions)}")
+    quarantined = _counter_by_label(snapshot, "durability.quarantined", "kind")
+    if quarantined:
+        lines.append(
+            f"corrupt files quarantined: {_int(sum(quarantined.values()))} "
+            f"({_label_summary(quarantined)})"
+        )
+    if not lines:
+        return "(no durability activity recorded)"
+    return "\n".join(lines)
+
+
 def _render_pipeline(snapshot: dict) -> str:
     lines = []
     predictions = _counter_total(snapshot, "nl2sql.predictions")
@@ -293,6 +347,7 @@ def render_run_report(snapshot: dict) -> str:
         ("Routing decision distribution", _render_routing(snapshot)),
         ("Correction rounds", _render_corrections(snapshot)),
         ("Resilience & degradation", _render_resilience(snapshot)),
+        ("Durability & overload", _render_durability(snapshot)),
         ("SQL parse/execute", _render_sql(snapshot)),
         ("Pipeline counters", _render_pipeline(snapshot)),
     )

@@ -225,6 +225,11 @@ class ResilientChatModel:
     def inner(self) -> ChatModel:
         return self._inner
 
+    @property
+    def breaker(self) -> Optional[CircuitBreaker]:
+        """The stack's circuit breaker (readiness probes read its state)."""
+        return self._breaker
+
     def complete(self, prompt: Prompt) -> Completion:
         started = self._clock()
         retry_index = 0

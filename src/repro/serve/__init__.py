@@ -59,6 +59,7 @@ from repro.serve.server import (
     run_server,
     start_in_thread,
 )
+from repro.serve.overload import LoadShedGate
 from repro.serve.sessions import (
     DEFAULT_MAX_SESSIONS,
     SessionError,
@@ -78,6 +79,7 @@ __all__ = [
     "FeedbackRequest",
     "HttpTransport",
     "InProcessTransport",
+    "LoadShedGate",
     "ProtocolError",
     "SESSION_SCHEMA_VERSION",
     "ServeApp",

@@ -4,26 +4,34 @@
 persistence" item. When the :class:`~repro.serve.sessions.SessionManager`
 evicts an idle session (TTL or LRU), the conversation state —
 transcript turns, current question, current SQL — is written as one
-canonical-JSON file per session id. A later ``POST /sessions`` with
-``resume: <id>`` restores the conversation into a fresh
-:class:`~repro.core.chat.ChatSession` and removes the file (resume is
-move semantics: a session is resident *or* persisted, never both).
+checksummed canonical-JSON file per session id via the shared atomic
+writer (:mod:`repro.durability.atomic`): temp file + ``fsync`` +
+``os.replace``, so a crash mid-save can never tear a transcript. A later
+``POST /sessions`` with ``resume: <id>`` restores the conversation into a
+fresh :class:`~repro.core.chat.ChatSession` and removes the file (resume
+is move semantics: a session is resident *or* persisted, never both).
 
 Files live flat in one directory, ``<session_id>.json``, schema-versioned
-so stale layouts are ignored rather than mis-restored.
+so stale layouts are ignored rather than mis-restored. A torn or
+corrupt file is quarantined aside (``<name>.corrupt``) and treated as
+absent — the loader never crashes and never half-restores.
 """
 
 from __future__ import annotations
 
-import json
-import os
 import re
 import threading
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.durability.atomic import (
+    read_checksummed_json,
+    write_checksummed_json,
+)
+
 #: Bump when the persisted session layout changes.
-SESSION_SCHEMA_VERSION = 1
+#: v2: the file is a checksummed envelope (see repro.durability.atomic).
+SESSION_SCHEMA_VERSION = 2
 
 #: Session ids must be safe as bare file names.
 _SAFE_ID = re.compile(r"^[A-Za-z0-9._-]+$")
@@ -68,25 +76,23 @@ class SessionStore:
             "db": db_id,
             "state": state,
         }
-        encoded = (
-            json.dumps(document, sort_keys=True, separators=(",", ":")) + "\n"
-        )
         with self._lock:
-            tmp_path = path.with_suffix(".json.tmp")
-            tmp_path.write_text(encoded, encoding="utf-8")
-            os.replace(tmp_path, path)
+            write_checksummed_json(path, document)
             self.saved += 1
         return True
 
     def load(self, session_id: str) -> Optional[dict]:
-        """The persisted document for an id (None when absent/unreadable)."""
+        """The persisted document for an id (None when absent/unreadable).
+
+        A file that fails its checksum — torn write, bit rot, manual edit,
+        or a pre-checksum layout — is quarantined aside and reported
+        absent: the session simply cannot be resumed, but the server keeps
+        running and the evidence stays on disk.
+        """
         path = self._path_for(session_id)
         if path is None:
             return None
-        try:
-            document = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
-            return None
+        document = read_checksummed_json(path, kind="session")
         if (
             not isinstance(document, dict)
             or document.get("version") != SESSION_SCHEMA_VERSION

@@ -21,6 +21,7 @@ Routes::
     POST   /sessions/{id}/feedback    feedback on answer    -> 200
     GET    /sessions/{id}/transcript  full conversation     -> 200
     GET    /healthz                   liveness + residency  -> 200
+    GET    /readyz                    readiness + breakers  -> 200/503
     GET    /metrics                   obs run report (text) -> 200
 
 **Tenant isolation.** Each tenant gets its own
@@ -50,8 +51,9 @@ from repro import obs
 from repro.core.chat import ChatSession
 from repro.core.nl2sql import Nl2SqlModel
 from repro.core.retrieval import DemonstrationRetriever
-from repro.errors import CircuitOpenError, LLMError, ReproError
+from repro.errors import CircuitOpenError, LLMError, OverloadError, ReproError
 from repro.llm.dispatch import BatchingChatModel
+from repro.serve.overload import LoadShedGate
 from repro.llm.interface import ChatModel
 from repro.llm.simulated import SimulatedLLM
 from repro.obs.reporting import render_run_report
@@ -90,7 +92,14 @@ class TenantPolicy:
     ``batch_max > 1`` puts a bounded-wait request coalescer in front of the
     tenant's resilience stack: concurrent asks from that tenant's sessions
     are grouped into one ``complete_batch`` dispatch, waiting at most
-    ``batch_wait_ms`` to fill a batch.
+    ``batch_wait_ms`` to fill a batch; ``batch_max_queue`` bounds that
+    coalescer's queue (backpressure instead of unbounded buffering).
+
+    The overload knobs feed the app's :class:`LoadShedGate`:
+    ``max_inflight_total``/``max_inflight_per_tenant`` cap concurrent
+    LLM-bound requests (503 ``overloaded`` / 429 ``tenant_overloaded``),
+    and ``request_deadline_ms`` sheds requests that queued too long behind
+    a busy session (503 ``deadline_exceeded``).
     """
 
     max_retries: int = 2
@@ -99,6 +108,10 @@ class TenantPolicy:
     breaker_reset_ms: float = 30_000.0
     batch_max: int = 1
     batch_wait_ms: float = 5.0
+    batch_max_queue: Optional[int] = None
+    max_inflight_total: Optional[int] = None
+    max_inflight_per_tenant: Optional[int] = None
+    request_deadline_ms: Optional[float] = None
 
 
 @dataclass
@@ -133,6 +146,12 @@ class ServeApp:
         self._clock = clock
         self._tenant_llms: dict[str, ChatModel] = {}
         self._tenant_lock = threading.Lock()
+        self._gate = LoadShedGate(
+            max_inflight=policy.max_inflight_total,
+            max_inflight_per_tenant=policy.max_inflight_per_tenant,
+            deadline_ms=policy.request_deadline_ms,
+            clock=clock,
+        )
         self._draining = False
         self._inflight = 0
         self._idle = threading.Condition()
@@ -170,6 +189,10 @@ class ServeApp:
     def draining(self) -> bool:
         return self._draining
 
+    @property
+    def gate(self) -> LoadShedGate:
+        return self._gate
+
     # -- tenant isolation -----------------------------------------------------------
 
     def _default_llm_factory(self, tenant: str) -> ChatModel:
@@ -193,6 +216,7 @@ class ServeApp:
             resilient,
             max_batch=policy.batch_max,
             max_wait_ms=policy.batch_wait_ms,
+            max_queue=policy.batch_max_queue,
         )
 
     def llm_for_tenant(self, tenant: str) -> ChatModel:
@@ -206,8 +230,18 @@ class ServeApp:
     # -- drain ----------------------------------------------------------------------
 
     def begin_drain(self) -> None:
-        """Stop admitting mutating requests; in-flight ones complete."""
+        """Stop admitting mutating requests; in-flight ones complete.
+
+        Tenant batchers are drained too: enqueued prompts settle, new ones
+        are shed — a coalescer must not keep buffering work the route
+        layer already refuses.
+        """
         self._draining = True
+        with self._tenant_lock:
+            models = list(self._tenant_llms.values())
+        for model in models:
+            if isinstance(model, BatchingChatModel):
+                model.begin_drain()
         obs.count("serve.drain.begun")
 
     def await_idle(self, timeout: Optional[float] = None) -> bool:
@@ -221,6 +255,7 @@ class ServeApp:
 
     _ROUTES = [
         (re.compile(r"^/healthz$"), "healthz", {"GET"}),
+        (re.compile(r"^/readyz$"), "readyz", {"GET"}),
         (re.compile(r"^/metrics$"), "metrics", {"GET"}),
         (re.compile(r"^/sessions$"), "sessions", {"GET", "POST"}),
         (re.compile(r"^/sessions/([^/]+)$"), "session", {"GET", "DELETE"}),
@@ -237,6 +272,7 @@ class ServeApp:
         self, method: str, path: str, raw_body: bytes = b""
     ) -> Tuple[int, str, bytes]:
         """One request in, ``(status, content_type, body_bytes)`` out."""
+        arrived_at = self._clock()
         route, session_id, allowed = self._match(path)
         with self._idle:
             self._inflight += 1
@@ -244,7 +280,7 @@ class ServeApp:
             with obs.span("serve.request", route=route, method=method) as sp:
                 with obs.timer("serve.latency_ms", route=route):
                     status, ctype, body = self._dispatch(
-                        route, allowed, method, session_id, raw_body
+                        route, allowed, method, session_id, raw_body, arrived_at
                     )
                 sp.set("status", status)
             obs.count("serve.requests", route=route, status=status)
@@ -269,6 +305,7 @@ class ServeApp:
         method: str,
         session_id: Optional[str],
         raw_body: bytes,
+        arrived_at: float,
     ) -> Tuple[int, str, bytes]:
         try:
             if route == "unknown":
@@ -288,6 +325,9 @@ class ServeApp:
                 )
             if route == "healthz":
                 return self._json(200, self._health_payload())
+            if route == "readyz":
+                ready, payload = self._ready_payload()
+                return self._json(200 if ready else 503, payload)
             if route == "metrics":
                 return 200, TEXT, self._metrics_text().encode("utf-8")
             if route == "sessions" and method == "POST":
@@ -304,9 +344,9 @@ class ServeApp:
             if route == "session":
                 return self._session_info(session_id)
             if route == "ask":
-                return self._ask(session_id, raw_body)
+                return self._ask(session_id, raw_body, arrived_at)
             if route == "feedback":
-                return self._feedback(session_id, raw_body)
+                return self._feedback(session_id, raw_body, arrived_at)
             if route == "transcript":
                 return self._transcript(session_id)
             raise ProtocolError(404, "not_found", "no such route")
@@ -323,6 +363,14 @@ class ServeApp:
             )
         except SessionLimitError as error:
             return self._json(503, error_payload("capacity", str(error)))
+        except OverloadError as error:
+            # Per-tenant flooding is the caller's fault (429); global
+            # capacity, deadlines, and drain are the server's (503).
+            status = 429 if error.reason == "tenant_overloaded" else 503
+            return self._json(
+                status,
+                error_payload(error.reason, str(error), retryable=True),
+            )
         except CircuitOpenError as error:
             return self._json(
                 503, error_payload("circuit_open", str(error))
@@ -365,6 +413,36 @@ class ServeApp:
             "databases": len(self._catalog),
             "sessions": stats,
         }
+
+    def _ready_payload(self) -> Tuple[bool, dict]:
+        """Readiness: drain state, shed-gate saturation, breaker states.
+
+        Not ready while draining (load balancers should stop routing
+        here). Open breakers and gate stats are reported for operators but
+        do not flip readiness: one failing tenant must not eject the
+        server from rotation for everyone else.
+        """
+        ready = not self._draining
+        return ready, {
+            "ready": ready,
+            "draining": self._draining,
+            "inflight": self._inflight,
+            "gate": self._gate.stats(),
+            "breakers": self._breaker_states(),
+        }
+
+    def _breaker_states(self) -> dict[str, str]:
+        with self._tenant_lock:
+            models = dict(self._tenant_llms)
+        states: dict[str, str] = {}
+        for tenant, model in models.items():
+            stack = model
+            if isinstance(stack, BatchingChatModel):
+                stack = stack.inner
+            breaker = getattr(stack, "breaker", None)
+            if breaker is not None:
+                states[tenant] = breaker.state
+        return states
 
     def _metrics_text(self) -> str:
         if not obs.is_enabled():
@@ -416,43 +494,58 @@ class ServeApp:
         with self._manager.acquire(session_id) as record:
             return self._json(200, {"session": self._session_view(record)})
 
-    def _ask(self, session_id: str, raw_body: bytes) -> Tuple[int, str, bytes]:
+    def _peek_tenant(self, session_id: str) -> str:
+        """The tenant for shed accounting (without blocking on the session)."""
+        tenant = self._manager.peek_tenant(session_id)
+        if tenant is None:
+            raise UnknownSessionError(session_id)
+        return tenant
+
+    def _ask(
+        self, session_id: str, raw_body: bytes, arrived_at: float
+    ) -> Tuple[int, str, bytes]:
         request = AskRequest.from_payload(json_decode(raw_body))
-        with self._manager.acquire(session_id) as record:
-            response = record.chat.ask(request.question)
-            obs.count("serve.asks", tenant=record.tenant)
-            return self._json(
-                200,
-                {
-                    "session_id": record.session_id,
-                    "answer": answer_view(response),
-                    "turns": len(record.chat.turns),
-                },
-            )
+        with self._gate.admit(self._peek_tenant(session_id)):
+            with self._manager.acquire(session_id) as record:
+                # The session lock can queue us behind a slow turn; shed
+                # rather than start work the caller stopped waiting for.
+                self._gate.check_deadline(arrived_at)
+                response = record.chat.ask(request.question)
+                obs.count("serve.asks", tenant=record.tenant)
+                return self._json(
+                    200,
+                    {
+                        "session_id": record.session_id,
+                        "answer": answer_view(response),
+                        "turns": len(record.chat.turns),
+                    },
+                )
 
     def _feedback(
-        self, session_id: str, raw_body: bytes
+        self, session_id: str, raw_body: bytes, arrived_at: float
     ) -> Tuple[int, str, bytes]:
         request = FeedbackRequest.from_payload(json_decode(raw_body))
-        with self._manager.acquire(session_id) as record:
-            if record.chat.current_sql is None:
-                raise ProtocolError(
-                    409,
-                    "no_question",
-                    "feedback before any question was asked",
+        with self._gate.admit(self._peek_tenant(session_id)):
+            with self._manager.acquire(session_id) as record:
+                self._gate.check_deadline(arrived_at)
+                if record.chat.current_sql is None:
+                    raise ProtocolError(
+                        409,
+                        "no_question",
+                        "feedback before any question was asked",
+                    )
+                response = record.chat.give_feedback(
+                    request.feedback, highlight=request.highlight
                 )
-            response = record.chat.give_feedback(
-                request.feedback, highlight=request.highlight
-            )
-            obs.count("serve.feedbacks", tenant=record.tenant)
-            return self._json(
-                200,
-                {
-                    "session_id": record.session_id,
-                    "answer": answer_view(response),
-                    "turns": len(record.chat.turns),
-                },
-            )
+                obs.count("serve.feedbacks", tenant=record.tenant)
+                return self._json(
+                    200,
+                    {
+                        "session_id": record.session_id,
+                        "answer": answer_view(response),
+                        "turns": len(record.chat.turns),
+                    },
+                )
 
     def _transcript(self, session_id: str) -> Tuple[int, str, bytes]:
         with self._manager.acquire(session_id) as record:

@@ -153,6 +153,16 @@ class SessionManager:
         with self._lock:
             return list(self._records)
 
+    def peek_tenant(self, session_id: str) -> Optional[str]:
+        """A resident session's tenant without touching its per-session lock.
+
+        The load-shedding gate needs the tenant *before* deciding whether
+        to queue behind the session — peeking must never block on a turn.
+        """
+        with self._lock:
+            record = self._records.get(session_id)
+            return record.tenant if record is not None else None
+
     def stats(self) -> dict:
         """Lifetime counters plus current residency."""
         with self._lock:

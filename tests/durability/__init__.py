@@ -1,0 +1,1 @@
+"""Durability suite: atomic files, crash points, the journal, resume."""

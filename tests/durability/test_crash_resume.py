@@ -1,0 +1,121 @@
+"""Kill -9 mid-run, resume, assert byte parity — through the real CLI.
+
+This is the end-to-end durability proof: a subprocess is SIGKILL'd at a
+seeded crash point deep inside the sweep (no atexit, no flushes), the
+resumed invocation replays exactly the journaled prefix, and the final
+stdout is byte-identical to an uninterrupted run's.
+"""
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CRASH_AFTER = 40  # records journaled before the SIGKILL
+
+
+def _run_cli(*argv: str, crash_at: int = 0) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("FISQL_CRASH_POINT", None)
+    if crash_at:
+        env["FISQL_CRASH_POINT"] = f"journal.append:{crash_at}"
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+
+
+def _journal_counts(stderr: str) -> tuple[int, int]:
+    match = re.search(r"\[journal\] (\d+) appended, (\d+) replayed", stderr)
+    assert match, f"no journal summary in stderr:\n{stderr}"
+    return int(match.group(1)), int(match.group(2))
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    result = _run_cli("run", "figure2", "--scale", "small")
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestKill9Resume:
+    def test_crash_resume_byte_parity(self, tmp_path, baseline):
+        journal_dir = str(tmp_path / "journal")
+        suite_dir = str(tmp_path / "suites")
+
+        crashed = _run_cli(
+            "run",
+            "figure2",
+            "--scale",
+            "small",
+            "--journal",
+            journal_dir,
+            "--suite-dir",
+            suite_dir,
+            crash_at=CRASH_AFTER,
+        )
+        # A real SIGKILL: no exit handler could dress this up.
+        assert crashed.returncode in (-9, 137), crashed.stderr
+        assert crashed.stdout == ""  # it died mid-sweep, pre-render
+
+        resumed = _run_cli(
+            "run",
+            "figure2",
+            "--scale",
+            "small",
+            "--journal",
+            journal_dir,
+            "--resume",
+            "--suite-dir",
+            suite_dir,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert resumed.stdout == baseline
+        appended, replayed = _journal_counts(resumed.stderr)
+        # Exactly the fsync'd prefix replays; only the rest re-executes.
+        assert replayed == CRASH_AFTER
+        assert appended > 0
+
+    def test_second_resume_replays_everything(self, tmp_path, baseline):
+        journal_dir = str(tmp_path / "journal")
+        first = _run_cli(
+            "run", "figure2", "--scale", "small", "--journal", journal_dir
+        )
+        assert first.returncode == 0, first.stderr
+        total, _ = _journal_counts(first.stderr)
+
+        second = _run_cli(
+            "run",
+            "figure2",
+            "--scale",
+            "small",
+            "--journal",
+            journal_dir,
+            "--resume",
+        )
+        assert second.returncode == 0, second.stderr
+        assert second.stdout == baseline
+        appended, replayed = _journal_counts(second.stderr)
+        assert appended == 0
+        assert replayed == total
+
+    def test_reusing_journal_without_resume_fails_fast(self, tmp_path):
+        journal_dir = str(tmp_path / "journal")
+        first = _run_cli(
+            "run", "figure2", "--scale", "small", "--journal", journal_dir
+        )
+        assert first.returncode == 0, first.stderr
+        second = _run_cli(
+            "run", "figure2", "--scale", "small", "--journal", journal_dir
+        )
+        assert second.returncode == 2
+        assert "--resume" in second.stderr

@@ -1,0 +1,78 @@
+"""Crash points: deterministic, hit-counted, unswallowable in tests."""
+
+import pytest
+
+from repro.durability.crashpoints import (
+    CRASH_MODE_ENV,
+    CRASH_POINT_ENV,
+    SimulatedCrash,
+    arm_crash_point,
+    crash_point,
+    disarm_crash_points,
+)
+
+
+@pytest.fixture(autouse=True)
+def _disarm_after_each_test():
+    yield
+    disarm_crash_points()
+
+
+class TestCrashPoints:
+    def test_unarmed_is_noop(self):
+        crash_point("anything")  # must not raise
+
+    def test_fires_on_exact_hit(self):
+        arm_crash_point("p", on_hit=3, action="raise")
+        crash_point("p")
+        crash_point("p")
+        with pytest.raises(SimulatedCrash) as info:
+            crash_point("p")
+        assert info.value.point == "p"
+        assert info.value.hits == 3
+
+    def test_fires_only_once(self):
+        arm_crash_point("p", on_hit=1, action="raise")
+        with pytest.raises(SimulatedCrash):
+            crash_point("p")
+        crash_point("p")  # hit 2 != on_hit 1: no-op
+
+    def test_other_points_unaffected(self):
+        arm_crash_point("p", on_hit=1, action="raise")
+        crash_point("q")
+
+    def test_disarm_resets(self):
+        arm_crash_point("p", on_hit=1, action="raise")
+        disarm_crash_points()
+        crash_point("p")
+
+    def test_simulated_crash_evades_except_exception(self):
+        arm_crash_point("p", on_hit=1, action="raise")
+        with pytest.raises(BaseException):
+            try:
+                crash_point("p")
+            except Exception:  # noqa: BLE001 - the point of the test
+                pytest.fail("SimulatedCrash must not be an Exception")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            arm_crash_point("p", on_hit=0)
+        with pytest.raises(ValueError):
+            arm_crash_point("p", action="explode")
+
+    def test_env_arming(self, monkeypatch):
+        monkeypatch.setenv(CRASH_POINT_ENV, "envpoint:2")
+        monkeypatch.setenv(CRASH_MODE_ENV, "raise")
+        crash_point("envpoint")
+        with pytest.raises(SimulatedCrash):
+            crash_point("envpoint")
+
+    def test_env_other_point_ignored(self, monkeypatch):
+        monkeypatch.setenv(CRASH_POINT_ENV, "elsewhere:1")
+        monkeypatch.setenv(CRASH_MODE_ENV, "raise")
+        crash_point("here")
+
+    def test_env_malformed_count_ignored(self, monkeypatch):
+        monkeypatch.setenv(CRASH_POINT_ENV, "p:notanumber")
+        monkeypatch.setenv(CRASH_MODE_ENV, "raise")
+        crash_point("p")

@@ -188,8 +188,84 @@ class TestCompletionCache:
         (tmp_path / "completions.json").write_text("{not json", encoding="utf-8")
         assert len(CompletionCache.load(tmp_path)) == 0
 
+    def test_corrupt_file_is_quarantined_then_rewritable(self, tmp_path):
+        (tmp_path / "completions.json").write_text("{not json", encoding="utf-8")
+        cache = CompletionCache.load(tmp_path)
+        # The torn file moved aside as evidence; a fresh save works.
+        assert (tmp_path / "completions.json.corrupt").exists()
+        cache.put("k", Completion(text="x"))
+        cache.save(tmp_path)
+        assert len(CompletionCache.load(tmp_path)) == 1
+
     def test_missing_directory_degrades_to_cold(self, tmp_path):
         assert len(CompletionCache.load(tmp_path / "nope")) == 0
+
+    def test_save_survives_partial_writer_crash(self, tmp_path):
+        # Atomic replace: a pre-existing cache plus a leftover temp file
+        # from a crashed writer must load the old (complete) contents.
+        cache = CompletionCache()
+        cache.put("k", Completion(text="old"))
+        cache.save(tmp_path)
+        (tmp_path / ".completions.json.tmp.999").write_text("{torn", encoding="utf-8")
+        assert CompletionCache.load(tmp_path).get("k").text == "old"
+
+
+class TestCompletionCacheLRU:
+    def test_eviction_over_cap(self):
+        cache = CompletionCache(max_entries=2)
+        cache.put("a", Completion(text="1"))
+        cache.put("b", Completion(text="2"))
+        cache.put("c", Completion(text="3"))
+        assert len(cache) == 2
+        assert cache.get("a") is None  # the oldest went first
+        assert cache.get("c").text == "3"
+        assert cache.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = CompletionCache(max_entries=2)
+        cache.put("a", Completion(text="1"))
+        cache.put("b", Completion(text="2"))
+        cache.get("a")  # now "b" is least recent
+        cache.put("c", Completion(text="3"))
+        assert cache.get("a") is not None
+        assert cache.get("b") is None
+
+    def test_put_refreshes_recency(self):
+        cache = CompletionCache(max_entries=2)
+        cache.put("a", Completion(text="1"))
+        cache.put("b", Completion(text="2"))
+        cache.put("a", Completion(text="1*"))
+        cache.put("c", Completion(text="3"))
+        assert cache.get("a").text == "1*"
+        assert cache.get("b") is None
+
+    def test_load_applies_cap(self, tmp_path):
+        full = CompletionCache()
+        for index in range(5):
+            full.put(f"k{index}", Completion(text=str(index)))
+        full.save(tmp_path)
+        capped = CompletionCache.load(tmp_path, max_entries=2)
+        assert len(capped) == 2
+        assert capped.get("k4") is not None  # the most recent survive
+
+    def test_clear_reports_dropped(self):
+        cache = CompletionCache()
+        cache.put("a", Completion(text="1"))
+        cache.put("b", Completion(text="2"))
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_stats_include_cap_and_evictions(self):
+        cache = CompletionCache(max_entries=1)
+        cache.put("a", Completion(text="1"))
+        cache.put("b", Completion(text="2"))
+        stats = cache.stats()
+        assert stats["max_entries"] == 1
+        assert stats["evictions"] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CompletionCache(max_entries=0)
 
 
 class TestCachingChatModel:

@@ -186,3 +186,100 @@ class TestCliDispatchFlags:
             cli_main(["run", "figure2", "--workers", "0"])
         with pytest.raises(SystemExit):
             cli_main(["run", "figure2", "--batch-size", "0"])
+
+
+class TestCliDurabilityFlags:
+    """--journal/--resume/--suite-dir and the cache subcommand."""
+
+    def _run(self, capsys, argv):
+        assert cli_main(argv) == 0
+        captured = capsys.readouterr()
+        return captured.out, captured.err
+
+    def test_journal_cold_then_resume_stdout_identical(
+        self, capsys, tmp_path
+    ):
+        journal_dir = str(tmp_path / "journal")
+        baseline, _ = self._run(capsys, ["run", "figure2", "--scale", "small"])
+        cold, cold_err = self._run(
+            capsys,
+            ["run", "figure2", "--scale", "small", "--journal", journal_dir],
+        )
+        assert cold == baseline
+        assert "[journal]" in cold_err
+        assert "0 replayed" in cold_err
+
+        warm, warm_err = self._run(
+            capsys,
+            [
+                "run",
+                "figure2",
+                "--scale",
+                "small",
+                "--journal",
+                journal_dir,
+                "--resume",
+            ],
+        )
+        assert warm == baseline
+        assert "0 appended" in warm_err
+
+    def test_nonempty_journal_without_resume_rejected(self, capsys, tmp_path):
+        journal_dir = str(tmp_path / "journal")
+        self._run(
+            capsys,
+            ["run", "figure2", "--scale", "small", "--journal", journal_dir],
+        )
+        with pytest.raises(SystemExit):
+            cli_main(
+                ["run", "figure2", "--scale", "small", "--journal", journal_dir]
+            )
+
+    def test_resume_without_journal_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "figure2", "--scale", "small", "--resume"])
+
+    def test_cache_max_requires_cache_dir(self):
+        with pytest.raises(SystemExit):
+            cli_main(["run", "figure2", "--scale", "small", "--cache-max", "5"])
+
+    def test_suite_dir_warm_start_stdout_identical(self, capsys, tmp_path):
+        suite_dir = str(tmp_path / "suites")
+        baseline, _ = self._run(capsys, ["run", "figure2", "--scale", "small"])
+        cold, _ = self._run(
+            capsys,
+            ["run", "figure2", "--scale", "small", "--suite-dir", suite_dir],
+        )
+        assert cold == baseline
+        assert list((tmp_path / "suites").glob("suite-small-*.json"))
+        warm, _ = self._run(
+            capsys,
+            ["run", "figure2", "--scale", "small", "--suite-dir", suite_dir],
+        )
+        assert warm == baseline
+
+    def test_cache_subcommand_stats_and_clear(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        self._run(
+            capsys,
+            ["run", "figure2", "--scale", "small", "--cache-dir", cache_dir],
+        )
+        stats_out, _ = self._run(capsys, ["cache", "stats", "--cache-dir", cache_dir])
+        assert "entries: " in stats_out
+        assert "entries: 0" not in stats_out
+
+        clear_out, _ = self._run(capsys, ["cache", "clear", "--cache-dir", cache_dir])
+        assert "cleared" in clear_out
+
+        stats_out, _ = self._run(capsys, ["cache", "stats", "--cache-dir", cache_dir])
+        assert "entries: 0" in stats_out
+
+    def test_serve_overload_flag_validation(self):
+        with pytest.raises(SystemExit):
+            cli_main(["serve", "--max-inflight", "0"])
+        with pytest.raises(SystemExit):
+            cli_main(["serve", "--max-inflight-per-tenant", "0"])
+        with pytest.raises(SystemExit):
+            cli_main(["serve", "--request-deadline-ms", "0"])
+        with pytest.raises(SystemExit):
+            cli_main(["serve", "--batch-max-queue", "0"])
