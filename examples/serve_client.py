@@ -4,8 +4,9 @@
 Starts the :mod:`repro.serve` server in a thread on an ephemeral port,
 drives a two-round ask → feedback → corrected conversation through
 :class:`repro.serve.ServeClient` (a real socket, the same bytes a curl
-user would see), then prints the server-side transcript and the
-``/metrics`` run report before draining gracefully.
+user would see) with a caller-supplied ``X-Request-Id``, then prints the
+server-side transcript, the ``/statusz`` telemetry view, and the
+Prometheus ``/metrics`` exposition before draining gracefully.
 
 Run:  python examples/serve_client.py
 """
@@ -39,9 +40,21 @@ def main() -> None:
     )
     print(f"[round 0] SQL: {reply['answer']['sql']}")
 
-    # Round 1: the model assumed the wrong year; say so.
-    reply = client.feedback(session_id, "we are in 2024")
+    # Round 1: the model assumed the wrong year; say so — and tag the
+    # request with our own correlation id, echoed back in the headers
+    # and stamped on every span/log line it touches server-side.
+    import json
+
+    status, raw, headers = client.request_detailed(
+        "POST",
+        f"/sessions/{session_id}/feedback",
+        {"feedback": "we are in 2024"},
+        headers={"X-Request-Id": "example-feedback-1"},
+    )
+    assert status == 200
+    reply = json.loads(raw)
     print(f"[round 1] SQL: {reply['answer']['sql']}")
+    print(f"[round 1] X-Request-Id echoed: {headers.get('X-Request-Id')}")
 
     # Round 2: trim the projection.
     client.ask(session_id, "List the audiences created in June.")
@@ -53,6 +66,20 @@ def main() -> None:
 
     print("\n--- /healthz " + "-" * 46)
     print(client.healthz())
+
+    print("\n--- /statusz " + "-" * 46)
+    statusz = client.statusz()
+    ask_window = statusz["telemetry"]["routes"]["ask"]["1m"]
+    print(
+        f"ask: {ask_window['count']} reqs, "
+        f"p95 {ask_window['p95_ms']:.1f} ms (1m window)"
+    )
+    for tenant, view in statusz["telemetry"]["tenants"].items():
+        slo = view["slo"]["1m"]
+        print(
+            f"tenant {tenant}: SLO attainment {slo['attainment']:.3f}, "
+            f"burn {slo['burn_rate']:.2f}x"
+        )
 
     print("\n--- /metrics " + "-" * 46)
     print(client.metrics())

@@ -6,6 +6,7 @@ Subcommands::
     fisql-repro run all --scale small --metrics --trace /tmp/t.jsonl
     fisql-repro run all --journal /tmp/j --resume   # crash-safe resume
     fisql-repro serve --port 8080 --scale small     # session server
+    fisql-repro top --port 8080 --interval 2        # live /statusz dashboard
     fisql-repro cache stats --cache-dir /tmp/cache  # completion cache ops
     fisql-repro trace-summary /tmp/t.jsonl          # re-render a trace
 
@@ -72,7 +73,7 @@ _ARTIFACTS = {
     "table3": (run_table3, render_table3),
 }
 
-_SUBCOMMANDS = ("run", "serve", "cache", "trace-summary")
+_SUBCOMMANDS = ("run", "serve", "top", "cache", "trace-summary")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -353,7 +354,88 @@ def _build_parser() -> argparse.ArgumentParser:
             "prompts; excess calls are shed (default: unbounded)"
         ),
     )
+    serve.add_argument(
+        "--log-dir",
+        metavar="DIR",
+        help=(
+            "write a rotating structured JSONL event log under DIR "
+            "(serve.request, llm.batch, llm.retry, journal.append events, "
+            "each stamped with its request id)"
+        ),
+    )
+    serve.add_argument(
+        "--log-max-bytes",
+        type=int,
+        default=10 * 1024 * 1024,
+        metavar="BYTES",
+        help="rotate the event log past BYTES (default: 10 MiB)",
+    )
+    serve.add_argument(
+        "--journal",
+        metavar="DIR",
+        help=(
+            "durably journal every completed chat turn under DIR "
+            "(fsync'd, correlation-id stamped)"
+        ),
+    )
+    serve.add_argument(
+        "--cache-max",
+        type=int,
+        metavar="N",
+        help=(
+            "share an in-memory completion cache (at most N entries) "
+            "across every tenant stack (default: no cache)"
+        ),
+    )
+    serve.add_argument(
+        "--slo-latency-ms",
+        type=float,
+        metavar="MS",
+        help=(
+            "per-tenant latency objective for /statusz SLO accounting "
+            "(default: 500)"
+        ),
+    )
+    serve.add_argument(
+        "--slo-target",
+        type=float,
+        default=0.95,
+        metavar="FRACTION",
+        help=(
+            "fraction of a tenant's requests that should meet the "
+            "latency objective (default: 0.95)"
+        ),
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    top = subparsers.add_parser(
+        "top",
+        help="live terminal dashboard over a running server's /statusz",
+    )
+    top.add_argument("--host", default="127.0.0.1", help="server address")
+    top.add_argument(
+        "--port", type=int, default=8080, help="server port (default: 8080)"
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="poll + repaint period (default: 2)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (no screen clearing)",
+    )
+    top.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="per-poll HTTP timeout (default: 10)",
+    )
+    top.set_defaults(func=_cmd_top)
 
     cache = subparsers.add_parser(
         "cache", help="inspect or clear a persisted completion cache"
@@ -593,10 +675,34 @@ def _cmd_serve(
         parser.error(
             f"--batch-max-queue must be >= 1: {args.batch_max_queue}"
         )
+    if args.log_max_bytes < 1:
+        parser.error(f"--log-max-bytes must be >= 1: {args.log_max_bytes}")
+    if args.cache_max is not None and args.cache_max < 1:
+        parser.error(f"--cache-max must be >= 1: {args.cache_max}")
+    if args.slo_latency_ms is not None and args.slo_latency_ms <= 0:
+        parser.error(f"--slo-latency-ms must be > 0: {args.slo_latency_ms}")
+    if not 0.0 < args.slo_target < 1.0:
+        parser.error(f"--slo-target must be in (0, 1): {args.slo_target}")
 
     # The server is instrumented from the start: /metrics renders the live
     # registry, and every request is spanned/counted.
     obs.enable()
+    if args.log_dir is not None:
+        from repro.obs import StructuredLog
+
+        obs.set_event_log(
+            StructuredLog(args.log_dir, max_bytes=args.log_max_bytes)
+        )
+    journal = None
+    if args.journal is not None:
+        from repro.durability import RunJournal
+
+        journal = RunJournal(args.journal)
+    cache = None
+    if args.cache_max is not None:
+        from repro.llm.dispatch import CompletionCache
+
+        cache = CompletionCache(max_entries=args.cache_max)
     print(
         f"fisql-serve preloading context (scale={args.scale}, "
         f"seed={args.seed})..."
@@ -621,8 +727,16 @@ def _cmd_serve(
         max_inflight_total=args.max_inflight,
         max_inflight_per_tenant=args.max_inflight_per_tenant,
         request_deadline_ms=args.request_deadline_ms,
+        slo_latency_ms=args.slo_latency_ms,
+        slo_target=args.slo_target,
     )
-    app = ServeApp.from_context(context, manager=manager, policy=policy)
+    app = ServeApp.from_context(
+        context,
+        manager=manager,
+        policy=policy,
+        cache=cache,
+        journal=journal,
+    )
     try:
         return run_server(
             app,
@@ -631,7 +745,43 @@ def _cmd_serve(
             drain_grace=args.drain_grace,
         )
     finally:
-        obs.disable()
+        obs.disable()  # also closes the structured event log
+        if journal is not None:
+            journal.close()
+
+
+# -- top ---------------------------------------------------------------------------
+
+
+def _cmd_top(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    """Poll a running server's /statusz and repaint the dashboard."""
+    import time as time_module
+
+    from repro.obs.top import CLEAR_SCREEN, render_top
+    from repro.serve import ServeClient, ServeClientError
+
+    if args.interval <= 0:
+        parser.error(f"--interval must be > 0: {args.interval}")
+    client = ServeClient.connect(args.host, args.port, timeout=args.timeout)
+    try:
+        while True:
+            try:
+                payload = client.statusz()
+            except (ServeClientError, OSError) as error:
+                text = (
+                    f"(cannot reach fisql-serve at "
+                    f"{args.host}:{args.port}: {error})\n"
+                )
+            else:
+                text = render_top(payload)
+            if args.once:
+                sys.stdout.write(text)
+                return 0
+            sys.stdout.write(CLEAR_SCREEN + text)
+            sys.stdout.flush()
+            time_module.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 # -- cache -------------------------------------------------------------------------

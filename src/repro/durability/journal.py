@@ -213,11 +213,17 @@ class RunJournal:
 
         The line is flushed and fsync'd before returning: once ``append``
         comes back, kill -9 cannot lose the record.
+
+        When a serve request context is active the correlation id is
+        stamped onto the record (``request_id``); batch runs carry no
+        context, so their journal bytes are unchanged.
         """
-        line = canonical_json(
-            {"key": key, "kind": kind, "v": JOURNAL_SCHEMA_VERSION,
-             "value": value}
-        )
+        payload = {"key": key, "kind": kind, "v": JOURNAL_SCHEMA_VERSION,
+                   "value": value}
+        request_id = obs.current_request_id()
+        if request_id is not None:
+            payload["request_id"] = request_id
+        line = canonical_json(payload)
         with self._lock:
             if key in self._records:
                 return False
@@ -227,6 +233,8 @@ class RunJournal:
             if self._fsync:
                 os.fsync(handle.fileno())
             record = {"key": key, "kind": kind, "value": value}
+            if request_id is not None:
+                record["request_id"] = request_id
             self._records[key] = record
             self._active_records.append(record)
             self.appended += 1
@@ -234,6 +242,7 @@ class RunJournal:
             if len(self._active_records) >= self._segment_max:
                 self._seal_active_locked()
         obs.count("journal.appended", kind=kind)
+        obs.event("journal.append", key=key, kind=kind)
         return True
 
     def _ensure_active_locked(self) -> TextIO:

@@ -45,6 +45,7 @@ from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
 from repro import obs
+from repro.obs.context import current_request_id
 from repro.datasets.base import Demonstration
 from repro.durability.atomic import read_checksummed_json, write_checksummed_json
 from repro.errors import LLMError, OverloadError
@@ -161,6 +162,17 @@ def settle_batch(model: ChatModel, prompts: Sequence[Prompt]) -> list[BatchOutco
         return []
     obs.observe("llm.batch_size", len(prompts))
     return _settle_batch(model, prompts)
+
+
+def _cache_labels(kind: str) -> dict:
+    """Cache counter labels: prompt kind, plus the correlation id when a
+    request context is active (serve traffic) — batch runs stay without
+    the label, so their metric snapshots are byte-identical to pre-
+    telemetry output."""
+    request_id = current_request_id()
+    if request_id is None:
+        return {"kind": kind}
+    return {"kind": kind, "request_id": request_id}
 
 
 # -- completion cache --------------------------------------------------------------
@@ -317,10 +329,16 @@ class CachingChatModel:
     """
 
     def __init__(
-        self, inner: ChatModel, cache: Optional[CompletionCache] = None
+        self,
+        inner: ChatModel,
+        cache: Optional[CompletionCache] = None,
+        on_lookup: Optional[Callable[[bool], None]] = None,
     ) -> None:
         self._inner = inner
         self._cache = cache if cache is not None else CompletionCache()
+        # Optional live-telemetry hook: called with hit/miss per lookup
+        # (the serve layer feeds its TelemetryHub windowed hit rate).
+        self._on_lookup = on_lookup
 
     @property
     def inner(self) -> ChatModel:
@@ -330,13 +348,18 @@ class CachingChatModel:
     def cache(self) -> CompletionCache:
         return self._cache
 
+    def _lookup(self, hit: bool, kind: str) -> None:
+        obs.count("cache.hit" if hit else "cache.miss", **_cache_labels(kind))
+        if self._on_lookup is not None:
+            self._on_lookup(hit)
+
     def complete(self, prompt: Prompt) -> Completion:
         key = canonical_prompt_key(prompt)
         cached = self._cache.get(key)
         if cached is not None:
-            obs.count("cache.hit", kind=prompt.kind)
+            self._lookup(True, prompt.kind)
             return cached
-        obs.count("cache.miss", kind=prompt.kind)
+        self._lookup(False, prompt.kind)
         completion = self._inner.complete(prompt)
         self._cache.put(key, completion)
         return completion
@@ -349,10 +372,10 @@ class CachingChatModel:
         for index, (prompt, key) in enumerate(zip(prompts, keys)):
             cached = self._cache.get(key)
             if cached is not None:
-                obs.count("cache.hit", kind=prompt.kind)
+                self._lookup(True, prompt.kind)
                 results[index] = cached
             else:
-                obs.count("cache.miss", kind=prompt.kind)
+                self._lookup(False, prompt.kind)
                 missing.append(index)
         if missing:
             fetched = _dispatch_batch(
@@ -373,10 +396,10 @@ class CachingChatModel:
         for index, (prompt, key) in enumerate(zip(prompts, keys)):
             cached = self._cache.get(key)
             if cached is not None:
-                obs.count("cache.hit", kind=prompt.kind)
+                self._lookup(True, prompt.kind)
                 results[index] = cached
             else:
-                obs.count("cache.miss", kind=prompt.kind)
+                self._lookup(False, prompt.kind)
                 missing.append(index)
         if missing:
             settled = _settle_batch(
@@ -395,12 +418,16 @@ class CachingChatModel:
 class _PendingItem:
     """One enqueued prompt awaiting its slot of a coalesced dispatch."""
 
-    __slots__ = ("prompt", "outcome", "done")
+    __slots__ = ("prompt", "outcome", "done", "request_id")
 
     def __init__(self, prompt: Prompt) -> None:
         self.prompt = prompt
         self.outcome: Optional[BatchOutcome] = None
         self.done = False
+        # Captured at enqueue time: the leader dispatches on behalf of
+        # followers from *its* thread, so the follower's correlation id
+        # must ride the item, not the dispatching context.
+        self.request_id = current_request_id()
 
 
 class BatchingChatModel:
@@ -537,6 +564,14 @@ class BatchingChatModel:
             outcomes = settle_batch(
                 self._inner, [pending.prompt for pending in batch]
             )
+            obs.event(
+                "llm.batch",
+                size=len(batch),
+                coalesced=True,
+                request_ids=sorted(
+                    {p.request_id for p in batch if p.request_id is not None}
+                ),
+            )
             with self._cond:
                 for pending, outcome in zip(batch, outcomes):
                     pending.outcome = outcome
@@ -552,6 +587,15 @@ class BatchingChatModel:
         assert item.outcome is not None
         return item.outcome
 
+    def _explicit_batch_event(self, size: int) -> None:
+        request_id = current_request_id()
+        obs.event(
+            "llm.batch",
+            size=size,
+            coalesced=False,
+            request_ids=[request_id] if request_id is not None else [],
+        )
+
     def complete_batch(self, prompts: Sequence[Prompt]) -> list[Completion]:
         """An explicit batch bypasses coalescing: it already is one."""
         with self._cond:
@@ -559,6 +603,7 @@ class BatchingChatModel:
                 raise self._shed("draining")
             self.dispatches += 1
             self.coalesced += len(prompts)
+        self._explicit_batch_event(len(prompts))
         return complete_batch(self._inner, prompts)
 
     def complete_batch_settled(
@@ -569,4 +614,5 @@ class BatchingChatModel:
                 raise self._shed("draining")
             self.dispatches += 1
             self.coalesced += len(prompts)
+        self._explicit_batch_event(len(prompts))
         return settle_batch(self._inner, prompts)

@@ -27,6 +27,12 @@ import time
 from pathlib import Path
 from typing import Callable, Optional, Union
 
+from repro.obs.context import (
+    current_request_id,
+    deterministic_id_factory,
+    new_request_id,
+    request_context,
+)
 from repro.obs.export import (
     TRACE_SCHEMA_VERSION,
     read_trace_jsonl,
@@ -39,6 +45,13 @@ from repro.obs.metrics import (
     find_histogram,
     percentile,
     summarize_histogram,
+)
+from repro.obs.structured_log import StructuredLog
+from repro.obs.telemetry import (
+    RollingCounter,
+    RollingHistogram,
+    SloPolicy,
+    TelemetryHub,
 )
 from repro.obs.trace_summary import summarize_trace, summarize_trace_file
 from repro.obs.tracer import (
@@ -55,20 +68,32 @@ __all__ = [
     "MetricsRegistry",
     "NOOP_SPAN",
     "NOOP_TIMER",
+    "RollingCounter",
+    "RollingHistogram",
+    "SloPolicy",
     "SpanRecord",
+    "StructuredLog",
     "TRACE_SCHEMA_VERSION",
+    "TelemetryHub",
     "Tracer",
     "count",
+    "current_request_id",
+    "deterministic_id_factory",
     "disable",
     "enable",
+    "event",
     "export_jsonl",
     "find_histogram",
+    "get_event_log",
     "get_metrics",
     "get_tracer",
     "is_enabled",
+    "new_request_id",
     "observe",
     "percentile",
     "read_trace_jsonl",
+    "request_context",
+    "set_event_log",
     "snapshot",
     "span",
     "summarize_histogram",
@@ -83,12 +108,13 @@ __all__ = [
 class _State:
     """The process-global observability state."""
 
-    __slots__ = ("enabled", "tracer", "metrics")
+    __slots__ = ("enabled", "tracer", "metrics", "events")
 
     def __init__(self) -> None:
         self.enabled = False
         self.tracer: Optional[Tracer] = None
         self.metrics: Optional[MetricsRegistry] = None
+        self.events: Optional[StructuredLog] = None
 
 
 _STATE = _State()
@@ -110,6 +136,9 @@ def disable() -> None:
     _STATE.enabled = False
     _STATE.tracer = None
     _STATE.metrics = None
+    if _STATE.events is not None:
+        _STATE.events.close()
+        _STATE.events = None
 
 
 def is_enabled() -> bool:
@@ -154,6 +183,36 @@ def timer(name: str, **labels: object):
     if not _STATE.enabled:
         return NOOP_TIMER
     return _STATE.metrics.timer(name, **labels)
+
+
+# -- structured event log --------------------------------------------------------
+
+
+def set_event_log(log: Optional[StructuredLog]) -> None:
+    """Install (or, with None, detach) the structured JSONL event sink.
+
+    Independent of :func:`enable`: the event log is an *operational*
+    surface (the serve ``--log-dir`` flag), not a batch-run report, so it
+    has its own lifecycle. :func:`disable` closes and detaches it too.
+    """
+    if _STATE.events is not None and _STATE.events is not log:
+        _STATE.events.close()
+    _STATE.events = log
+
+
+def get_event_log() -> Optional[StructuredLog]:
+    """The live structured log (None when not installed)."""
+    return _STATE.events
+
+
+def event(name: str, **fields: object) -> None:
+    """Emit one structured event (no-op without an installed log).
+
+    The current request id is stamped automatically (see
+    :mod:`repro.obs.context`).
+    """
+    if _STATE.events is not None:
+        _STATE.events.event(name, **fields)
 
 
 # -- run summaries ---------------------------------------------------------------

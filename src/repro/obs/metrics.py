@@ -24,12 +24,20 @@ SUMMARY_PERCENTILES = (50, 90, 95, 99)
 LabelKey = tuple[tuple[str, object], ...]
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """The q-th percentile (0..100) with linear interpolation."""
-    if not values:
-        raise ValueError("percentile of empty sequence")
+def percentile(
+    values: Sequence[float], q: float, default: Optional[float] = None
+) -> Optional[float]:
+    """The q-th percentile (0..100) with linear interpolation.
+
+    An empty input returns ``default`` — ``None`` unless overridden (pass
+    ``default=0.0`` for report-style zero-fill) — so callers don't need an
+    emptiness guard. An out-of-range ``q`` still raises: that is a caller
+    bug, not a data condition.
+    """
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile out of range: {q}")
+    if not values:
+        return default
     data = sorted(values)
     if len(data) == 1:
         return data[0]
@@ -209,7 +217,7 @@ def summarize_histogram(
         "mean": total / len(values) if values else 0.0,
     }
     for q in SUMMARY_PERCENTILES:
-        summary[f"p{q}"] = percentile(values, q) if values else 0.0
+        summary[f"p{q}"] = percentile(values, q, default=0.0)
     return summary
 
 

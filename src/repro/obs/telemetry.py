@@ -1,0 +1,450 @@
+"""The live telemetry plane: windowed latency percentiles and SLOs.
+
+The batch-run :class:`~repro.obs.metrics.MetricsRegistry` keeps *raw*
+observations for exact percentiles over a whole run — perfect for a
+reproducible report, useless for a live service where "p95 over the last
+minute" matters and memory must stay bounded under heavy traffic. This
+module adds the live half:
+
+* :class:`RollingHistogram` — a ring of fixed-width time buckets, each a
+  small log-scaled latency histogram. Recording is O(1) under one lock;
+  memory is ``buckets × bins`` integers regardless of traffic. Summaries
+  merge the buckets inside a window (1m/5m/15m) and estimate p50/p95/p99
+  by interpolating inside the matched bin; ``max`` is tracked exactly.
+* :class:`RollingCounter` — the same ring for event counts (requests,
+  errors, sheds, cache hits), giving windowed totals and rates.
+* :class:`TelemetryHub` — the per-route / per-tenant registry of the two,
+  plus per-tenant SLO accounting against a latency objective: attainment
+  (fraction of requests under the objective and not 5xx) and error-budget
+  burn rate (1.0 = consuming budget exactly as fast as the target allows).
+
+Every clock is injectable; tests drive the ring with
+:class:`~repro.resilience.VirtualClock` and watch windows expire without
+sleeping. The hub is owned by :class:`~repro.serve.server.ServeApp` — it
+works whether or not the global ``obs`` switch is on, because a live
+dashboard must not depend on a batch-run flag.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+#: The windows every surface reports, label -> seconds.
+WINDOWS: dict[str, int] = {"1m": 60, "5m": 300, "15m": 900}
+
+#: Upper bounds (ms) of the log-scaled latency bins. Doubling from 0.25 ms
+#: to ~8.7 min keeps any estimate within ~±50% of the true value, which is
+#: plenty to steer on; the final bin is open-ended.
+LATENCY_BIN_BOUNDS: tuple[float, ...] = tuple(
+    0.25 * (2.0**i) for i in range(22)
+)
+
+#: Ring geometry: 5-second buckets spanning the largest window (15m).
+DEFAULT_BUCKET_SECONDS = 5.0
+DEFAULT_BUCKET_COUNT = 180
+
+
+@dataclass(frozen=True)
+class WindowSummary:
+    """Latency summary of one window of a :class:`RollingHistogram`."""
+
+    window_s: float
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_ms": round(self.mean_ms, 3),
+            "p50_ms": round(self.p50_ms, 3),
+            "p95_ms": round(self.p95_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "max_ms": round(self.max_ms, 3),
+            "rate_per_s": round(self.count / self.window_s, 4)
+            if self.window_s
+            else 0.0,
+        }
+
+
+class _Bucket:
+    """One time slice: bin counts plus exact count/sum/max."""
+
+    __slots__ = ("index", "bins", "count", "sum", "max")
+
+    def __init__(self, index: int, nbins: int) -> None:
+        self.index = index
+        self.bins = [0] * nbins
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+    def reset(self, index: int) -> None:
+        self.index = index
+        for i in range(len(self.bins)):
+            self.bins[i] = 0
+        self.count = 0
+        self.sum = 0.0
+        self.max = 0.0
+
+
+class RollingHistogram:
+    """Windowed latency percentiles over a ring of time buckets.
+
+    ``observe(ms)`` lands the value in the bucket for "now"; buckets older
+    than the ring span are lazily recycled as time advances, so expiry
+    costs nothing when idle and O(ring) at worst after a long quiet gap.
+    """
+
+    def __init__(
+        self,
+        bucket_seconds: float = DEFAULT_BUCKET_SECONDS,
+        bucket_count: int = DEFAULT_BUCKET_COUNT,
+        clock: Callable[[], float] = time.monotonic,
+        bounds: tuple[float, ...] = LATENCY_BIN_BOUNDS,
+    ) -> None:
+        if bucket_seconds <= 0:
+            raise ValueError(f"bucket_seconds must be > 0: {bucket_seconds}")
+        if bucket_count < 1:
+            raise ValueError(f"bucket_count must be >= 1: {bucket_count}")
+        self._width = bucket_seconds
+        self._clock = clock
+        self._bounds = bounds
+        # +1 bin: the open-ended overflow above the last bound.
+        self._nbins = len(bounds) + 1
+        self._lock = threading.Lock()
+        self._ring = [_Bucket(-1, self._nbins) for _ in range(bucket_count)]
+
+    @property
+    def span_seconds(self) -> float:
+        """The longest window the ring can answer for."""
+        return self._width * len(self._ring)
+
+    def _bucket_for_locked(self, now: float) -> _Bucket:
+        index = int(now // self._width)
+        bucket = self._ring[index % len(self._ring)]
+        if bucket.index != index:
+            bucket.reset(index)
+        return bucket
+
+    def observe(self, value_ms: float) -> None:
+        """Record one latency observation (milliseconds)."""
+        value_ms = max(0.0, float(value_ms))
+        bin_index = bisect.bisect_left(self._bounds, value_ms)
+        with self._lock:
+            bucket = self._bucket_for_locked(self._clock())
+            bucket.bins[bin_index] += 1
+            bucket.count += 1
+            bucket.sum += value_ms
+            bucket.max = max(bucket.max, value_ms)
+
+    def summary(self, window_s: float) -> WindowSummary:
+        """Merge the live buckets inside ``window_s`` and summarize them."""
+        window_s = min(window_s, self.span_seconds)
+        with self._lock:
+            now = self._clock()
+            newest = int(now // self._width)
+            oldest = int((now - window_s) // self._width)
+            bins = [0] * self._nbins
+            count = 0
+            total = 0.0
+            peak = 0.0
+            for bucket in self._ring:
+                if oldest < bucket.index <= newest:
+                    for i, n in enumerate(bucket.bins):
+                        bins[i] += n
+                    count += bucket.count
+                    total += bucket.sum
+                    peak = max(peak, bucket.max)
+        return WindowSummary(
+            window_s=window_s,
+            count=count,
+            mean_ms=(total / count) if count else 0.0,
+            p50_ms=self._estimate(bins, count, peak, 0.50),
+            p95_ms=self._estimate(bins, count, peak, 0.95),
+            p99_ms=self._estimate(bins, count, peak, 0.99),
+            max_ms=peak,
+        )
+
+    def _estimate(
+        self, bins: list, count: int, peak: float, q: float
+    ) -> float:
+        """Percentile estimate: interpolate inside the matched bin."""
+        if count == 0:
+            return 0.0
+        rank = q * count
+        seen = 0.0
+        for index, n in enumerate(bins):
+            if n == 0:
+                continue
+            if seen + n >= rank:
+                lower = self._bounds[index - 1] if index > 0 else 0.0
+                upper = (
+                    self._bounds[index]
+                    if index < len(self._bounds)
+                    else peak  # open-ended overflow bin: cap at the true max
+                )
+                upper = min(upper, peak) if peak else upper
+                fraction = (rank - seen) / n
+                return lower + (max(upper, lower) - lower) * fraction
+            seen += n
+        return peak
+
+
+class RollingCounter:
+    """Windowed event totals over the same ring geometry."""
+
+    def __init__(
+        self,
+        bucket_seconds: float = DEFAULT_BUCKET_SECONDS,
+        bucket_count: int = DEFAULT_BUCKET_COUNT,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if bucket_seconds <= 0:
+            raise ValueError(f"bucket_seconds must be > 0: {bucket_seconds}")
+        if bucket_count < 1:
+            raise ValueError(f"bucket_count must be >= 1: {bucket_count}")
+        self._width = bucket_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        # (absolute bucket index, value) pairs, one slot per ring position.
+        self._ring: list[list] = [[-1, 0.0] for _ in range(bucket_count)]
+
+    def incr(self, n: float = 1.0) -> None:
+        with self._lock:
+            index = int(self._clock() // self._width)
+            slot = self._ring[index % len(self._ring)]
+            if slot[0] != index:
+                slot[0] = index
+                slot[1] = 0.0
+            slot[1] += n
+
+    def total(self, window_s: float) -> float:
+        window_s = min(window_s, self._width * len(self._ring))
+        with self._lock:
+            now = self._clock()
+            newest = int(now // self._width)
+            oldest = int((now - window_s) // self._width)
+            return sum(
+                value
+                for index, value in self._ring
+                if oldest < index <= newest
+            )
+
+    def rate(self, window_s: float) -> float:
+        """Events per second over the window."""
+        window_s = min(window_s, self._width * len(self._ring))
+        if window_s <= 0:
+            return 0.0
+        return self.total(window_s) / window_s
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """A tenant's latency objective: ``target`` of requests under
+    ``latency_ms`` (and not 5xx)."""
+
+    latency_ms: float = 500.0
+    target: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.latency_ms <= 0:
+            raise ValueError(f"latency_ms must be > 0: {self.latency_ms}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1): {self.target}")
+
+
+class _TenantSlo:
+    """Good/total rolling counters for one tenant's SLO."""
+
+    __slots__ = ("good", "total")
+
+    def __init__(self, bucket_seconds: float, bucket_count: int, clock) -> None:
+        self.good = RollingCounter(bucket_seconds, bucket_count, clock)
+        self.total = RollingCounter(bucket_seconds, bucket_count, clock)
+
+
+class TelemetryHub:
+    """Live per-route / per-tenant latency, rate, and SLO state.
+
+    One hub per server. Series are created on first use; the set of routes
+    is fixed by the router and tenants are typically few, so cardinality
+    stays small. Reads (:meth:`snapshot`) touch only summaries, never the
+    raw ring state of another thread's writer beyond each series' lock.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.monotonic,
+        slo: Optional[SloPolicy] = None,
+        bucket_seconds: float = DEFAULT_BUCKET_SECONDS,
+        bucket_count: int = DEFAULT_BUCKET_COUNT,
+    ) -> None:
+        self._clock = clock
+        self._slo = slo or SloPolicy()
+        self._geometry = (bucket_seconds, bucket_count)
+        self._lock = threading.Lock()
+        self._route_latency: dict[str, RollingHistogram] = {}
+        self._tenant_latency: dict[str, RollingHistogram] = {}
+        self._tenant_slo: dict[str, _TenantSlo] = {}
+        self._counters: dict[str, RollingCounter] = {}
+
+    @property
+    def slo(self) -> SloPolicy:
+        return self._slo
+
+    # -- series management ----------------------------------------------------
+
+    def _histogram(self, table: dict, key: str) -> RollingHistogram:
+        with self._lock:
+            series = table.get(key)
+            if series is None:
+                series = table[key] = RollingHistogram(
+                    *self._geometry, clock=self._clock
+                )
+            return series
+
+    def _counter(self, name: str) -> RollingCounter:
+        with self._lock:
+            series = self._counters.get(name)
+            if series is None:
+                series = self._counters[name] = RollingCounter(
+                    *self._geometry, clock=self._clock
+                )
+            return series
+
+    def _slo_series(self, tenant: str) -> _TenantSlo:
+        with self._lock:
+            series = self._tenant_slo.get(tenant)
+            if series is None:
+                series = self._tenant_slo[tenant] = _TenantSlo(
+                    *self._geometry, clock=self._clock
+                )
+            return series
+
+    # -- recording ------------------------------------------------------------
+
+    def record_request(
+        self,
+        route: str,
+        tenant: Optional[str],
+        status: int,
+        duration_ms: float,
+    ) -> None:
+        """One finished request: latency, outcome, and SLO accounting."""
+        self._histogram(self._route_latency, route).observe(duration_ms)
+        self._counter("requests").incr()
+        if status >= 500:
+            self._counter("errors").incr()
+        if status in (429, 503):
+            self._counter("shed").incr()
+        if tenant is not None:
+            self._histogram(self._tenant_latency, tenant).observe(duration_ms)
+            slo = self._slo_series(tenant)
+            slo.total.incr()
+            if status < 500 and duration_ms <= self._slo.latency_ms:
+                slo.good.incr()
+
+    def record_cache(self, hit: bool) -> None:
+        self._counter("cache_hit" if hit else "cache_miss").incr()
+
+    # -- reads ----------------------------------------------------------------
+
+    def _windowed(self, series: RollingHistogram) -> dict:
+        return {
+            label: series.summary(seconds).as_dict()
+            for label, seconds in WINDOWS.items()
+        }
+
+    def _slo_view(self, tenant: str) -> dict:
+        series = self._slo_series(tenant)
+        policy = self._slo
+        view: dict = {
+            "objective_ms": policy.latency_ms,
+            "target": policy.target,
+        }
+        budget = 1.0 - policy.target
+        for label, seconds in WINDOWS.items():
+            total = series.total.total(seconds)
+            good = series.good.total(seconds)
+            attainment = (good / total) if total else 1.0
+            view[label] = {
+                "total": int(total),
+                "good": int(good),
+                "attainment": round(attainment, 6),
+                # burn 1.0 = consuming error budget exactly at the rate
+                # the target allows; > 1.0 = the SLO is being violated.
+                "burn_rate": round((1.0 - attainment) / budget, 4),
+            }
+        return view
+
+    def snapshot(self) -> dict:
+        """The full live view: what ``/statusz`` serves and ``top`` renders."""
+        with self._lock:
+            routes = sorted(self._route_latency)
+            tenants = sorted(
+                set(self._tenant_latency) | set(self._tenant_slo)
+            )
+            counters = sorted(self._counters)
+        view: dict = {
+            "windows": {label: sec for label, sec in WINDOWS.items()},
+            "routes": {
+                route: self._windowed(
+                    self._histogram(self._route_latency, route)
+                )
+                for route in routes
+            },
+            "tenants": {
+                tenant: {
+                    "latency": self._windowed(
+                        self._histogram(self._tenant_latency, tenant)
+                    ),
+                    "slo": self._slo_view(tenant),
+                }
+                for tenant in tenants
+            },
+            "counters": {
+                name: {
+                    label: {
+                        "total": self._counter(name).total(seconds),
+                        "rate_per_s": round(
+                            self._counter(name).rate(seconds), 4
+                        ),
+                    }
+                    for label, seconds in WINDOWS.items()
+                }
+                for name in counters
+            },
+        }
+        requests = view["counters"].get("requests")
+        hits = view["counters"].get("cache_hit")
+        misses = view["counters"].get("cache_miss")
+        rates: dict = {}
+        for label in WINDOWS:
+            total = requests[label]["total"] if requests else 0.0
+            errors = view["counters"].get("errors")
+            shed = view["counters"].get("shed")
+            lookups = (hits[label]["total"] if hits else 0.0) + (
+                misses[label]["total"] if misses else 0.0
+            )
+            rates[label] = {
+                "error_rate": round(
+                    (errors[label]["total"] / total) if errors and total else 0.0, 6
+                ),
+                "shed_rate": round(
+                    (shed[label]["total"] / total) if shed and total else 0.0, 6
+                ),
+                "cache_hit_rate": round(
+                    (hits[label]["total"] / lookups) if hits and lookups else 0.0,
+                    6,
+                ),
+            }
+        view["rates"] = rates
+        return view

@@ -261,6 +261,12 @@ class ResilientChatModel:
                     backoff = min(backoff, remaining)
                 obs.count("llm.retries", kind=prompt.kind)
                 obs.observe("llm.retry_backoff_ms", backoff)
+                obs.event(
+                    "llm.retry",
+                    kind=prompt.kind,
+                    attempt=retry_index,
+                    backoff_ms=backoff,
+                )
                 self._sleep(backoff / 1000.0)
             except LLMError:
                 if self._breaker is not None:
@@ -351,6 +357,12 @@ class ResilientChatModel:
                     backoff = min(backoff, remaining)
                 obs.count("llm.retries", kind=prompts[index].kind)
                 obs.observe("llm.retry_backoff_ms", backoff)
+                obs.event(
+                    "llm.retry",
+                    kind=prompts[index].kind,
+                    attempt=retry_index,
+                    backoff_ms=backoff,
+                )
                 round_backoff = max(round_backoff, backoff)
                 next_pending.append((index, retry_index))
             pending = next_pending

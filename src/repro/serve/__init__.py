@@ -39,6 +39,7 @@ from repro.serve.client import (
 )
 from repro.serve.persistence import SESSION_SCHEMA_VERSION, SessionStore
 from repro.serve.protocol import (
+    MAX_REQUEST_ID_LENGTH,
     PROTOCOL_VERSION,
     AskRequest,
     CreateSessionRequest,
@@ -48,6 +49,7 @@ from repro.serve.protocol import (
     error_payload,
     json_decode,
     json_encode,
+    normalize_request_id,
     turn_view,
 )
 from repro.serve.server import (
@@ -80,6 +82,7 @@ __all__ = [
     "HttpTransport",
     "InProcessTransport",
     "LoadShedGate",
+    "MAX_REQUEST_ID_LENGTH",
     "ProtocolError",
     "SESSION_SCHEMA_VERSION",
     "ServeApp",
@@ -97,6 +100,7 @@ __all__ = [
     "error_payload",
     "json_decode",
     "json_encode",
+    "normalize_request_id",
     "run_server",
     "start_in_thread",
     "turn_view",

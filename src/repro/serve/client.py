@@ -43,9 +43,23 @@ class Transport(Protocol):
     """Anything that can move a request to a serve app."""
 
     def request(
-        self, method: str, path: str, body: Optional[bytes] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[dict] = None,
     ) -> Tuple[int, bytes]:
         """Returns ``(status, body_bytes)``."""
+        ...  # pragma: no cover
+
+    def request_detailed(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[dict] = None,
+    ) -> Tuple[int, bytes, dict]:
+        """Returns ``(status, body_bytes, response_headers)``."""
         ...  # pragma: no cover
 
 
@@ -59,19 +73,37 @@ class HttpTransport:
         self._port = port
         self._timeout = timeout
 
-    def request(
-        self, method: str, path: str, body: Optional[bytes] = None
-    ) -> Tuple[int, bytes]:
+    def request_detailed(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[dict] = None,
+    ) -> Tuple[int, bytes, dict]:
         connection = http.client.HTTPConnection(
             self._host, self._port, timeout=self._timeout
         )
         try:
-            headers = {"Content-Type": "application/json"} if body else {}
-            connection.request(method, path, body=body, headers=headers)
+            sent = dict(headers or {})
+            if body:
+                sent.setdefault("Content-Type", "application/json")
+            connection.request(method, path, body=body, headers=sent)
             response = connection.getresponse()
-            return response.status, response.read()
+            return response.status, response.read(), dict(response.headers)
         finally:
             connection.close()
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[dict] = None,
+    ) -> Tuple[int, bytes]:
+        status, payload, _headers = self.request_detailed(
+            method, path, body, headers
+        )
+        return status, payload
 
 
 class InProcessTransport:
@@ -80,10 +112,28 @@ class InProcessTransport:
     def __init__(self, app: ServeApp) -> None:
         self._app = app
 
+    def request_detailed(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[dict] = None,
+    ) -> Tuple[int, bytes, dict]:
+        status, _ctype, payload, response_headers = self._app.handle_request(
+            method, path, body or b"", headers=headers
+        )
+        return status, payload, response_headers
+
     def request(
-        self, method: str, path: str, body: Optional[bytes] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[dict] = None,
     ) -> Tuple[int, bytes]:
-        status, _ctype, payload = self._app.handle(method, path, body or b"")
+        status, payload, _headers = self.request_detailed(
+            method, path, body, headers
+        )
         return status, payload
 
 
@@ -106,11 +156,27 @@ class ServeClient:
     # -- raw plumbing ---------------------------------------------------------
 
     def request_raw(
-        self, method: str, path: str, payload: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        headers: Optional[dict] = None,
     ) -> Tuple[int, bytes]:
         """The raw ``(status, body_bytes)`` — parity tests compare these."""
         body = json_encode(payload) if payload is not None else None
-        return self._transport.request(method, path, body)
+        return self._transport.request(method, path, body, headers)
+
+    def request_detailed(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        headers: Optional[dict] = None,
+    ) -> Tuple[int, bytes, dict]:
+        """Like :meth:`request_raw`, plus the response headers (the echoed
+        ``X-Request-Id`` lives there, never in the body)."""
+        body = json_encode(payload) if payload is not None else None
+        return self._transport.request_detailed(method, path, body, headers)
 
     def _request(
         self, method: str, path: str, payload: Optional[dict] = None
@@ -172,8 +238,12 @@ class ServeClient:
     def healthz(self) -> dict:
         return self._request("GET", "/healthz")
 
+    def statusz(self) -> dict:
+        """The live telemetry view (windowed latencies, SLOs, gate state)."""
+        return self._request("GET", "/statusz")
+
     def metrics(self) -> str:
-        """The ``/metrics`` run report as text."""
+        """The ``/metrics`` page (Prometheus text exposition)."""
         status, raw = self.request_raw("GET", "/metrics")
         if status >= 400:
             raise ServeClientError(status, {})

@@ -74,10 +74,17 @@ class LoadShedGate:
 
     def stats(self) -> dict:
         with self._lock:
+            utilization = (
+                round(self._inflight / self._max_inflight, 4)
+                if self._max_inflight
+                else None
+            )
             return {
                 "inflight": self._inflight,
+                "inflight_per_tenant": dict(sorted(self._per_tenant.items())),
                 "max_inflight": self._max_inflight,
                 "max_inflight_per_tenant": self._max_per_tenant,
+                "utilization": utilization,
                 "deadline_ms": self._deadline_ms,
                 "admitted": self.admitted,
                 "shed": dict(self.shed_by_reason),

@@ -17,6 +17,7 @@ Error payload shape (all non-2xx responses)::
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass
 from typing import Optional
 
@@ -27,7 +28,29 @@ from repro.errors import ReproError
 #: Bump when a request/response shape changes.
 PROTOCOL_VERSION = 1
 
+#: Longest caller-supplied ``X-Request-Id`` the server will honor.
+MAX_REQUEST_ID_LENGTH = 128
+
+_REQUEST_ID_OK = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._:/-]*$")
+
 _MISSING = object()
+
+
+def normalize_request_id(value: Optional[str]) -> Optional[str]:
+    """A caller's ``X-Request-Id``, accepted or rejected.
+
+    Returns the trimmed id when it is well-formed (bounded length, safe
+    charset — it ends up in logs, metric labels, and journal records), or
+    ``None`` so the server mints its own instead of propagating garbage.
+    """
+    if value is None:
+        return None
+    value = value.strip()
+    if not value or len(value) > MAX_REQUEST_ID_LENGTH:
+        return None
+    if not _REQUEST_ID_OK.match(value):
+        return None
+    return value
 
 
 class ProtocolError(ReproError):

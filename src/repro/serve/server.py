@@ -22,7 +22,21 @@ Routes::
     GET    /sessions/{id}/transcript  full conversation     -> 200
     GET    /healthz                   liveness + residency  -> 200
     GET    /readyz                    readiness + breakers  -> 200/503
-    GET    /metrics                   obs run report (text) -> 200
+    GET    /metrics                   Prometheus exposition -> 200
+    GET    /statusz                   live telemetry (JSON) -> 200
+
+**Correlation ids.** Every request runs under a request id — honored from
+a well-formed ``X-Request-Id`` header, minted otherwise — bound in a
+context-local (:mod:`repro.obs.context`) for the whole dispatch, so spans,
+structured events, cache counters, and journal appends all carry it. The
+id is echoed back in the ``X-Request-Id`` response header (never in the
+body: response bytes stay transport-independent).
+
+**Telemetry.** The app owns a :class:`~repro.obs.telemetry.TelemetryHub`
+(windowed per-route/per-tenant latency percentiles, SLO attainment and
+error-budget burn against the policy's latency objective) regardless of
+whether the global ``obs`` switch is on; ``/statusz`` serves its snapshot
+and ``/metrics`` folds it into the Prometheus page.
 
 **Tenant isolation.** Each tenant gets its own
 :class:`~repro.resilience.ResilientChatModel` (retry/deadline) around the
@@ -51,12 +65,18 @@ from repro import obs
 from repro.core.chat import ChatSession
 from repro.core.nl2sql import Nl2SqlModel
 from repro.core.retrieval import DemonstrationRetriever
+from repro.durability.journal import RunJournal
 from repro.errors import CircuitOpenError, LLMError, OverloadError, ReproError
-from repro.llm.dispatch import BatchingChatModel
+from repro.llm.dispatch import (
+    BatchingChatModel,
+    CachingChatModel,
+    CompletionCache,
+)
 from repro.serve.overload import LoadShedGate
 from repro.llm.interface import ChatModel
 from repro.llm.simulated import SimulatedLLM
-from repro.obs.reporting import render_run_report
+from repro.obs.promtext import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.obs.telemetry import SloPolicy, TelemetryHub
 from repro.resilience import CircuitBreaker, ResilientChatModel, RetryPolicy
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
@@ -68,6 +88,7 @@ from repro.serve.protocol import (
     error_payload,
     json_decode,
     json_encode,
+    normalize_request_id,
     turn_view,
 )
 from repro.serve.sessions import (
@@ -112,6 +133,17 @@ class TenantPolicy:
     max_inflight_total: Optional[int] = None
     max_inflight_per_tenant: Optional[int] = None
     request_deadline_ms: Optional[float] = None
+    #: Per-tenant latency objective for /statusz SLO accounting: ``slo_target``
+    #: of a tenant's requests should finish under ``slo_latency_ms`` (and not
+    #: 5xx). ``None`` keeps the default objective (500 ms).
+    slo_latency_ms: Optional[float] = None
+    slo_target: float = 0.95
+
+    def slo(self) -> SloPolicy:
+        """The telemetry-plane SLO this policy configures."""
+        if self.slo_latency_ms is None:
+            return SloPolicy(target=self.slo_target)
+        return SloPolicy(latency_ms=self.slo_latency_ms, target=self.slo_target)
 
 
 @dataclass
@@ -133,6 +165,9 @@ class ServeApp:
         policy: TenantPolicy = TenantPolicy(),
         llm_factory: Optional[Callable[[str], ChatModel]] = None,
         clock: Callable[[], float] = time.monotonic,
+        cache: Optional[CompletionCache] = None,
+        journal: Optional[RunJournal] = None,
+        request_id_factory: Optional[Callable[[], str]] = None,
     ) -> None:
         if not catalog:
             raise ValueError("catalog must host at least one database")
@@ -144,6 +179,15 @@ class ServeApp:
         self._policy = policy
         self._llm_factory = llm_factory or self._default_llm_factory
         self._clock = clock
+        self._telemetry = TelemetryHub(clock=clock, slo=policy.slo())
+        if cache is not None:
+            # One completion cache shared by every tenant stack, with its
+            # hit/miss feed wired into the live telemetry.
+            self._base_llm = CachingChatModel(
+                self._base_llm, cache, on_lookup=self._telemetry.record_cache
+            )
+        self._journal = journal
+        self._request_id_factory = request_id_factory or obs.new_request_id
         self._tenant_llms: dict[str, ChatModel] = {}
         self._tenant_lock = threading.Lock()
         self._gate = LoadShedGate(
@@ -192,6 +236,14 @@ class ServeApp:
     @property
     def gate(self) -> LoadShedGate:
         return self._gate
+
+    @property
+    def telemetry(self) -> TelemetryHub:
+        return self._telemetry
+
+    @property
+    def journal(self) -> Optional[RunJournal]:
+        return self._journal
 
     # -- tenant isolation -----------------------------------------------------------
 
@@ -257,6 +309,7 @@ class ServeApp:
         (re.compile(r"^/healthz$"), "healthz", {"GET"}),
         (re.compile(r"^/readyz$"), "readyz", {"GET"}),
         (re.compile(r"^/metrics$"), "metrics", {"GET"}),
+        (re.compile(r"^/statusz$"), "statusz", {"GET"}),
         (re.compile(r"^/sessions$"), "sessions", {"GET", "POST"}),
         (re.compile(r"^/sessions/([^/]+)$"), "session", {"GET", "DELETE"}),
         (re.compile(r"^/sessions/([^/]+)/ask$"), "ask", {"POST"}),
@@ -272,19 +325,74 @@ class ServeApp:
         self, method: str, path: str, raw_body: bytes = b""
     ) -> Tuple[int, str, bytes]:
         """One request in, ``(status, content_type, body_bytes)`` out."""
+        status, ctype, body, _headers = self.handle_request(
+            method, path, raw_body
+        )
+        return status, ctype, body
+
+    def handle_request(
+        self,
+        method: str,
+        path: str,
+        raw_body: bytes = b"",
+        headers: Optional[dict] = None,
+    ) -> Tuple[int, str, bytes, dict]:
+        """Full request handling: the 3-tuple plus response headers.
+
+        The caller's ``X-Request-Id`` (any header-name casing) is honored
+        when well-formed, else a fresh id is minted; either way the id is
+        bound as the current request context for the whole dispatch and
+        echoed back in the response headers.
+        """
         arrived_at = self._clock()
+        request_id = None
+        if headers:
+            for name, value in headers.items():
+                if str(name).lower() == "x-request-id":
+                    request_id = normalize_request_id(str(value))
+                    break
+        if request_id is None:
+            request_id = self._request_id_factory()
         route, session_id, allowed = self._match(path)
         with self._idle:
             self._inflight += 1
         try:
-            with obs.span("serve.request", route=route, method=method) as sp:
-                with obs.timer("serve.latency_ms", route=route):
-                    status, ctype, body = self._dispatch(
-                        route, allowed, method, session_id, raw_body, arrived_at
-                    )
-                sp.set("status", status)
-            obs.count("serve.requests", route=route, status=status)
-            return status, ctype, body
+            with obs.request_context(request_id):
+                with obs.span(
+                    "serve.request",
+                    route=route,
+                    method=method,
+                    request_id=request_id,
+                ) as sp:
+                    with obs.timer("serve.latency_ms", route=route):
+                        status, ctype, body = self._dispatch(
+                            route,
+                            allowed,
+                            method,
+                            session_id,
+                            raw_body,
+                            arrived_at,
+                        )
+                    sp.set("status", status)
+                obs.count("serve.requests", route=route, status=status)
+                duration_ms = (self._clock() - arrived_at) * 1000.0
+                tenant = (
+                    self._manager.peek_tenant(session_id)
+                    if session_id is not None
+                    else None
+                )
+                self._telemetry.record_request(
+                    route, tenant, status, duration_ms
+                )
+                obs.event(
+                    "serve.request",
+                    route=route,
+                    method=method,
+                    status=status,
+                    duration_ms=round(duration_ms, 3),
+                    tenant=tenant,
+                )
+            return status, ctype, body, {"X-Request-Id": request_id}
         finally:
             with self._idle:
                 self._inflight -= 1
@@ -329,7 +437,13 @@ class ServeApp:
                 ready, payload = self._ready_payload()
                 return self._json(200 if ready else 503, payload)
             if route == "metrics":
-                return 200, TEXT, self._metrics_text().encode("utf-8")
+                return (
+                    200,
+                    PROMETHEUS_CONTENT_TYPE,
+                    self._metrics_text().encode("utf-8"),
+                )
+            if route == "statusz":
+                return self._json(200, self._statusz_payload())
             if route == "sessions" and method == "POST":
                 return self._create_session(raw_body)
             if route == "sessions":
@@ -428,7 +542,31 @@ class ServeApp:
             "draining": self._draining,
             "inflight": self._inflight,
             "gate": self._gate.stats(),
+            "batch_queue_depth": self._batch_queue_depth(),
             "breakers": self._breaker_states(),
+        }
+
+    def _batch_queue_depth(self) -> int:
+        """Prompts waiting in tenant coalescer queues, summed."""
+        with self._tenant_lock:
+            models = list(self._tenant_llms.values())
+        return sum(
+            model.queued
+            for model in models
+            if isinstance(model, BatchingChatModel)
+        )
+
+    def _statusz_payload(self) -> dict:
+        """The live-operations view ``fisql-repro top`` renders."""
+        return {
+            "ready": not self._draining,
+            "draining": self._draining,
+            "protocol": PROTOCOL_VERSION,
+            "sessions": self._manager.stats(),
+            "gate": self._gate.stats(),
+            "batch_queue_depth": self._batch_queue_depth(),
+            "breakers": self._breaker_states(),
+            "telemetry": self._telemetry.snapshot(),
         }
 
     def _breaker_states(self) -> dict[str, str]:
@@ -445,12 +583,12 @@ class ServeApp:
         return states
 
     def _metrics_text(self) -> str:
-        if not obs.is_enabled():
-            return (
-                "(observability disabled; start the server with "
-                "instrumentation to populate /metrics)\n"
-            )
-        return render_run_report(obs.snapshot()) + "\n"
+        """Prometheus text exposition: run-report metrics (when the obs
+        switch is on) folded with the always-on telemetry hub. Valid
+        exposition even with observability disabled — ``fisql_serve_up``
+        is always present, so scrapers never choke on a prose fallback."""
+        snapshot = obs.snapshot() if obs.is_enabled() else None
+        return render_prometheus(snapshot, self._telemetry.snapshot())
 
     def _create_session(self, raw_body: bytes) -> Tuple[int, str, bytes]:
         request = CreateSessionRequest.from_payload(json_decode(raw_body))
@@ -512,6 +650,7 @@ class ServeApp:
                 self._gate.check_deadline(arrived_at)
                 response = record.chat.ask(request.question)
                 obs.count("serve.asks", tenant=record.tenant)
+                self._journal_turn(record, "ask")
                 return self._json(
                     200,
                     {
@@ -538,6 +677,7 @@ class ServeApp:
                     request.feedback, highlight=request.highlight
                 )
                 obs.count("serve.feedbacks", tenant=record.tenant)
+                self._journal_turn(record, "feedback")
                 return self._json(
                     200,
                     {
@@ -546,6 +686,26 @@ class ServeApp:
                         "turns": len(record.chat.turns),
                     },
                 )
+
+    def _journal_turn(self, record: SessionRecord, route: str) -> None:
+        """Durably record one completed turn (when serving with a journal).
+
+        The append runs inside the request context, so the journal line
+        carries the request's correlation id.
+        """
+        if self._journal is None:
+            return
+        turns = len(record.chat.turns)
+        self._journal.append(
+            f"serve.turn/{record.session_id}/{turns}",
+            "serve.turn",
+            {
+                "session": record.session_id,
+                "tenant": record.tenant,
+                "route": route,
+                "turns": turns,
+            },
+        )
 
     def _transcript(self, session_id: str) -> Tuple[int, str, bytes]:
         with self._manager.acquire(session_id) as record:
@@ -574,12 +734,14 @@ class _RequestHandler(BaseHTTPRequestHandler):
         except ValueError:
             length = 0
         raw = self.rfile.read(length) if length > 0 else b""
-        status, ctype, body = self.server.app.handle(
-            self.command, self.path, raw
+        status, ctype, body, extra_headers = self.server.app.handle_request(
+            self.command, self.path, raw, headers=dict(self.headers.items())
         )
         self.send_response(status)
         self.send_header("Content-Type", ctype)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in extra_headers.items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 

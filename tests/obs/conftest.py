@@ -25,6 +25,13 @@ def fake_clock() -> FakeClock:
     return FakeClock()
 
 
+@pytest.fixture()
+def enabled_obs():
+    obs.enable()
+    yield
+    obs.disable()
+
+
 @pytest.fixture(autouse=True)
 def _obs_disabled_after_each_test():
     """Tests may enable() freely; the global always ends the test disabled."""

@@ -1,0 +1,65 @@
+"""Correlation-ID context: binding, nesting, thread isolation, minting."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.context import (
+    current_request_id,
+    deterministic_id_factory,
+    new_request_id,
+    request_context,
+)
+
+
+class TestRequestContext:
+    def test_default_is_none(self):
+        assert current_request_id() is None
+
+    def test_binds_and_restores(self):
+        with request_context("r1"):
+            assert current_request_id() == "r1"
+            with request_context("r2"):
+                assert current_request_id() == "r2"
+            assert current_request_id() == "r1"
+        assert current_request_id() is None
+
+    def test_restores_after_exception(self):
+        try:
+            with request_context("r1"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert current_request_id() is None
+
+    def test_threads_do_not_inherit_the_context(self):
+        # One request per thread: a worker spawned mid-request must not
+        # see the spawning request's id.
+        seen: dict = {}
+
+        def worker() -> None:
+            seen["id"] = current_request_id()
+
+        with request_context("r1"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["id"] is None
+
+
+class TestIdFactories:
+    def test_new_request_id_is_unique_and_greppable(self):
+        first, second = new_request_id(), new_request_id()
+        assert first != second
+        assert first.startswith("req-")
+        assert second.startswith("req-")
+
+    def test_deterministic_factory_is_sequential(self):
+        make = deterministic_id_factory("x")
+        assert [make(), make(), make()] == ["x-000001", "x-000002", "x-000003"]
+
+    def test_deterministic_factories_are_independent(self):
+        a, b = deterministic_id_factory(), deterministic_id_factory()
+        assert a() == "req-000001"
+        assert a() == "req-000002"
+        assert b() == "req-000001"

@@ -32,9 +32,12 @@ class TestPercentile:
     def test_unsorted_input_is_sorted_first(self):
         assert percentile([3, 1, 2], 50) == 2
 
-    def test_empty_raises(self):
-        with pytest.raises(ValueError):
-            percentile([], 50)
+    def test_empty_returns_none(self):
+        assert percentile([], 50) is None
+
+    def test_empty_returns_default_when_given(self):
+        assert percentile([], 95, default=0.0) == 0.0
+        assert percentile([], 99, default=-1.0) == -1.0
 
     def test_out_of_range_quantile_raises(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,162 @@
+"""Prometheus text exposition: structural validity plus exact samples."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro import obs
+from repro.obs.promtext import (
+    PROMETHEUS_CONTENT_TYPE,
+    escape_value,
+    render_prometheus,
+    sanitize_label,
+    sanitize_name,
+)
+from repro.obs.telemetry import SloPolicy, TelemetryHub
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r'(?:\{(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\["\\n])*",?)*\})?'
+    r" -?(?:\d+(?:\.\d+)?(?:e-?\d+)?|inf|nan)$"
+)
+
+
+def assert_valid_exposition(text: str) -> dict:
+    """Parse an exposition page; return {family: type}. Fails on any
+    malformed line, unknown type, or sample without a HELP+TYPE header."""
+    assert text.endswith("\n")
+    helped: set = set()
+    typed: dict = {}
+    for line in text.splitlines():
+        if line.startswith("# HELP "):
+            helped.add(line.split()[2])
+            continue
+        if line.startswith("# TYPE "):
+            _hash, _kw, name, kind = line.split()
+            assert kind in {"counter", "gauge", "summary", "histogram"}, line
+            typed[name] = kind
+            continue
+        match = _SAMPLE.match(line)
+        assert match, f"malformed sample line: {line!r}"
+        name = match.group("name")
+        family = re.sub(r"_(sum|count|bucket)$", "", name)
+        assert name in typed or family in typed, f"untyped sample: {line!r}"
+        assert name in helped or family in helped, f"no HELP for: {line!r}"
+    return typed
+
+
+class TestDisabled:
+    def test_everything_off_is_still_valid(self):
+        text = render_prometheus(None, None)
+        families = assert_valid_exposition(text)
+        assert families == {"fisql_serve_up": "gauge"}
+        assert "fisql_serve_up 1\n" in text
+
+    def test_up_can_report_down(self):
+        assert "fisql_serve_up 0" in render_prometheus(None, None, up=False)
+
+    def test_content_type_pins_the_exposition_version(self):
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+
+class TestRegistrySources:
+    def test_counters_and_summaries(self, enabled_obs):
+        obs.count("serve.requests", route="ask", status=200)
+        obs.count("serve.requests", route="ask", status=200)
+        obs.count("cache.hit", kind="single")
+        with obs.get_tracer().span("work"):
+            pass
+        text = render_prometheus(obs.snapshot(), None)
+        families = assert_valid_exposition(text)
+        assert families["fisql_serve_requests_total"] == "counter"
+        # Labels are rendered sorted by key.
+        assert (
+            'fisql_serve_requests_total{route="ask",status="200"} 2' in text
+        )
+        assert 'fisql_cache_hit_total{kind="single"} 1' in text
+
+    def test_histograms_become_summaries(self, enabled_obs):
+        obs.get_metrics().observe("serve.latency_ms", 10.0, route="ask")
+        text = render_prometheus(obs.snapshot(), None)
+        families = assert_valid_exposition(text)
+        assert families["fisql_serve_latency_ms"] == "summary"
+        assert (
+            'fisql_serve_latency_ms{quantile="0.95",route="ask"} 10' in text
+        )
+        assert 'fisql_serve_latency_ms_sum{route="ask"} 10' in text
+        assert 'fisql_serve_latency_ms_count{route="ask"} 1' in text
+
+
+class TestTelemetrySource:
+    def test_per_tenant_quantiles_and_slo_gauges(self, fake_clock):
+        hub = TelemetryHub(
+            clock=fake_clock, slo=SloPolicy(latency_ms=100.0, target=0.9)
+        )
+        for _ in range(9):
+            hub.record_request("ask", "team-a", 200, 50.0)
+        hub.record_request("ask", "team-a", 200, 500.0)
+        hub.record_cache(True)
+
+        text = render_prometheus(None, hub.snapshot())
+        families = assert_valid_exposition(text)
+        assert families["fisql_serve_tenant_latency_ms"] == "gauge"
+        # The acceptance-criterion line: a per-tenant windowed p95 gauge.
+        p95 = re.search(
+            r'^fisql_serve_tenant_latency_ms\{quantile="0.95",'
+            r'tenant="team-a",window="1m"\} (\S+)$',
+            text,
+            re.M,
+        )
+        assert p95, text
+        assert float(p95.group(1)) > 0
+        assert re.search(
+            r'^fisql_serve_route_latency_ms\{quantile="0.5",route="ask",'
+            r'window="5m"\} \S+$',
+            text,
+            re.M,
+        )
+        assert (
+            'fisql_serve_slo_attainment{tenant="team-a",window="1m"} 0.9'
+            in text
+        )
+        assert (
+            'fisql_serve_slo_burn_rate{tenant="team-a",window="1m"} 1' in text
+        )
+        assert 'fisql_serve_requests_windowed{window="1m"} 10' in text
+        assert 'fisql_serve_cache_hit_windowed{window="1m"} 1' in text
+
+    def test_idle_scrapes_are_byte_identical(self, fake_clock):
+        hub = TelemetryHub(clock=fake_clock)
+        hub.record_request("ask", "t", 200, 5.0)
+        first = render_prometheus(None, hub.snapshot())
+        second = render_prometheus(None, hub.snapshot())
+        assert first == second
+
+
+class TestSanitization:
+    @pytest.mark.parametrize(
+        ("raw", "clean"),
+        [
+            ("serve.latency_ms", "serve_latency_ms"),
+            ("9lives", "_9lives"),
+            ("", "_"),
+            ("ok:name", "ok:name"),
+        ],
+    )
+    def test_sanitize_name(self, raw, clean):
+        assert sanitize_name(raw) == clean
+
+    def test_sanitize_label_rejects_colons(self):
+        assert sanitize_label("a:b") == "a_b"
+
+    def test_escape_value(self):
+        assert escape_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+    def test_hostile_label_values_stay_parseable(self, fake_clock):
+        hub = TelemetryHub(clock=fake_clock)
+        hub.record_request("ask", 'evil"tenant\\with\nnewline', 200, 5.0)
+        text = render_prometheus(None, hub.snapshot())
+        assert_valid_exposition(text)
+        assert 'tenant="evil\\"tenant\\\\with\\nnewline"' in text

@@ -1,0 +1,108 @@
+"""StructuredLog: request-id stamping, size rotation, pruning, the facade."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.context import request_context
+from repro.obs.structured_log import StructuredLog
+
+
+def _lines(path) -> list:
+    return [
+        json.loads(line) for line in path.read_text().splitlines() if line
+    ]
+
+
+class TestEvents:
+    def test_event_fields_and_timestamp(self, tmp_path, fake_clock):
+        fake_clock.value = 1234.5
+        log = StructuredLog(tmp_path, clock=fake_clock)
+        log.event("serve.request", route="ask", status=200)
+        log.close()
+        (record,) = _lines(log.path)
+        assert record["event"] == "serve.request"
+        assert record["ts"] == 1234.5
+        assert record["route"] == "ask"
+        assert record["status"] == 200
+
+    def test_request_id_stamped_only_inside_a_request(
+        self, tmp_path, fake_clock
+    ):
+        log = StructuredLog(tmp_path, clock=fake_clock)
+        log.event("outside")
+        with request_context("req-000042"):
+            log.event("inside", size=3)
+        log.close()
+        outside, inside = _lines(log.path)
+        assert "request_id" not in outside
+        assert inside["request_id"] == "req-000042"
+        assert inside["size"] == 3
+
+    def test_lines_are_canonical_json(self, tmp_path, fake_clock):
+        log = StructuredLog(tmp_path, clock=fake_clock)
+        log.event("z", b=1, a=2)
+        log.close()
+        (line,) = log.path.read_text().splitlines()
+        assert line == '{"a":2,"b":1,"event":"z","ts":0.0}'
+
+
+class TestRotation:
+    def test_rotation_and_pruning(self, tmp_path, fake_clock):
+        # max_bytes=1: every event overflows the active file and rotates.
+        log = StructuredLog(
+            tmp_path, max_bytes=1, max_files=2, clock=fake_clock
+        )
+        for index in range(5):
+            log.event("e", i=index)
+        log.close()
+        assert log.rotations == 5
+        names = [path.name for path in log.files()]
+        assert names == ["events-000004.jsonl", "events-000005.jsonl"]
+        # The surviving files hold the *latest* events.
+        (fourth,) = _lines(tmp_path / "events-000004.jsonl")
+        assert fourth["i"] == 3
+
+    def test_reopen_continues_rotation_numbering(self, tmp_path, fake_clock):
+        first = StructuredLog(
+            tmp_path, max_bytes=1, max_files=5, clock=fake_clock
+        )
+        first.event("a")
+        first.close()
+        second = StructuredLog(
+            tmp_path, max_bytes=1, max_files=5, clock=fake_clock
+        )
+        second.event("b")
+        second.close()
+        names = [path.name for path in second.files()]
+        assert names == ["events-000001.jsonl", "events-000002.jsonl"]
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            StructuredLog(tmp_path, max_bytes=0)
+        with pytest.raises(ValueError):
+            StructuredLog(tmp_path, max_files=0)
+
+
+class TestObsFacade:
+    def test_event_is_noop_without_a_log(self):
+        obs.event("nothing.happens", x=1)  # must not raise
+        assert obs.get_event_log() is None
+
+    def test_set_event_log_and_emit(self, tmp_path):
+        log = StructuredLog(tmp_path)
+        obs.set_event_log(log)
+        assert obs.get_event_log() is log
+        obs.event("x", a=1)
+        obs.set_event_log(None)  # closes the previous sink
+        (record,) = _lines(log.path)
+        assert record["event"] == "x"
+        assert record["a"] == 1
+
+    def test_disable_detaches_the_log(self, tmp_path):
+        obs.set_event_log(StructuredLog(tmp_path))
+        obs.disable()
+        assert obs.get_event_log() is None

@@ -228,10 +228,10 @@ class TestSpiderLoad:
                 assert len(seen_ids) == len(interactions)
                 assert len(app.manager) == len(interactions)
 
-                # The /metrics report is populated with serve traffic.
+                # The /metrics exposition is populated with serve traffic.
                 metrics = ServeClient.connect(port=server.port).metrics()
-                assert "Run report (repro.obs)" in metrics
-                assert "serve.request" in metrics
+                assert "fisql_serve_up 1" in metrics
+                assert "fisql_serve_requests_total" in metrics
                 registry = obs.get_metrics()
                 expected_requests = (
                     # create + ask + transcript per interaction, feedback

@@ -66,16 +66,22 @@ class TestHappyPath:
         assert health["databases"] == 1
         assert health["sessions"]["resident"] == 0
 
-    def test_metrics_disabled_note(self, client):
+    def test_metrics_disabled_still_valid_exposition(self, client):
+        # Satellite fix: with observability off the page must stay valid
+        # Prometheus text (scrapers choke on prose), not a prose note.
         text = client.metrics()
-        assert "observability disabled" in text
+        assert "fisql_serve_up 1" in text
+        assert "# TYPE fisql_serve_up gauge" in text
+        assert "observability disabled" not in text
 
-    def test_metrics_enabled_report(self, client, enabled_obs):
+    def test_metrics_enabled_exposition(self, client, enabled_obs):
         session = client.create_session(db="aep")
         client.ask(session["id"], "How many audiences are there?")
         text = client.metrics()
-        assert "Run report (repro.obs)" in text
-        assert "serve.request" in text
+        assert "fisql_serve_up 1" in text
+        assert "# TYPE fisql_serve_requests_total counter" in text
+        assert 'fisql_serve_requests_total{route="ask",status="200"} 1' in text
+        assert "# TYPE fisql_serve_latency_ms summary" in text
 
 
 class TestStructuredErrors:
