@@ -166,6 +166,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="MS",
         help="per-call deadline budget in ms across retries and backoff",
     )
+    _add_backend_arguments(run)
     run.add_argument(
         "--workers",
         type=int,
@@ -406,6 +407,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "latency objective (default: 0.95)"
         ),
     )
+    _add_backend_arguments(serve)
     serve.set_defaults(func=_cmd_serve)
 
     top = subparsers.add_parser(
@@ -469,6 +471,68 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_backend_arguments(sub: argparse.ArgumentParser) -> None:
+    """The multi-backend router flags, shared by ``run`` and ``serve``."""
+    sub.add_argument(
+        "--backend",
+        action="append",
+        metavar="NAME=KIND[,K=V...]",
+        help=(
+            "add a named backend to the router pool (repeatable; kinds: "
+            "simulated, http). Options: model=, base-url=, api-key=, "
+            "timeout-s=, fault=, fault-seed=, retries=, deadline-ms=, "
+            "breaker-threshold=, breaker-reset-ms="
+        ),
+    )
+    sub.add_argument(
+        "--route-map",
+        metavar="KIND=NAME[,...]",
+        help=(
+            "route prompt kinds to backends (kinds: nl2sql, feedback, "
+            "routing, rewrite); unmapped kinds use the first backend"
+        ),
+    )
+    sub.add_argument(
+        "--hedge-after-ms",
+        type=float,
+        metavar="MS",
+        help=(
+            "fire a hedged request at the next backend when the primary "
+            "has not answered within MS (default: no hedging)"
+        ),
+    )
+    sub.add_argument(
+        "--probe-interval-ms",
+        type=float,
+        metavar="MS",
+        help=(
+            "minimum spacing between health probes of ejected backends "
+            "(default: the readmission delay)"
+        ),
+    )
+
+
+def _validate_backend_arguments(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> None:
+    """Reject router flags without a pool, and conflicting chaos flags."""
+    if args.backend:
+        if getattr(args, "inject_faults", None) is not None:
+            parser.error(
+                "--inject-faults conflicts with --backend; use a "
+                "per-backend fault= option instead "
+                "(e.g. --backend primary=simulated,fault=outage)"
+            )
+        return
+    for flag, value in (
+        ("--route-map", args.route_map),
+        ("--hedge-after-ms", args.hedge_after_ms),
+        ("--probe-interval-ms", args.probe_interval_ms),
+    ):
+        if value is not None:
+            parser.error(f"{flag} requires at least one --backend")
+
+
 # -- run ---------------------------------------------------------------------------
 
 
@@ -485,6 +549,7 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
             parser.error(f"--cache-max must be >= 1: {args.cache_max}")
     if args.resume and args.journal is None:
         parser.error("--resume requires --journal")
+    _validate_backend_arguments(args, parser)
     try:
         llm = _build_llm(args)
     except ValueError as error:
@@ -594,6 +659,8 @@ def _build_llm(args: argparse.Namespace) -> Optional[ChatModel]:
     Only assembled when a resilience flag is present, so plain runs stay
     byte-identical to the unwrapped pipeline.
     """
+    if args.backend:
+        return _build_routed_llm(args)
     if (
         args.inject_faults is None
         and args.llm_retries is None
@@ -622,6 +689,58 @@ def _build_llm(args: argparse.Namespace) -> Optional[ChatModel]:
         breaker=CircuitBreaker(reset_after_ms=250.0, clock=clock.now),
         clock=clock.now,
         sleep=clock.sleep,
+    )
+
+
+def _build_routed_llm(args: argparse.Namespace) -> ChatModel:
+    """A :class:`RoutingChatModel` over the ``--backend`` pool.
+
+    Runs use the same deterministic virtual clock as the single-model
+    resilient stack, with lazy on-path probing so ejection/readmission
+    cycles replay identically for a given seed and fault profile.
+    """
+    from repro.llm.router import (
+        RoutingChatModel,
+        build_backend_pool,
+        parse_backend_spec,
+        parse_route_map,
+    )
+
+    if args.llm_timeout is not None and args.llm_timeout <= 0:
+        raise ValueError(f"--llm-timeout must be > 0 ms: {args.llm_timeout}")
+    if args.hedge_after_ms is not None and args.hedge_after_ms < 0:
+        raise ValueError(
+            f"--hedge-after-ms must be >= 0: {args.hedge_after_ms}"
+        )
+    if args.probe_interval_ms is not None and args.probe_interval_ms <= 0:
+        raise ValueError(
+            f"--probe-interval-ms must be > 0: {args.probe_interval_ms}"
+        )
+    specs = [parse_backend_spec(text) for text in args.backend]
+    retries = (
+        args.llm_retries if args.llm_retries is not None else DEFAULT_LLM_RETRIES
+    )
+    clock = VirtualClock(tick=0.001)
+    pool = build_backend_pool(
+        specs,
+        clock=clock.now,
+        sleep=clock.sleep,
+        seed=args.seed,
+        default_retries=retries,
+        default_deadline_ms=args.llm_timeout,
+        default_breaker_reset_ms=250.0,
+        probe_interval_ms=args.probe_interval_ms,
+    )
+    route_map = (
+        parse_route_map(args.route_map, pool.names)
+        if args.route_map is not None
+        else None
+    )
+    return RoutingChatModel(
+        pool,
+        route_map=route_map,
+        hedge_after_ms=args.hedge_after_ms,
+        probe_on_path=True,
     )
 
 
@@ -683,6 +802,13 @@ def _cmd_serve(
         parser.error(f"--slo-latency-ms must be > 0: {args.slo_latency_ms}")
     if not 0.0 < args.slo_target < 1.0:
         parser.error(f"--slo-target must be in (0, 1): {args.slo_target}")
+    _validate_backend_arguments(args, parser)
+    if args.hedge_after_ms is not None and args.hedge_after_ms < 0:
+        parser.error(f"--hedge-after-ms must be >= 0: {args.hedge_after_ms}")
+    if args.probe_interval_ms is not None and args.probe_interval_ms <= 0:
+        parser.error(
+            f"--probe-interval-ms must be > 0: {args.probe_interval_ms}"
+        )
 
     # The server is instrumented from the start: /metrics renders the live
     # registry, and every request is spanned/counted.
@@ -703,6 +829,30 @@ def _cmd_serve(
         from repro.llm.dispatch import CompletionCache
 
         cache = CompletionCache(max_entries=args.cache_max)
+    pool = None
+    route_map: dict = {}
+    if args.backend:
+        from repro.llm.router import (
+            build_backend_pool,
+            parse_backend_spec,
+            parse_route_map,
+        )
+
+        try:
+            specs = [parse_backend_spec(text) for text in args.backend]
+            pool = build_backend_pool(
+                specs,
+                seed=args.seed,
+                default_retries=args.llm_retries,
+                default_deadline_ms=args.llm_timeout,
+                default_breaker_threshold=args.breaker_threshold,
+                default_breaker_reset_ms=args.breaker_reset_ms,
+                probe_interval_ms=args.probe_interval_ms,
+            )
+            if args.route_map is not None:
+                route_map = parse_route_map(args.route_map, pool.names)
+        except ValueError as error:
+            parser.error(str(error))
     print(
         f"fisql-serve preloading context (scale={args.scale}, "
         f"seed={args.seed})..."
@@ -729,6 +879,8 @@ def _cmd_serve(
         request_deadline_ms=args.request_deadline_ms,
         slo_latency_ms=args.slo_latency_ms,
         slo_target=args.slo_target,
+        route_map=tuple(sorted(route_map.items())),
+        hedge_after_ms=args.hedge_after_ms,
     )
     app = ServeApp.from_context(
         context,
@@ -736,7 +888,12 @@ def _cmd_serve(
         policy=policy,
         cache=cache,
         journal=journal,
+        pool=pool,
     )
+    if pool is not None:
+        # Background readmission probes: an ejected backend re-enters
+        # rotation without waiting for live traffic to trip a probe.
+        pool.start_probing()
     try:
         return run_server(
             app,
@@ -745,6 +902,8 @@ def _cmd_serve(
             drain_grace=args.drain_grace,
         )
     finally:
+        if pool is not None:
+            pool.stop_probing()
         obs.disable()  # also closes the structured event log
         if journal is not None:
             journal.close()

@@ -63,7 +63,19 @@ class LLMError(ReproError):
 
 
 class TransientLLMError(LLMError):
-    """A retryable backend failure (5xx-style blip, dropped connection)."""
+    """A retryable backend failure (5xx-style blip, dropped connection).
+
+    ``retry_after_ms`` carries the backend's own pacing hint (an HTTP
+    ``Retry-After`` header on a 429/503). When set, the retry policy uses
+    it as that round's backoff instead of the computed exponential
+    schedule, still bounded by the call's deadline budget.
+    """
+
+    def __init__(
+        self, message: str, retry_after_ms: "float | None" = None
+    ) -> None:
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
 
 
 class LLMTimeoutError(TransientLLMError):
@@ -82,6 +94,14 @@ class CircuitOpenError(LLMError):
     """
 
 
+class NoHealthyBackendError(CircuitOpenError):
+    """Every backend in the routing pool is ejected or circuit-open.
+
+    A :class:`CircuitOpenError` subclass so the serve layer maps it to the
+    same 503 fail-fast path as a single open breaker.
+    """
+
+
 class OverloadError(ReproError):
     """The request was shed before doing work: the system is over capacity.
 
@@ -93,9 +113,17 @@ class OverloadError(ReproError):
     429/503 instead of a 502.
     """
 
-    def __init__(self, message: str, reason: str = "overloaded") -> None:
+    def __init__(
+        self,
+        message: str,
+        reason: str = "overloaded",
+        retry_after_s: "float | None" = None,
+    ) -> None:
         super().__init__(message)
         self.reason = reason
+        #: Suggested client backoff (seconds); the serve layer surfaces it
+        #: as a ``Retry-After`` response header on the shed 429/503.
+        self.retry_after_s = retry_after_s
 
 
 class FeedbackError(ReproError):

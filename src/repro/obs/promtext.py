@@ -102,13 +102,16 @@ def render_prometheus(
     snapshot: Optional[dict],
     telemetry: Optional[dict] = None,
     up: bool = True,
+    backends: Optional[dict] = None,
 ) -> str:
     """The full ``/metrics`` page.
 
     ``snapshot`` is an ``obs.snapshot()`` dict (or None when observability
     is disabled); ``telemetry`` is a ``TelemetryHub.snapshot()`` dict (or
-    None when the server has no hub). Either source may be absent — the
-    page is valid exposition regardless.
+    None when the server has no hub); ``backends`` is a
+    ``BackendPool.health_snapshot()`` dict (or None for single-model
+    serving). Any source may be absent — the page is valid exposition
+    regardless.
     """
     families: dict[str, _Family] = {}
 
@@ -145,6 +148,9 @@ def render_prometheus(
 
     if telemetry is not None:
         _telemetry_families(telemetry, family)
+
+    if backends is not None:
+        _backend_families(backends, family)
 
     blocks: list[str] = []
     for name in sorted(families):
@@ -216,6 +222,37 @@ def _telemetry_families(telemetry: dict, family) -> None:
             attainment.add(labels, view.get("attainment", 1.0))
             burn.add(labels, view.get("burn_rate", 0.0))
 
+    backend_views = telemetry.get("backends", {})
+    if backend_views:
+        latency_gauges(
+            "fisql_llm_backend_latency_ms",
+            "backend",
+            {
+                name: view.get("latency", {})
+                for name, view in backend_views.items()
+            },
+            "Windowed routed-call latency quantiles per backend "
+            "(milliseconds).",
+        )
+        outcome_entry = family(
+            "fisql_llm_backend_outcomes_windowed",
+            "gauge",
+            "Windowed routed-call outcomes per backend "
+            "(ok/error/failover/skipped/rejected/hedge/hedge_win).",
+        )
+        for name in sorted(backend_views):
+            outcomes = backend_views[name].get("outcomes", {})
+            for outcome in sorted(outcomes):
+                for window in sorted(outcomes[outcome]):
+                    outcome_entry.add(
+                        {
+                            "backend": name,
+                            "outcome": outcome,
+                            "window": window,
+                        },
+                        outcomes[outcome][window],
+                    )
+
     for name, help_text in (
         ("requests", "Windowed request count."),
         ("errors", "Windowed 5xx count."),
@@ -233,3 +270,51 @@ def _telemetry_families(telemetry: dict, family) -> None:
         )
         for window in sorted(table):
             entry.add({"window": window}, table[window].get("total", 0.0))
+
+
+#: Breaker states exported as a one-hot gauge per backend.
+_BREAKER_STATES = ("closed", "open", "half_open")
+
+
+def _backend_families(backends: dict, family) -> None:
+    """Per-backend health and breaker-state gauges from a
+    ``BackendPool.health_snapshot()``."""
+    healthy = family(
+        "fisql_llm_backend_healthy",
+        "gauge",
+        "1 while the backend is in rotation, 0 while ejected.",
+    )
+    failures = family(
+        "fisql_llm_backend_consecutive_failures",
+        "gauge",
+        "Consecutive live-call/probe failures feeding ejection.",
+    )
+    ejections = family(
+        "fisql_llm_backend_ejections_total",
+        "counter",
+        "Times the backend was ejected from rotation.",
+    )
+    readmissions = family(
+        "fisql_llm_backend_readmissions_total",
+        "counter",
+        "Times an ejected backend was probed healthy and readmitted.",
+    )
+    breaker = family(
+        "fisql_llm_backend_breaker_state",
+        "gauge",
+        "One-hot circuit-breaker state per backend.",
+    )
+    for name in sorted(backends):
+        view = backends[name]
+        labels = {"backend": name}
+        healthy.add(labels, 1.0 if view.get("healthy") else 0.0)
+        failures.add(labels, view.get("consecutive_failures", 0))
+        ejections.add(labels, view.get("ejections", 0))
+        readmissions.add(labels, view.get("readmissions", 0))
+        state = view.get("breaker")
+        if state is not None:
+            for candidate in _BREAKER_STATES:
+                breaker.add(
+                    {**labels, "state": candidate},
+                    1.0 if state == candidate else 0.0,
+                )

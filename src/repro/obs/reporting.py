@@ -238,6 +238,38 @@ def _render_resilience(snapshot: dict) -> str:
             f"breaker transitions: {summary}; "
             f"rejections: {_int(rejections)}"
         )
+    # Routed-pool lines only appear when a RoutingChatModel ran, so the
+    # single-model report stays byte-identical to pre-router runs.
+    backend_outcomes: dict = {}
+    for entry in _counter_entries(snapshot, "llm.backend"):
+        labels = entry.get("labels", {})
+        backend = str(labels.get("backend", "?"))
+        outcome = str(labels.get("outcome", "?"))
+        per = backend_outcomes.setdefault(backend, {})
+        per[outcome] = per.get(outcome, 0) + entry["value"]
+    if backend_outcomes:
+        failovers = sum(
+            per.get("failover", 0) for per in backend_outcomes.values()
+        )
+        hedges = sum(per.get("hedge", 0) for per in backend_outcomes.values())
+        lines.append(
+            f"backend failovers: {_int(failovers)}, "
+            f"hedged requests: {_int(hedges)}"
+        )
+        for backend in sorted(backend_outcomes):
+            lines.append(
+                f"backend {backend}: "
+                f"{_label_summary(backend_outcomes[backend])}"
+            )
+    ejections = _counter_by_label(snapshot, "llm.backend.ejections", "backend")
+    readmissions = _counter_by_label(
+        snapshot, "llm.backend.readmissions", "backend"
+    )
+    if ejections or readmissions:
+        lines.append(
+            f"backend ejections: {_int(sum(ejections.values()))}, "
+            f"readmissions: {_int(sum(readmissions.values()))}"
+        )
     degraded = _counter_by_label(snapshot, "resilience.degraded", "stage")
     if degraded:
         lines.append(

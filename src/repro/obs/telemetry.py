@@ -295,6 +295,8 @@ class TelemetryHub:
         self._tenant_latency: dict[str, RollingHistogram] = {}
         self._tenant_slo: dict[str, _TenantSlo] = {}
         self._counters: dict[str, RollingCounter] = {}
+        self._backend_latency: dict[str, RollingHistogram] = {}
+        self._backend_outcomes: dict[tuple[str, str], RollingCounter] = {}
 
     @property
     def slo(self) -> SloPolicy:
@@ -355,6 +357,24 @@ class TelemetryHub:
     def record_cache(self, hit: bool) -> None:
         self._counter("cache_hit" if hit else "cache_miss").incr()
 
+    def record_backend(
+        self, name: str, outcome: str, duration_ms: float
+    ) -> None:
+        """One routed-backend outcome (the :class:`BackendPool` hook).
+
+        Successful calls carry a real latency; bookkeeping outcomes
+        (failover, skipped, hedge) arrive with ``0.0`` and only count.
+        """
+        with self._lock:
+            series = self._backend_outcomes.get((name, outcome))
+            if series is None:
+                series = self._backend_outcomes[
+                    (name, outcome)
+                ] = RollingCounter(*self._geometry, clock=self._clock)
+        series.incr()
+        if outcome == "ok" and duration_ms > 0:
+            self._histogram(self._backend_latency, name).observe(duration_ms)
+
     # -- reads ----------------------------------------------------------------
 
     def _windowed(self, series: RollingHistogram) -> dict:
@@ -393,6 +413,11 @@ class TelemetryHub:
                 set(self._tenant_latency) | set(self._tenant_slo)
             )
             counters = sorted(self._counters)
+            backends = sorted(
+                set(self._backend_latency)
+                | {name for name, _ in self._backend_outcomes}
+            )
+            backend_outcomes = dict(self._backend_outcomes)
         view: dict = {
             "windows": {label: sec for label, sec in WINDOWS.items()},
             "routes": {
@@ -423,6 +448,27 @@ class TelemetryHub:
                 for name in counters
             },
         }
+        if backends:
+            # Only routed serving grows this section; single-model apps
+            # keep their snapshot shape (and tests) unchanged.
+            view["backends"] = {
+                name: {
+                    "latency": self._windowed(
+                        self._histogram(self._backend_latency, name)
+                    ),
+                    "outcomes": {
+                        outcome: {
+                            label: int(series.total(seconds))
+                            for label, seconds in WINDOWS.items()
+                        }
+                        for (series_name, outcome), series in sorted(
+                            backend_outcomes.items()
+                        )
+                        if series_name == name
+                    },
+                }
+                for name in backends
+            }
         requests = view["counters"].get("requests")
         hits = view["counters"].get("cache_hit")
         misses = view["counters"].get("cache_miss")

@@ -120,13 +120,22 @@ class RetryPolicy:
 
 
 class CircuitBreaker:
-    """A closed/open/half-open circuit breaker over consecutive failures."""
+    """A closed/open/half-open circuit breaker over consecutive failures.
+
+    ``name`` and ``labels`` identify the breaker on its
+    ``breaker.transition`` structured-log events (e.g. ``tenant=acme`` for
+    a tenant stack, ``backend=primary`` for a router backend), so state
+    changes are observable as they happen instead of only by polling
+    :attr:`state`.
+    """
 
     def __init__(
         self,
         failure_threshold: int = 5,
         reset_after_ms: float = 30_000.0,
         clock: Callable[[], float] = time.monotonic,
+        name: str = "",
+        labels: Optional[dict] = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError(
@@ -137,6 +146,8 @@ class CircuitBreaker:
         self._failure_threshold = failure_threshold
         self._reset_after_ms = reset_after_ms
         self._clock = clock
+        self._name = name
+        self._labels = dict(labels or {})
         self._lock = threading.Lock()
         self._state = BREAKER_CLOSED
         self._consecutive_failures = 0
@@ -144,15 +155,42 @@ class CircuitBreaker:
         self._probe_in_flight = False
 
     @property
+    def name(self) -> str:
+        return self._name
+
+    @property
     def state(self) -> str:
         with self._lock:
             return self._state
 
+    def time_until_probe(self) -> Optional[float]:
+        """Milliseconds until an open breaker admits its half-open probe.
+
+        ``None`` while closed (no probe pending); ``0.0`` when a probe
+        would be admitted right now (cooldown elapsed, or already
+        half-open awaiting one).
+        """
+        with self._lock:
+            if self._state == BREAKER_CLOSED:
+                return None
+            if self._state == BREAKER_HALF_OPEN:
+                return 0.0
+            elapsed_ms = (self._clock() - self._opened_at) * 1000.0
+            return max(0.0, self._reset_after_ms - elapsed_ms)
+
     def _transition(self, state: str) -> None:
         # Lock is held by the caller.
         if state != self._state:
+            previous = self._state
             self._state = state
             obs.count("llm.breaker.state", state=state)
+            obs.event(
+                "breaker.transition",
+                breaker=self._name,
+                from_state=previous,
+                to_state=state,
+                **self._labels,
+            )
 
     def allow(self) -> bool:
         """Whether a call may proceed; drives the open → half-open probe."""
@@ -254,11 +292,9 @@ class ResilientChatModel:
                     self._give_up("deadline", error)
                 self.retries += 1
                 self._retry_sequence += 1
-                backoff = self._retry.backoff_ms(
-                    retry_index, self._retry_sequence
+                backoff = self._round_backoff_ms(
+                    retry_index, self._retry_sequence, error, remaining
                 )
-                if remaining is not None:
-                    backoff = min(backoff, remaining)
                 obs.count("llm.retries", kind=prompt.kind)
                 obs.observe("llm.retry_backoff_ms", backoff)
                 obs.event(
@@ -350,11 +386,9 @@ class ResilientChatModel:
                     continue
                 self.retries += 1
                 self._retry_sequence += 1
-                backoff = self._retry.backoff_ms(
-                    retry_index, self._retry_sequence
+                backoff = self._round_backoff_ms(
+                    retry_index, self._retry_sequence, outcome, remaining
                 )
-                if remaining is not None:
-                    backoff = min(backoff, remaining)
                 obs.count("llm.retries", kind=prompts[index].kind)
                 obs.observe("llm.retry_backoff_ms", backoff)
                 obs.event(
@@ -369,6 +403,26 @@ class ResilientChatModel:
             if pending:
                 self._sleep(round_backoff / 1000.0)
         return results  # type: ignore[return-value]
+
+    def _round_backoff_ms(
+        self,
+        retry_index: int,
+        sequence: int,
+        error: TransientLLMError,
+        remaining: Optional[float],
+    ) -> float:
+        """This round's wait: the backend's ``Retry-After`` hint when the
+        error carries one (a 429/503 that told us exactly when to come
+        back), else the computed exponential schedule — either way bounded
+        by what is left of the deadline budget."""
+        retry_after = getattr(error, "retry_after_ms", None)
+        if retry_after is not None and retry_after >= 0:
+            backoff = float(retry_after)
+        else:
+            backoff = self._retry.backoff_ms(retry_index, sequence)
+        if remaining is not None:
+            backoff = min(backoff, remaining)
+        return backoff
 
     def _remaining_ms(self, started: float) -> Optional[float]:
         if self._retry.deadline_ms is None:

@@ -27,9 +27,19 @@ from repro.serve.server import ServeApp
 
 
 class ServeClientError(ReproError):
-    """A non-2xx response from the server."""
+    """A non-2xx response from the server.
 
-    def __init__(self, status: int, payload: dict) -> None:
+    ``retry_after`` carries the server's ``Retry-After`` response header
+    (seconds) on shed 429/503 responses, ``None`` otherwise — callers
+    with a retry loop should sleep that long before trying again.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        payload: dict,
+        retry_after: Optional[float] = None,
+    ) -> None:
         error = payload.get("error", {}) if isinstance(payload, dict) else {}
         code = error.get("code", "unknown")
         message = error.get("message", "request failed")
@@ -37,6 +47,20 @@ class ServeClientError(ReproError):
         self.status = status
         self.code = code
         self.payload = payload
+        self.retry_after = retry_after
+
+
+def _retry_after_from(headers: dict) -> Optional[float]:
+    """The ``Retry-After`` header as seconds (any casing; None if absent
+    or malformed)."""
+    for name, value in headers.items():
+        if str(name).lower() == "retry-after":
+            try:
+                seconds = float(str(value).strip())
+            except ValueError:
+                return None
+            return seconds if seconds >= 0 else None
+    return None
 
 
 class Transport(Protocol):
@@ -181,13 +205,17 @@ class ServeClient:
     def _request(
         self, method: str, path: str, payload: Optional[dict] = None
     ) -> dict:
-        status, raw = self.request_raw(method, path, payload)
+        status, raw, response_headers = self.request_detailed(
+            method, path, payload
+        )
         try:
             parsed = json.loads(raw.decode("utf-8")) if raw else {}
         except (UnicodeDecodeError, json.JSONDecodeError):
             parsed = {"error": {"code": "bad_body", "message": repr(raw)}}
         if status >= 400:
-            raise ServeClientError(status, parsed)
+            raise ServeClientError(
+                status, parsed, retry_after=_retry_after_from(response_headers)
+            )
         return parsed
 
     # -- endpoints ------------------------------------------------------------------

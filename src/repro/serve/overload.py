@@ -90,13 +90,27 @@ class LoadShedGate:
                 "shed": dict(self.shed_by_reason),
             }
 
+    def retry_after_s(self, reason: str) -> float:
+        """The client-backoff hint attached to a shed (``Retry-After``).
+
+        Capacity sheds point at the request deadline when one is
+        configured — by then the queue that shed you has turned over —
+        and fall back to one second. A request shed *for* overstaying its
+        deadline gets the one-second floor: its slot is already free.
+        """
+        if reason != "deadline_exceeded" and self._deadline_ms is not None:
+            return max(1.0, self._deadline_ms / 1000.0)
+        return 1.0
+
     # -- admission ------------------------------------------------------------
 
     def _shed_locked(self, reason: str, message: str) -> OverloadError:
         self.shed_total += 1
         self.shed_by_reason[reason] = self.shed_by_reason.get(reason, 0) + 1
         obs.count("serve.shed", reason=reason)
-        return OverloadError(message, reason=reason)
+        return OverloadError(
+            message, reason=reason, retry_after_s=self.retry_after_s(reason)
+        )
 
     @contextmanager
     def admit(self, tenant: str) -> Iterator[None]:

@@ -53,11 +53,12 @@ wires SIGINT/SIGTERM to exactly that sequence before closing the socket.
 
 from __future__ import annotations
 
+import math
 import re
 import signal
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Optional, Tuple
 
@@ -74,6 +75,7 @@ from repro.llm.dispatch import (
 )
 from repro.serve.overload import LoadShedGate
 from repro.llm.interface import ChatModel
+from repro.llm.router import BackendPool, RoutingChatModel
 from repro.llm.simulated import SimulatedLLM
 from repro.obs.promtext import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.obs.telemetry import SloPolicy, TelemetryHub
@@ -104,6 +106,11 @@ TEXT = "text/plain; charset=utf-8"
 
 #: Seconds ``run_server`` waits for in-flight requests after a signal.
 DEFAULT_DRAIN_GRACE = 10.0
+
+
+def _retry_after_header(seconds: float) -> str:
+    """``Retry-After`` wants integral seconds; round up, floor at 1."""
+    return str(max(1, math.ceil(seconds)))
 
 
 @dataclass(frozen=True)
@@ -138,6 +145,12 @@ class TenantPolicy:
     #: 5xx). ``None`` keeps the default objective (500 ms).
     slo_latency_ms: Optional[float] = None
     slo_target: float = 0.95
+    #: Router policy (only used when the app has a backend pool): prompt-kind
+    #: -> backend-name pairs (a tuple so the dataclass stays hashable/frozen)
+    #: and the tail-latency hedging delay. An empty route map sends every
+    #: kind to the pool's first backend with failover down the pool order.
+    route_map: "tuple[tuple[str, str], ...]" = field(default=())
+    hedge_after_ms: Optional[float] = None
 
     def slo(self) -> SloPolicy:
         """The telemetry-plane SLO this policy configures."""
@@ -168,6 +181,8 @@ class ServeApp:
         cache: Optional[CompletionCache] = None,
         journal: Optional[RunJournal] = None,
         request_id_factory: Optional[Callable[[], str]] = None,
+        pool: Optional[BackendPool] = None,
+        tenant_policies: Optional[dict[str, TenantPolicy]] = None,
     ) -> None:
         if not catalog:
             raise ValueError("catalog must host at least one database")
@@ -177,12 +192,20 @@ class ServeApp:
         # makes it falsy); test for None explicitly.
         self._manager = manager if manager is not None else SessionManager()
         self._policy = policy
+        self._tenant_policies = dict(tenant_policies or {})
+        self._pool = pool
         self._llm_factory = llm_factory or self._default_llm_factory
         self._clock = clock
         self._telemetry = TelemetryHub(clock=clock, slo=policy.slo())
-        if cache is not None:
+        if pool is not None:
+            # Per-backend outcome/latency feed for the live telemetry plane.
+            pool.set_outcome_hook(self._telemetry.record_backend)
+        self._shared_cache = cache
+        if cache is not None and pool is None:
             # One completion cache shared by every tenant stack, with its
-            # hit/miss feed wired into the live telemetry.
+            # hit/miss feed wired into the live telemetry. With a backend
+            # pool the cache instead wraps each tenant's router facade
+            # (cache sits *above* the router) — see the factory.
             self._base_llm = CachingChatModel(
                 self._base_llm, cache, on_lookup=self._telemetry.record_cache
             )
@@ -245,27 +268,57 @@ class ServeApp:
     def journal(self) -> Optional[RunJournal]:
         return self._journal
 
+    @property
+    def pool(self) -> Optional[BackendPool]:
+        """The shared backend pool (None for single-model serving)."""
+        return self._pool
+
     # -- tenant isolation -----------------------------------------------------------
 
+    def policy_for_tenant(self, tenant: str) -> TenantPolicy:
+        """The tenant's policy: its own entry, else the app default."""
+        return self._tenant_policies.get(tenant, self._policy)
+
     def _default_llm_factory(self, tenant: str) -> ChatModel:
-        policy = self._policy
-        resilient = ResilientChatModel(
-            self._base_llm,
-            retry=RetryPolicy(
-                max_retries=policy.max_retries,
-                deadline_ms=policy.deadline_ms,
-            ),
-            breaker=CircuitBreaker(
-                failure_threshold=policy.breaker_threshold,
-                reset_after_ms=policy.breaker_reset_ms,
+        policy = self.policy_for_tenant(tenant)
+        model: ChatModel
+        if self._pool is not None:
+            # Routed serving: the pool's backends already carry their own
+            # resilient stacks and backend-scoped breakers; each tenant
+            # gets a cheap routing facade with its policy's route map and
+            # hedging, with the shared cache *above* the router (a cache
+            # hit must never touch — or fail over — a backend).
+            model = RoutingChatModel(
+                self._pool,
+                route_map=dict(policy.route_map),
+                hedge_after_ms=policy.hedge_after_ms,
+            )
+            if self._shared_cache is not None:
+                model = CachingChatModel(
+                    model,
+                    self._shared_cache,
+                    on_lookup=self._telemetry.record_cache,
+                )
+        else:
+            model = ResilientChatModel(
+                self._base_llm,
+                retry=RetryPolicy(
+                    max_retries=policy.max_retries,
+                    deadline_ms=policy.deadline_ms,
+                ),
+                breaker=CircuitBreaker(
+                    failure_threshold=policy.breaker_threshold,
+                    reset_after_ms=policy.breaker_reset_ms,
+                    clock=self._clock,
+                    name=tenant,
+                    labels={"tenant": tenant},
+                ),
                 clock=self._clock,
-            ),
-            clock=self._clock,
-        )
+            )
         if policy.batch_max <= 1:
-            return resilient
+            return model
         return BatchingChatModel(
-            resilient,
+            model,
             max_batch=policy.batch_max,
             max_wait_ms=policy.batch_wait_ms,
             max_queue=policy.batch_max_queue,
@@ -365,7 +418,7 @@ class ServeApp:
                     request_id=request_id,
                 ) as sp:
                     with obs.timer("serve.latency_ms", route=route):
-                        status, ctype, body = self._dispatch(
+                        status, ctype, body, extra_headers = self._dispatch(
                             route,
                             allowed,
                             method,
@@ -392,7 +445,12 @@ class ServeApp:
                     duration_ms=round(duration_ms, 3),
                     tenant=tenant,
                 )
-            return status, ctype, body, {"X-Request-Id": request_id}
+            return (
+                status,
+                ctype,
+                body,
+                dict(extra_headers, **{"X-Request-Id": request_id}),
+            )
         finally:
             with self._idle:
                 self._inflight -= 1
@@ -414,7 +472,7 @@ class ServeApp:
         session_id: Optional[str],
         raw_body: bytes,
         arrived_at: float,
-    ) -> Tuple[int, str, bytes]:
+    ) -> Tuple[int, str, bytes, dict]:
         try:
             if route == "unknown":
                 raise ProtocolError(404, "not_found", "no such route")
@@ -441,6 +499,7 @@ class ServeApp:
                     200,
                     PROMETHEUS_CONTENT_TYPE,
                     self._metrics_text().encode("utf-8"),
+                    {},
                 )
             if route == "statusz":
                 return self._json(200, self._statusz_payload())
@@ -465,7 +524,14 @@ class ServeApp:
                 return self._transcript(session_id)
             raise ProtocolError(404, "not_found", "no such route")
         except ProtocolError as error:
-            return self._json(error.status, error.payload())
+            headers = {}
+            if error.status == 503 and error.code == "draining":
+                # Point retries past the drain grace: by then this
+                # replica is gone and the balancer has moved on.
+                headers["Retry-After"] = _retry_after_header(
+                    DEFAULT_DRAIN_GRACE
+                )
+            return self._json(error.status, error.payload(), headers)
         except UnknownSessionError as error:
             return self._json(
                 404,
@@ -481,9 +547,20 @@ class ServeApp:
             # Per-tenant flooding is the caller's fault (429); global
             # capacity, deadlines, and drain are the server's (503).
             status = 429 if error.reason == "tenant_overloaded" else 503
+            retry_after = error.retry_after_s
+            if retry_after is None:
+                # Batcher sheds (draining/queue_full) carry no hint of
+                # their own; drain points past the grace, a full queue
+                # turns over within a coalescer round.
+                retry_after = (
+                    DEFAULT_DRAIN_GRACE
+                    if error.reason == "draining"
+                    else 1.0
+                )
             return self._json(
                 status,
                 error_payload(error.reason, str(error), retryable=True),
+                {"Retry-After": _retry_after_header(retry_after)},
             )
         except CircuitOpenError as error:
             return self._json(
@@ -514,8 +591,10 @@ class ServeApp:
             )
 
     @staticmethod
-    def _json(status: int, payload: dict) -> Tuple[int, str, bytes]:
-        return status, JSON, json_encode(payload)
+    def _json(
+        status: int, payload: dict, headers: Optional[dict] = None
+    ) -> Tuple[int, str, bytes, dict]:
+        return status, JSON, json_encode(payload), dict(headers or {})
 
     # -- route handlers ---------------------------------------------------------------
 
@@ -537,7 +616,7 @@ class ServeApp:
         server from rotation for everyone else.
         """
         ready = not self._draining
-        return ready, {
+        payload = {
             "ready": ready,
             "draining": self._draining,
             "inflight": self._inflight,
@@ -545,6 +624,12 @@ class ServeApp:
             "batch_queue_depth": self._batch_queue_depth(),
             "breakers": self._breaker_states(),
         }
+        if self._pool is not None:
+            # Backend health is operator information, like breakers: even
+            # an all-ejected pool must not flip readiness — requests fail
+            # fast with 503 circuit_open while probes work on readmission.
+            payload["backends"] = self._pool.health_snapshot()
+        return ready, payload
 
     def _batch_queue_depth(self) -> int:
         """Prompts waiting in tenant coalescer queues, summed."""
@@ -558,7 +643,7 @@ class ServeApp:
 
     def _statusz_payload(self) -> dict:
         """The live-operations view ``fisql-repro top`` renders."""
-        return {
+        payload = {
             "ready": not self._draining,
             "draining": self._draining,
             "protocol": PROTOCOL_VERSION,
@@ -568,6 +653,9 @@ class ServeApp:
             "breakers": self._breaker_states(),
             "telemetry": self._telemetry.snapshot(),
         }
+        if self._pool is not None:
+            payload["backends"] = self._pool.health_snapshot()
+        return payload
 
     def _breaker_states(self) -> dict[str, str]:
         with self._tenant_lock:
@@ -588,7 +676,12 @@ class ServeApp:
         exposition even with observability disabled — ``fisql_serve_up``
         is always present, so scrapers never choke on a prose fallback."""
         snapshot = obs.snapshot() if obs.is_enabled() else None
-        return render_prometheus(snapshot, self._telemetry.snapshot())
+        backends = (
+            self._pool.health_snapshot() if self._pool is not None else None
+        )
+        return render_prometheus(
+            snapshot, self._telemetry.snapshot(), backends=backends
+        )
 
     def _create_session(self, raw_body: bytes) -> Tuple[int, str, bytes]:
         request = CreateSessionRequest.from_payload(json_decode(raw_body))

@@ -246,3 +246,124 @@ class TestCircuitBreaker:
         for _ in range(3):
             model.complete(make_prompt())
         assert breaker.state == BREAKER_CLOSED
+
+
+class TestTimeUntilProbe:
+    def test_none_while_closed(self):
+        breaker = CircuitBreaker()
+        assert breaker.time_until_probe() is None
+
+    def test_counts_down_while_open(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_after_ms=1000, clock=clock.now
+        )
+        breaker.record_failure()
+        remaining = breaker.time_until_probe()
+        assert remaining == pytest.approx(1000.0)
+        clock.sleep(0.4)
+        assert breaker.time_until_probe() == pytest.approx(600.0)
+        clock.sleep(1.0)
+        assert breaker.time_until_probe() == 0.0
+
+    def test_zero_while_half_open(self):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_after_ms=100, clock=clock.now
+        )
+        breaker.record_failure()
+        clock.sleep(0.2)
+        assert breaker.allow()
+        assert breaker.state == BREAKER_HALF_OPEN
+        assert breaker.time_until_probe() == 0.0
+
+
+class TestBreakerTransitionEvents:
+    def test_transition_events_carry_name_and_labels(self, tmp_path):
+        import json
+
+        from repro.obs import StructuredLog
+
+        obs.enable()
+        log = StructuredLog(tmp_path / "events")
+        obs.set_event_log(log)
+        try:
+            clock = VirtualClock()
+            breaker = CircuitBreaker(
+                failure_threshold=1,
+                reset_after_ms=100,
+                clock=clock.now,
+                name="primary",
+                labels={"backend": "primary"},
+            )
+            breaker.record_failure()
+            clock.sleep(0.2)
+            breaker.allow()
+            breaker.record_success()
+        finally:
+            obs.set_event_log(None)
+        events = []
+        for path in log.files():
+            for line in path.read_text().splitlines():
+                if line:
+                    events.append(json.loads(line))
+        transitions = [
+            event for event in events
+            if event["event"] == "breaker.transition"
+        ]
+        states = [(e["from_state"], e["to_state"]) for e in transitions]
+        assert states == [
+            (BREAKER_CLOSED, BREAKER_OPEN),
+            (BREAKER_OPEN, BREAKER_HALF_OPEN),
+            (BREAKER_HALF_OPEN, BREAKER_CLOSED),
+        ]
+        assert all(e["breaker"] == "primary" for e in transitions)
+        assert all(e["backend"] == "primary" for e in transitions)
+
+
+class TestRetryAfterOverride:
+    def test_retry_after_overrides_computed_backoff(self):
+        clock = VirtualClock()
+        inner = ScriptedLLM(
+            [TransientLLMError("429", retry_after_ms=750.0), SQL]
+        )
+        model = resilient(
+            inner,
+            retry=RetryPolicy(max_retries=2, base_backoff_ms=100.0),
+            clock=clock,
+        )
+        obs.enable()
+        model.complete(make_prompt())
+        histogram = obs.get_metrics().histogram_values("llm.retry_backoff_ms")
+        assert histogram == [750.0]
+
+    def test_retry_after_bounded_by_deadline_budget(self):
+        clock = VirtualClock(tick=0.001)
+        inner = ScriptedLLM(
+            [TransientLLMError("429", retry_after_ms=60_000.0), SQL]
+        )
+        model = resilient(
+            inner,
+            retry=RetryPolicy(max_retries=2, deadline_ms=500.0),
+            clock=clock,
+        )
+        obs.enable()
+        model.complete(make_prompt())
+        waited = obs.get_metrics().histogram_values("llm.retry_backoff_ms")
+        assert len(waited) == 1
+        assert waited[0] <= 500.0
+
+    def test_absent_retry_after_uses_schedule(self):
+        clock = VirtualClock()
+        inner = ScriptedLLM([TransientLLMError, SQL])
+        model = resilient(
+            inner,
+            retry=RetryPolicy(
+                max_retries=2, base_backoff_ms=100.0, jitter=0.0
+            ),
+            clock=clock,
+        )
+        obs.enable()
+        model.complete(make_prompt())
+        histogram = obs.get_metrics().histogram_values("llm.retry_backoff_ms")
+        assert histogram == [100.0]
