@@ -7,7 +7,8 @@ Subcommands::
     fisql-repro run all --journal /tmp/j --resume   # crash-safe resume
     fisql-repro serve --port 8080 --scale small     # session server
     fisql-repro top --port 8080 --interval 2        # live /statusz dashboard
-    fisql-repro cache stats --cache-dir /tmp/cache  # completion cache ops
+    fisql-repro cache stats --cache-dir /tmp/cache  # cache store ops
+    fisql-repro semcache replay --semantic-cache-dir /tmp/sc  # replay log
     fisql-repro trace-summary /tmp/t.jsonl          # re-render a trace
 
 Back-compat: the bare artifact form still works — ``fisql-repro figure2
@@ -73,7 +74,7 @@ _ARTIFACTS = {
     "table3": (run_table3, render_table3),
 }
 
-_SUBCOMMANDS = ("run", "serve", "top", "cache", "trace-summary")
+_SUBCOMMANDS = ("run", "serve", "top", "cache", "semcache", "trace-summary")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -228,6 +229,7 @@ def _build_parser() -> argparse.ArgumentParser:
             "the same scale/seed load instead of regenerating"
         ),
     )
+    _add_semcache_arguments(run)
     run.set_defaults(func=_cmd_run)
 
     serve = subparsers.add_parser(
@@ -408,6 +410,7 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_backend_arguments(serve)
+    _add_semcache_arguments(serve)
     serve.set_defaults(func=_cmd_serve)
 
     top = subparsers.add_parser(
@@ -440,7 +443,8 @@ def _build_parser() -> argparse.ArgumentParser:
     top.set_defaults(func=_cmd_top)
 
     cache = subparsers.add_parser(
-        "cache", help="inspect or clear a persisted completion cache"
+        "cache",
+        help="inspect or clear persisted completion/semantic caches",
     )
     cache.add_argument(
         "action",
@@ -449,11 +453,49 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     cache.add_argument(
         "--cache-dir",
-        required=True,
         metavar="DIR",
         help="directory holding completions.json (as passed to run)",
     )
+    cache.add_argument(
+        "--semantic-cache-dir",
+        metavar="DIR",
+        help="directory holding semcache.json (as passed to run/serve)",
+    )
     cache.set_defaults(func=_cmd_cache)
+
+    semcache = subparsers.add_parser(
+        "semcache",
+        help="replay a recorded question log against the semantic store",
+    )
+    semcache.add_argument(
+        "action",
+        choices=("replay",),
+        help=(
+            "replay = re-classify questions.jsonl read-only and report "
+            "hit/miss/bypass plus would-have-been-wrong divergences"
+        ),
+    )
+    semcache.add_argument(
+        "--semantic-cache-dir",
+        required=True,
+        metavar="DIR",
+        help="directory holding semcache.json and questions.jsonl",
+    )
+    semcache.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="small",
+        help="experiment context whose schemas to replay against",
+    )
+    semcache.add_argument(
+        "--seed", type=int, default=20250325, help="generator seed"
+    )
+    semcache.add_argument(
+        "--suite-dir",
+        metavar="DIR",
+        help="load the benchmark suites from DIR instead of regenerating",
+    )
+    semcache.set_defaults(func=_cmd_semcache)
 
     summary = subparsers.add_parser(
         "trace-summary",
@@ -512,6 +554,58 @@ def _add_backend_arguments(sub: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_semcache_arguments(sub: argparse.ArgumentParser) -> None:
+    """The semantic answer-cache flags, shared by ``run`` and ``serve``."""
+    sub.add_argument(
+        "--semantic-cache",
+        action="store_true",
+        help=(
+            "serve repeated questions from the cross-request semantic "
+            "answer cache (intent signatures + schema fingerprints); "
+            "feedback rounds and schema changes always bypass"
+        ),
+    )
+    sub.add_argument(
+        "--semantic-cache-dir",
+        metavar="DIR",
+        help=(
+            "persist the semantic store under DIR (semcache.json + a "
+            "questions.jsonl replay log; requires --semantic-cache)"
+        ),
+    )
+    sub.add_argument(
+        "--semantic-cache-max",
+        type=int,
+        metavar="N",
+        help=(
+            "cap the semantic store at N entries with LRU eviction "
+            "(requires --semantic-cache; default: 4096)"
+        ),
+    )
+
+
+def _build_semcache(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+):
+    """Validate the semantic-cache flags and build the store (or None)."""
+    if not args.semantic_cache:
+        if args.semantic_cache_dir is not None:
+            parser.error("--semantic-cache-dir requires --semantic-cache")
+        if args.semantic_cache_max is not None:
+            parser.error("--semantic-cache-max requires --semantic-cache")
+        return None
+    if args.semantic_cache_max is not None and args.semantic_cache_max < 1:
+        parser.error(
+            f"--semantic-cache-max must be >= 1: {args.semantic_cache_max}"
+        )
+    from repro.semcache import SemanticAnswerCache
+
+    return SemanticAnswerCache(
+        directory=args.semantic_cache_dir,
+        max_entries=args.semantic_cache_max,
+    )
+
+
 def _validate_backend_arguments(
     args: argparse.Namespace, parser: argparse.ArgumentParser
 ) -> None:
@@ -550,6 +644,7 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
     if args.resume and args.journal is None:
         parser.error("--resume requires --journal")
     _validate_backend_arguments(args, parser)
+    semcache = _build_semcache(args, parser)
     try:
         llm = _build_llm(args)
     except ValueError as error:
@@ -602,6 +697,7 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
             batch_size=args.batch_size,
             journal=journal,
             suite_dir=args.suite_dir,
+            semcache=semcache,
         )
         chart_renderers = {
             "figure2": render_figure2_chart,
@@ -636,6 +732,16 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
                 f"{entries} entries saved to {args.cache_dir}",
                 file=sys.stderr,
             )
+        if semcache is not None:
+            stats = semcache.stats()
+            line = (
+                f"[semcache] {stats['hits']} hits, {stats['misses']} misses, "
+                f"{stats['bypasses']} bypasses; {stats['entries']} entries"
+            )
+            if args.semantic_cache_dir is not None:
+                semcache.save()
+                line += f" saved to {args.semantic_cache_dir}"
+            print(line, file=sys.stderr)
         if journal is not None:
             # Seal the active segment so every record on disk is now
             # checksummed, then report to stderr — stdout (the artifacts)
@@ -829,6 +935,7 @@ def _cmd_serve(
         from repro.llm.dispatch import CompletionCache
 
         cache = CompletionCache(max_entries=args.cache_max)
+    semcache = _build_semcache(args, parser)
     pool = None
     route_map: dict = {}
     if args.backend:
@@ -889,6 +996,7 @@ def _cmd_serve(
         cache=cache,
         journal=journal,
         pool=pool,
+        semcache=semcache,
     )
     if pool is not None:
         # Background readmission probes: an ejected backend re-enters
@@ -904,6 +1012,8 @@ def _cmd_serve(
     finally:
         if pool is not None:
             pool.stop_probing()
+        if semcache is not None and semcache.directory is not None:
+            semcache.save()
         obs.disable()  # also closes the structured event log
         if journal is not None:
             journal.close()
@@ -949,21 +1059,83 @@ def _cmd_top(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
 def _cmd_cache(
     args: argparse.Namespace, parser: argparse.ArgumentParser
 ) -> int:
-    """Inspect or clear the persisted completion cache under --cache-dir."""
-    from repro.llm.dispatch import CACHE_FILENAME, CompletionCache
+    """Inspect or clear the persisted completion and/or semantic caches."""
+    if args.cache_dir is None and args.semantic_cache_dir is None:
+        parser.error(
+            "pass --cache-dir and/or --semantic-cache-dir to pick a store"
+        )
+    if args.cache_dir is not None:
+        from repro.llm.dispatch import CACHE_FILENAME, CompletionCache
 
-    cache = CompletionCache.load(args.cache_dir)
-    path = os.path.join(args.cache_dir, CACHE_FILENAME)
-    if args.action == "stats":
-        stats = cache.stats()
-        size = os.path.getsize(path) if os.path.exists(path) else 0
-        print(f"cache {path}")
-        print(f"  entries: {stats['entries']}")
-        print(f"  bytes:   {size}")
-        return 0
-    dropped = cache.clear()
-    cache.save(args.cache_dir)
-    print(f"cleared {dropped} entries from {path}")
+        cache = CompletionCache.load(args.cache_dir)
+        path = os.path.join(args.cache_dir, CACHE_FILENAME)
+        if args.action == "stats":
+            stats = cache.stats()
+            size = os.path.getsize(path) if os.path.exists(path) else 0
+            print(f"cache {path}")
+            print(f"  entries: {stats['entries']}")
+            print(f"  bytes:   {size}")
+            print(f"  evictions: {stats['evictions']}")
+        else:
+            dropped = cache.clear()
+            cache.save(args.cache_dir)
+            print(f"cleared {dropped} entries from {path}")
+    if args.semantic_cache_dir is not None:
+        from repro.semcache import STORE_FILENAME, SemanticAnswerCache
+
+        store = SemanticAnswerCache(directory=args.semantic_cache_dir)
+        path = os.path.join(args.semantic_cache_dir, STORE_FILENAME)
+        if args.action == "stats":
+            stats = store.stats()
+            size = os.path.getsize(path) if os.path.exists(path) else 0
+            print(f"semcache {path}")
+            print(f"  entries:       {stats['entries']}")
+            print(f"  bytes:         {size}")
+            print(f"  hits:          {stats['hits']}")
+            print(f"  misses:        {stats['misses']}")
+            print(f"  bypasses:      {stats['bypasses']}")
+            print(f"  invalidations: {stats['invalidations']}")
+            print(f"  evictions:     {stats['evictions']}")
+            print(f"  fingerprints:  {stats['fingerprints']}")
+        else:
+            dropped = store.clear()
+            store.save()
+            print(f"cleared {dropped} entries from {path}")
+    return 0
+
+
+# -- semcache ----------------------------------------------------------------------
+
+
+def _cmd_semcache(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """Replay the recorded question log against the persisted store."""
+    from repro.semcache import (
+        SemanticAnswerCache,
+        read_question_log,
+        render_replay_report,
+        replay,
+    )
+
+    records = read_question_log(args.semantic_cache_dir)
+    if not records:
+        parser.error(
+            f"no question log found under {args.semantic_cache_dir!r} "
+            "(run or serve with --semantic-cache --semantic-cache-dir first)"
+        )
+    store = SemanticAnswerCache(directory=args.semantic_cache_dir)
+    context = build_context(
+        scale=args.scale, seed=args.seed, suite_dir=args.suite_dir
+    )
+    schemas = {
+        db_id: database.schema
+        for db_id, database in context.spider.benchmark.databases.items()
+    }
+    for db_id, database in context.aep_benchmark.databases.items():
+        schemas.setdefault(db_id, database.schema)
+    report = replay(store, schemas, records)
+    print(render_replay_report(report))
     return 0
 
 

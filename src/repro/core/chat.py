@@ -17,7 +17,7 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.assistant import Assistant, AssistantResponse
 from repro.core.explain import explanation_text
@@ -31,6 +31,9 @@ from repro.sql import ast
 from repro.sql.engine import Database
 from repro.sql.executor import QueryResult
 from repro.sql.parser import parse_query
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.semcache.store import SemanticAnswerCache
 
 
 @dataclass
@@ -53,11 +56,15 @@ class ChatSession:
         llm: Optional[ChatModel] = None,
         routing: bool = True,
         demo_store: Optional[FeedbackDemoStore] = None,
+        semcache: "Optional[SemanticAnswerCache]" = None,
+        tenant: str = "default",
     ) -> None:
         self._database = database
         self._model = model
         self._llm = llm or model.llm
         self._routing = routing
+        self._semcache = semcache
+        self._tenant = tenant
         self._demo_store = demo_store or FeedbackDemoStore.default()
         self._router = FeedbackRouter(self._llm)
         self._assistant = Assistant(model)
@@ -77,11 +84,46 @@ class ChatSession:
     # -- interaction ------------------------------------------------------------
 
     def ask(self, question: str) -> AssistantResponse:
-        """Ask a fresh question (starts a new correction context)."""
+        """Ask a fresh question (starts a new correction context).
+
+        With a semantic cache attached, a hit rebuilds the four-part
+        response from the stored SQL locally — no model, no LLM, no
+        backends. Misses run the normal pipeline and offer clean (error-
+        free) answers back to the store; bypassed rounds never touch it.
+        """
         self._turns.append(ChatTurn(role="user", text=question))
+        lookup = None
+        if self._semcache is not None:
+            lookup = self._semcache.lookup(
+                self._tenant, self._database.schema, question
+            )
+            if lookup.outcome == "hit":
+                self._question = question
+                response = self._respond_with(
+                    lookup.sql or "", list(lookup.notes)
+                )
+                self._sql = response.sql
+                self._semcache.log_round(
+                    lookup, kind="ask", served_sql=lookup.sql
+                )
+                self._turns.append(
+                    ChatTurn(
+                        role="assistant",
+                        text=response.render(),
+                        sql=response.sql,
+                    )
+                )
+                return response
         response = self._assistant.answer(question, self._database)
         self._question = question
         self._sql = response.sql
+        if lookup is not None and self._semcache is not None:
+            served = response.sql if response.error is None else None
+            if lookup.outcome == "miss" and served:
+                self._semcache.store(
+                    lookup, served, list(response.prediction.notes)
+                )
+            self._semcache.log_round(lookup, kind="ask", served_sql=served)
         self._turns.append(
             ChatTurn(role="assistant", text=response.render(), sql=response.sql)
         )
@@ -101,6 +143,13 @@ class ChatSession:
         self._turns.append(
             ChatTurn(role="user", text=text, highlight=highlight)
         )
+        if self._semcache is not None:
+            # Correction rounds are defined by *changing* the SQL: the
+            # semantic cache must neither serve nor learn from them.
+            lookup = self._semcache.record_feedback_bypass(
+                self._tenant, self._database.schema, self._question
+            )
+            self._semcache.log_round(lookup, kind="feedback")
 
         feedback_type: Optional[str] = None
         if self._routing:

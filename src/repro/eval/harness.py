@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro import obs
 from repro.core.nl2sql import Nl2SqlModel
@@ -33,6 +33,9 @@ from repro.llm.interface import ChatModel
 from repro.llm.simulated import SimulatedLLM
 from repro.sql import ast
 from repro.sql.parser import parse_query
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.semcache.store import SemanticAnswerCache
 
 #: Scales: full reproduces the paper's sizes; small keeps tests fast.
 SCALES = {
@@ -66,28 +69,43 @@ class ExperimentContext:
     batch_size: int = 1
     #: Write-ahead journal for resumable sweeps (None = not journaling).
     journal: Optional[RunJournal] = None
+    #: Semantic answer cache wrapped over every model the context builds
+    #: (None = off; the default, which keeps artifacts byte-identical).
+    semcache: Optional["SemanticAnswerCache"] = None
     _spider_retriever: Optional[DemonstrationRetriever] = None
     _aep_retriever: Optional[DemonstrationRetriever] = None
     _assistant_reports: dict = field(default_factory=dict)
 
     # -- models -----------------------------------------------------------------
 
-    def zero_shot_model(self) -> Nl2SqlModel:
-        """The Figure 1 setup: schema only, no demonstrations."""
-        return Nl2SqlModel(llm=self.llm, retriever=None)
+    def _wrap(self, model: Nl2SqlModel):
+        """Put the semantic answer cache (when enabled) above the model."""
+        if self.semcache is None:
+            return model
+        from repro.semcache.model import SemanticCachingNl2SqlModel
 
-    def spider_assistant_model(self) -> Nl2SqlModel:
+        return SemanticCachingNl2SqlModel(model, self.semcache, tenant="run")
+
+    def zero_shot_model(self):
+        """The Figure 1 setup: schema only, no demonstrations."""
+        return self._wrap(Nl2SqlModel(llm=self.llm, retriever=None))
+
+    def spider_assistant_model(self):
         """The Assistant's RAG pipeline over the SPIDER train pool."""
         if self._spider_retriever is None:
             demos = demonstrations_from_examples(self.spider.train_examples)
             self._spider_retriever = DemonstrationRetriever(demos, top_k=4)
-        return Nl2SqlModel(llm=self.llm, retriever=self._spider_retriever)
+        return self._wrap(
+            Nl2SqlModel(llm=self.llm, retriever=self._spider_retriever)
+        )
 
-    def aep_assistant_model(self) -> Nl2SqlModel:
+    def aep_assistant_model(self):
         """The Assistant's RAG pipeline over the in-house AEP demos."""
         if self._aep_retriever is None:
             self._aep_retriever = DemonstrationRetriever(self.aep_demos, top_k=4)
-        return Nl2SqlModel(llm=self.llm, retriever=self._aep_retriever)
+        return self._wrap(
+            Nl2SqlModel(llm=self.llm, retriever=self._aep_retriever)
+        )
 
     # -- journaling -------------------------------------------------------------
 
@@ -232,6 +250,7 @@ def build_context(
     batch_size: int = 1,
     journal: Optional[RunJournal] = None,
     suite_dir: Optional[str] = None,
+    semcache: "Optional[SemanticAnswerCache]" = None,
 ) -> ExperimentContext:
     """Build (or fetch the cached) experiment context.
 
@@ -241,7 +260,9 @@ def build_context(
     must not leak into later fault-free runs. ``workers``/``batch_size``
     configure evaluation parallelism; non-default values likewise get a
     fresh (uncached) context so the pristine sequential one stays pristine,
-    and so does a ``journal`` (per-run resume state).
+    and so do a ``journal`` (per-run resume state) and a ``semcache``
+    (cross-request answer store wrapped over every model the context
+    builds).
 
     ``suite_dir`` enables suite persistence: a previously saved
     ``(scale, seed)`` suite loads instead of regenerating (suites are pure
@@ -255,7 +276,11 @@ def build_context(
         valid = ", ".join(sorted(SCALES))
         raise ValueError(f"unknown scale {scale!r}; valid scales: {valid}")
     pristine = (
-        llm is None and workers == 1 and batch_size == 1 and journal is None
+        llm is None
+        and workers == 1
+        and batch_size == 1
+        and journal is None
+        and semcache is None
     )
     key = (scale, seed)
     if key in _CONTEXT_CACHE:
@@ -288,6 +313,7 @@ def build_context(
             workers=workers,
             batch_size=batch_size,
             journal=journal,
+            semcache=semcache,
         )
     params = SCALES[scale]
     with obs.span("harness.build_context", scale=scale, seed=seed):
@@ -330,6 +356,7 @@ def build_context(
         context.workers = workers
         context.batch_size = batch_size
         context.journal = journal
+        context.semcache = semcache
     if pristine:
         _CONTEXT_CACHE[key] = context
     return context

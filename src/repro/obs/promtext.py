@@ -259,6 +259,9 @@ def _telemetry_families(telemetry: dict, family) -> None:
         ("shed", "Windowed shed (429/503) count."),
         ("cache_hit", "Windowed completion-cache hits."),
         ("cache_miss", "Windowed completion-cache misses."),
+        ("semcache_hit", "Windowed semantic-cache hits."),
+        ("semcache_miss", "Windowed semantic-cache misses."),
+        ("semcache_bypass", "Windowed semantic-cache bypasses."),
     ):
         table = telemetry.get("counters", {}).get(name)
         if not table:

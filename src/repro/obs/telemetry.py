@@ -357,6 +357,11 @@ class TelemetryHub:
     def record_cache(self, hit: bool) -> None:
         self._counter("cache_hit" if hit else "cache_miss").incr()
 
+    def record_semcache(self, outcome: str) -> None:
+        """One semantic-cache classification: ``hit``/``miss``/``bypass``."""
+        if outcome in ("hit", "miss", "bypass"):
+            self._counter(f"semcache_{outcome}").incr()
+
     def record_backend(
         self, name: str, outcome: str, duration_ms: float
     ) -> None:
@@ -472,6 +477,10 @@ class TelemetryHub:
         requests = view["counters"].get("requests")
         hits = view["counters"].get("cache_hit")
         misses = view["counters"].get("cache_miss")
+        sem_hits = view["counters"].get("semcache_hit")
+        sem_misses = view["counters"].get("semcache_miss")
+        sem_bypasses = view["counters"].get("semcache_bypass")
+        semcache_seen = bool(sem_hits or sem_misses or sem_bypasses)
         rates: dict = {}
         for label in WINDOWS:
             total = requests[label]["total"] if requests else 0.0
@@ -492,5 +501,19 @@ class TelemetryHub:
                     6,
                 ),
             }
+            if semcache_seen:
+                # Only semantic-cache-enabled apps grow the rates shape
+                # (same contract as the backends section above).
+                sem_h = sem_hits[label]["total"] if sem_hits else 0.0
+                sem_m = sem_misses[label]["total"] if sem_misses else 0.0
+                sem_b = sem_bypasses[label]["total"] if sem_bypasses else 0.0
+                answered = sem_h + sem_m
+                rounds = answered + sem_b
+                rates[label]["semcache_hit_rate"] = round(
+                    (sem_h / answered) if answered else 0.0, 6
+                )
+                rates[label]["semcache_bypass_rate"] = round(
+                    (sem_b / rounds) if rounds else 0.0, 6
+                )
         view["rates"] = rates
         return view

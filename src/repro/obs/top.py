@@ -137,6 +137,30 @@ def _tenant_rows(telemetry: dict) -> list:
     return rows
 
 
+def _cache_rows(telemetry: dict) -> list:
+    """Window rows for the cache panel; empty when no semcache ran."""
+    rates = telemetry.get("rates", {})
+    if not any(
+        "semcache_hit_rate" in (rates.get(window) or {})
+        for window in DISPLAY_WINDOWS
+    ):
+        return []
+    rows = []
+    for window in DISPLAY_WINDOWS:
+        view = rates.get(window)
+        if view is None:
+            continue
+        rows.append(
+            [
+                window,
+                _pct(view.get("cache_hit_rate")),
+                _pct(view.get("semcache_hit_rate")),
+                _pct(view.get("semcache_bypass_rate")),
+            ]
+        )
+    return rows
+
+
 def render_top(payload: dict) -> str:
     """One ``/statusz`` payload as the dashboard text."""
     parts = _header_lines(payload)
@@ -185,6 +209,27 @@ def render_top(payload: dict) -> str:
         )
     else:
         parts.append("(no tenant traffic recorded yet)")
+
+    cache_rows = _cache_rows(telemetry)
+    if cache_rows:
+        # Rendered only for semantic-cache-enabled servers, so plain
+        # deployments keep today's frame byte-for-byte.
+        parts.append("")
+        parts.append("Caches")
+        parts.append(
+            _table(
+                ["win", "completion", "semantic", "bypass"],
+                cache_rows,
+            )
+        )
+        semcache = payload.get("semcache")
+        if isinstance(semcache, dict):
+            parts.append(
+                f"semcache entries: {semcache.get('entries', 0)}"
+                f"/{semcache.get('max_entries', '-')}"
+                f" | invalidations: {semcache.get('invalidations', 0)}"
+                f" | evictions: {semcache.get('evictions', 0)}"
+            )
 
     breakers = payload.get("breakers", {})
     open_breakers = {

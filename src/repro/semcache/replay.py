@@ -1,0 +1,138 @@
+"""Replay a recorded question log against the semantic store.
+
+``fisql-repro semcache replay`` answers the operator question "if I
+shipped this store, what would it have served?": every recorded round is
+re-classified with :meth:`SemanticAnswerCache.peek` (zero mutation — no
+counters move, no LRU touches, no invalidations), and hits are compared
+against the SQL the live system actually served at record time. A
+mismatch is a **divergence**: the cache would have answered differently
+than the real model did — would-have-been-wrong answers surface *before*
+they reach users, not after.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.semcache.store import LOG_FILENAME, SemanticAnswerCache
+from repro.sql.schema import DatabaseSchema
+
+
+def read_question_log(
+    directory: Union[str, Path]
+) -> list[dict[str, object]]:
+    """Parse ``questions.jsonl``; malformed lines are skipped, not fatal."""
+    path = Path(directory) / LOG_FILENAME
+    records: list[dict[str, object]] = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return records
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def replay(
+    cache: SemanticAnswerCache,
+    schemas: dict[str, DatabaseSchema],
+    records: list[dict[str, object]],
+) -> dict[str, object]:
+    """Re-run recorded rounds read-only; report breakdown + divergences."""
+    report: dict[str, object] = {
+        "rounds": 0,
+        "hits": 0,
+        "misses": 0,
+        "bypasses": 0,
+        "feedback_rounds": 0,
+        "unknown_databases": 0,
+        "divergences": [],
+    }
+    divergences: list[dict[str, object]] = report["divergences"]  # type: ignore[assignment]
+    for record in records:
+        question = record.get("question")
+        db = record.get("db")
+        tenant = record.get("tenant")
+        if not isinstance(question, str) or not isinstance(db, str):
+            continue
+        report["rounds"] = int(report["rounds"]) + 1
+        if record.get("kind") == "feedback":
+            # The guardrail is unconditional: feedback rounds bypass.
+            report["feedback_rounds"] = int(report["feedback_rounds"]) + 1
+            report["bypasses"] = int(report["bypasses"]) + 1
+            continue
+        schema = schemas.get(db)
+        if schema is None:
+            report["unknown_databases"] = int(report["unknown_databases"]) + 1
+            report["bypasses"] = int(report["bypasses"]) + 1
+            continue
+        lookup = cache.peek(
+            tenant if isinstance(tenant, str) else "replay", schema, question
+        )
+        if lookup.outcome == "hit":
+            report["hits"] = int(report["hits"]) + 1
+            recorded_sql = record.get("sql")
+            if isinstance(recorded_sql, str) and recorded_sql:
+                if lookup.sql != recorded_sql:
+                    divergences.append(
+                        {
+                            "tenant": lookup.tenant,
+                            "db": db,
+                            "question": question,
+                            "recorded_sql": recorded_sql,
+                            "cached_sql": lookup.sql,
+                        }
+                    )
+        elif lookup.outcome == "miss":
+            report["misses"] = int(report["misses"]) + 1
+        else:
+            report["bypasses"] = int(report["bypasses"]) + 1
+    report["divergence_count"] = len(divergences)
+    return report
+
+
+def _rate(part: int, total: int) -> str:
+    if total <= 0:
+        return "n/a"
+    return f"{100.0 * part / total:.1f}%"
+
+
+def render_replay_report(
+    report: dict[str, object], limit: Optional[int] = 10
+) -> str:
+    """Human-readable replay summary for the CLI."""
+    rounds = int(report.get("rounds", 0))
+    hits = int(report.get("hits", 0))
+    misses = int(report.get("misses", 0))
+    bypasses = int(report.get("bypasses", 0))
+    answered = hits + misses
+    lines = [
+        "semcache replay",
+        f"  rounds:        {rounds}",
+        f"  hits:          {hits} ({_rate(hits, answered)} of answerable)",
+        f"  misses:        {misses}",
+        f"  bypasses:      {bypasses}"
+        f" (feedback: {int(report.get('feedback_rounds', 0))},"
+        f" unknown db: {int(report.get('unknown_databases', 0))})",
+    ]
+    divergences = report.get("divergences")
+    divergences = divergences if isinstance(divergences, list) else []
+    lines.append(f"  divergences:   {len(divergences)}")
+    shown = divergences if limit is None else divergences[:limit]
+    for item in shown:
+        lines.append(f"    [{item.get('db')}] {item.get('question')}")
+        lines.append(f"      recorded: {item.get('recorded_sql')}")
+        lines.append(f"      cached:   {item.get('cached_sql')}")
+    if limit is not None and len(divergences) > limit:
+        lines.append(f"    ... and {len(divergences) - limit} more")
+    return "\n".join(lines)

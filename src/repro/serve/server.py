@@ -93,6 +93,7 @@ from repro.serve.protocol import (
     normalize_request_id,
     turn_view,
 )
+from repro.semcache.store import SemanticAnswerCache
 from repro.serve.sessions import (
     SessionLimitError,
     SessionManager,
@@ -183,6 +184,7 @@ class ServeApp:
         request_id_factory: Optional[Callable[[], str]] = None,
         pool: Optional[BackendPool] = None,
         tenant_policies: Optional[dict[str, TenantPolicy]] = None,
+        semcache: Optional[SemanticAnswerCache] = None,
     ) -> None:
         if not catalog:
             raise ValueError("catalog must host at least one database")
@@ -209,6 +211,11 @@ class ServeApp:
             self._base_llm = CachingChatModel(
                 self._base_llm, cache, on_lookup=self._telemetry.record_cache
             )
+        self._semcache = semcache
+        if semcache is not None:
+            # Semantic hit/miss/bypass feed for the windowed telemetry
+            # (the cache panel in `top`, semcache rates on /statusz).
+            semcache.set_outcome_hook(self._telemetry.record_semcache)
         self._journal = journal
         self._request_id_factory = request_id_factory or obs.new_request_id
         self._tenant_llms: dict[str, ChatModel] = {}
@@ -272,6 +279,11 @@ class ServeApp:
     def pool(self) -> Optional[BackendPool]:
         """The shared backend pool (None for single-model serving)."""
         return self._pool
+
+    @property
+    def semcache(self) -> Optional[SemanticAnswerCache]:
+        """The shared semantic answer store (None when not enabled)."""
+        return self._semcache
 
     # -- tenant isolation -----------------------------------------------------------
 
@@ -655,6 +667,8 @@ class ServeApp:
         }
         if self._pool is not None:
             payload["backends"] = self._pool.health_snapshot()
+        if self._semcache is not None:
+            payload["semcache"] = self._semcache.statusz_view()
         return payload
 
     def _breaker_states(self) -> dict[str, str]:
@@ -698,7 +712,12 @@ class ServeApp:
         def chat_factory() -> ChatSession:
             model = Nl2SqlModel(llm=llm, retriever=entry.retriever)
             return ChatSession(
-                entry.database, model, llm=llm, routing=request.routing
+                entry.database,
+                model,
+                llm=llm,
+                routing=request.routing,
+                semcache=self._semcache,
+                tenant=request.tenant,
             )
 
         record = self._manager.create(

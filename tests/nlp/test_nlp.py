@@ -83,6 +83,61 @@ class TestStem:
         assert stem_tokens(["Singers", "created"]) == ["singer", "create"]
 
 
+class TestNormalizationEdgeCases:
+    """Inputs the semantic cache leans on: unicode, empties, numerics."""
+
+    def test_non_ascii_text_yields_no_tokens(self):
+        # Fully non-ASCII questions tokenize to nothing — the semcache
+        # treats them as unsignable rather than colliding them.
+        assert tokenize("你好吗") == []
+        assert tokenize("？！。") == []
+
+    def test_accented_words_split_deterministically(self):
+        # The word regex is ASCII-only; accented characters split words
+        # into their ASCII runs, the same way on every call.
+        assert tokenize("créé café naïve") == ["cr", "caf", "na", "ve"]
+        assert tokenize("créé café naïve") == tokenize("créé café naïve")
+
+    def test_normalize_preserves_unicode_but_lowers_it(self):
+        assert normalize("  Ünïcode   TEXT ") == "ünïcode text"
+
+    def test_empty_and_whitespace_inputs(self):
+        for text in ("", "   ", "\t\n"):
+            assert tokenize(text) == []
+            assert content_tokens(text) == []
+            assert numbers_in(text) == []
+        assert normalize("") == ""
+        assert stem("") == ""
+
+    def test_numeric_literal_vs_limit_keyword(self):
+        # "top" is a ranking keyword, not a stopword: both it and the
+        # digit survive tokenization for downstream limit extraction.
+        assert content_tokens("top 5 audiences") == ["top", "5", "audiences"]
+        # Spelled-out numbers are words here — digit mapping is the
+        # signature layer's job, not the tokenizer's.
+        assert numbers_in("top five audiences") == []
+        assert numbers_in("top 5 audiences") == [5.0]
+
+    @pytest.mark.parametrize(
+        "pair",
+        [
+            ("audiences", "audience"),
+            ("created", "creates"),
+            ("segments", "segment"),
+            ("companies", "company"),
+        ],
+    )
+    def test_stemming_is_stable_across_paraphrase_pairs(self, pair):
+        left, right = pair
+        assert stem(left) == stem(right)
+
+    @pytest.mark.parametrize(
+        "word", ["audiences", "created", "companies", "status", "flight"]
+    )
+    def test_stemming_is_idempotent(self, word):
+        assert stem(stem(word)) == stem(word)
+
+
 class TestSimilarity:
     def test_levenshtein_basics(self):
         assert levenshtein("", "") == 0

@@ -116,6 +116,81 @@ class TestGoldenFrame:
         assert render_top(PAYLOAD) == render_top(PAYLOAD)
 
 
+def _semcache_payload():
+    payload = {
+        "ready": True,
+        "sessions": {"resident": 1, "max_sessions": 64, "created": 1},
+        "gate": {"inflight": 0, "max_inflight": 8, "utilization": 0.0},
+        "batch_queue_depth": 0,
+        "semcache": {
+            "entries": 2,
+            "max_entries": 4096,
+            "invalidations": 1,
+            "evictions": 0,
+        },
+        "telemetry": {
+            "rates": {
+                "1m": {
+                    "error_rate": 0.0,
+                    "shed_rate": 0.0,
+                    "cache_hit_rate": 0.25,
+                    "semcache_hit_rate": 0.5,
+                    "semcache_bypass_rate": 0.2,
+                },
+                "5m": {
+                    "error_rate": 0.0,
+                    "shed_rate": 0.0,
+                    "cache_hit_rate": 0.25,
+                    "semcache_hit_rate": 0.5,
+                    "semcache_bypass_rate": 0.2,
+                },
+            },
+        },
+    }
+    return payload
+
+
+SEMCACHE_GOLDEN = "\n".join(
+    [
+        "fisql-serve top — ready | sessions 1/64 (created 1) | "
+        "inflight 0/8 (0.00%) | batch queue 0",
+        "rates     1m: err 0.00% shed 0.00% cache 25.00% | "
+        "5m: err 0.00% shed 0.00% cache 25.00%",
+        "",
+        "Routes",
+        "(no traffic recorded yet)",
+        "",
+        "Tenants",
+        "(no tenant traffic recorded yet)",
+        "",
+        "Caches",
+        "win  completion  semantic  bypass",
+        "---------------------------------",
+        "1m   25.00%      50.00%    20.00%",
+        "5m   25.00%      50.00%    20.00%",
+        "semcache entries: 2/4096 | invalidations: 1 | evictions: 0",
+        "",
+    ]
+)
+
+
+class TestCachePanel:
+    def test_semcache_frame_snapshot(self):
+        assert render_top(_semcache_payload()) == SEMCACHE_GOLDEN
+
+    def test_panel_absent_without_semcache_rates(self):
+        # The plain golden frame above is the real guarantee; this pins
+        # the gate directly: no semcache rates, no Caches section.
+        assert "Caches" not in render_top(PAYLOAD)
+
+    def test_panel_renders_without_statusz_section(self):
+        payload = _semcache_payload()
+        del payload["semcache"]
+        frame = render_top(payload)
+        assert "Caches" in frame
+        assert "semcache entries:" not in frame
+
+
 class TestEdgeCases:
     def test_empty_payload_shows_fallbacks(self):
         frame = render_top({})

@@ -1,0 +1,150 @@
+"""The replay harness: read-only re-classification plus divergence report."""
+
+from repro.semcache.replay import (
+    read_question_log,
+    render_replay_report,
+    replay,
+)
+from repro.semcache.store import SemanticAnswerCache
+from repro.sql.schema import Column, DatabaseSchema, Table
+from repro.sql.types import DataType
+
+
+def make_schema(name="shop"):
+    return DatabaseSchema(
+        name,
+        [
+            Table(
+                "items",
+                [
+                    Column("item_id", DataType.INTEGER, primary_key=True),
+                    Column("price", DataType.REAL),
+                ],
+            )
+        ],
+    )
+
+
+def ask(question, sql, db="shop", tenant="t", kind="ask"):
+    return {
+        "tenant": tenant,
+        "db": db,
+        "question": question,
+        "kind": kind,
+        "outcome": "miss",
+        "reason": None,
+        "sql": sql,
+    }
+
+
+class TestReplay:
+    def test_breakdown_and_divergences(self):
+        schema = make_schema()
+        cache = SemanticAnswerCache()
+        cache.store(
+            cache.lookup("t", schema, "how many items"), "SELECT COUNT(*)"
+        )
+        records = [
+            ask("how many items", "SELECT COUNT(*)"),  # agreeing hit
+            ask("show the items", "SELECT 'other'"),  # diverging hit
+            ask("items over 10", "SELECT 1"),  # miss
+            ask("anything", None, kind="feedback"),  # guardrail bypass
+            ask("how many rows", "SELECT 2", db="mystery"),  # unknown db
+        ]
+        report = replay(cache, {"shop": schema}, records)
+
+        assert report["rounds"] == 5
+        assert report["hits"] == 2
+        assert report["misses"] == 1
+        assert report["bypasses"] == 2
+        assert report["feedback_rounds"] == 1
+        assert report["unknown_databases"] == 1
+        assert report["divergence_count"] == 1
+        divergence = report["divergences"][0]
+        assert divergence["question"] == "show the items"
+        assert divergence["recorded_sql"] == "SELECT 'other'"
+        assert divergence["cached_sql"] == "SELECT COUNT(*)"
+
+    def test_replay_never_mutates_the_store(self):
+        schema = make_schema()
+        cache = SemanticAnswerCache()
+        cache.store(
+            cache.lookup("t", schema, "how many items"), "SELECT COUNT(*)"
+        )
+        before = cache.stats()
+        replay(
+            cache,
+            {"shop": schema},
+            [
+                ask("how many items", "SELECT COUNT(*)"),
+                ask("items over 10", "SELECT 1"),
+            ],
+        )
+        assert cache.stats() == before
+
+    def test_malformed_records_are_skipped(self):
+        report = replay(
+            SemanticAnswerCache(),
+            {"shop": make_schema()},
+            [{"db": "shop"}, {"question": 42, "db": "shop"}, {}],
+        )
+        assert report["rounds"] == 0
+
+
+class TestQuestionLog:
+    def test_missing_log_is_empty(self, tmp_path):
+        assert read_question_log(tmp_path) == []
+
+    def test_malformed_lines_are_skipped(self, tmp_path):
+        (tmp_path / "questions.jsonl").write_text(
+            '{"question": "q", "db": "shop"}\n'
+            "not json\n"
+            "[1, 2, 3]\n"
+            "\n"
+            '{"question": "r", "db": "shop"}\n',
+            encoding="utf-8",
+        )
+        records = read_question_log(tmp_path)
+        assert [record["question"] for record in records] == ["q", "r"]
+
+
+class TestRenderReport:
+    def test_render_includes_rates_and_divergences(self):
+        report = {
+            "rounds": 4,
+            "hits": 1,
+            "misses": 1,
+            "bypasses": 2,
+            "feedback_rounds": 1,
+            "unknown_databases": 1,
+            "divergences": [
+                {
+                    "db": "shop",
+                    "question": "count the items",
+                    "recorded_sql": "SELECT 'other'",
+                    "cached_sql": "SELECT COUNT(*)",
+                }
+            ],
+            "divergence_count": 1,
+        }
+        text = render_replay_report(report)
+        assert "rounds:        4" in text
+        assert "hits:          1 (50.0% of answerable)" in text
+        assert "divergences:   1" in text
+        assert "[shop] count the items" in text
+        assert "recorded: SELECT 'other'" in text
+
+    def test_render_truncates_past_the_limit(self):
+        divergences = [
+            {
+                "db": "shop",
+                "question": f"q{i}",
+                "recorded_sql": "a",
+                "cached_sql": "b",
+            }
+            for i in range(5)
+        ]
+        text = render_replay_report(
+            {"rounds": 5, "hits": 5, "divergences": divergences}, limit=2
+        )
+        assert "... and 3 more" in text

@@ -1,0 +1,174 @@
+"""Semantic answer cache wired through ``ServeApp``.
+
+The load-bearing claim: a paraphrased repeat is served without the
+NL2SQL model running at all — ``nl2sql.predictions`` stays flat while
+``semcache.hit`` climbs — and the guardrails (feedback rounds, schema
+fingerprint changes) provably bypass instead of serving stale SQL.
+"""
+
+import itertools
+
+import pytest
+
+from repro import obs
+from repro.core import DemonstrationRetriever
+from repro.datasets import build_aep_database, generate_aep_suite
+from repro.semcache import SemanticAnswerCache
+from repro.serve import CatalogEntry, ServeApp, SessionManager
+from repro.serve.client import ServeClient
+from repro.sql.schema import Column, Table
+from repro.sql.types import DataType
+
+CANONICAL = "How many audiences were created in January?"
+PARAPHRASES = [
+    "Show audiences created in January",
+    "list the audiences created in january",
+    "Find audiences that were created in January",
+]
+
+
+@pytest.fixture
+def semcache():
+    return SemanticAnswerCache()
+
+
+@pytest.fixture
+def app(aep_catalog, sequential_ids, semcache):
+    return ServeApp(
+        aep_catalog,
+        manager=SessionManager(id_factory=sequential_ids),
+        semcache=semcache,
+    )
+
+
+@pytest.fixture
+def client(app):
+    return ServeClient.in_process(app)
+
+
+def _counter_total(name):
+    snapshot = obs.snapshot()
+    return sum(
+        counter["value"]
+        for counter in snapshot.get("counters", [])
+        if counter["name"] == name
+    )
+
+
+class TestParaphraseServing:
+    def test_paraphrases_hit_without_model_calls(
+        self, client, semcache, enabled_obs
+    ):
+        session = client.create_session(db="aep", tenant="team-a")
+        first = client.ask(session["id"], CANONICAL)
+        assert first["answer"]["sql"].startswith("SELECT COUNT(*)")
+        assert _counter_total("nl2sql.predictions") == 1
+
+        for paraphrase in PARAPHRASES[:2]:
+            reply = client.ask(session["id"], paraphrase)
+            assert reply["answer"]["sql"] == first["answer"]["sql"]
+
+        # The proof: repeats never reached the model.
+        assert _counter_total("nl2sql.predictions") == 1
+        assert _counter_total("semcache.hit") == 2
+        assert semcache.stats()["hits"] == 2
+        assert semcache.stats()["misses"] == 1
+
+    def test_cross_tenant_paraphrase_hits(self, client, semcache):
+        a = client.create_session(db="aep", tenant="team-a")
+        b = client.create_session(db="aep", tenant="team-b")
+        first = client.ask(a["id"], CANONICAL)
+        reply = client.ask(b["id"], PARAPHRASES[0])
+        assert reply["answer"]["sql"] == first["answer"]["sql"]
+        view = semcache.statusz_view()
+        assert view["tenants"]["team-a"]["misses"] == 1
+        assert view["tenants"]["team-b"]["hits"] == 1
+
+    def test_disabled_app_has_no_semcache(self, aep_catalog, sequential_ids):
+        app = ServeApp(
+            aep_catalog,
+            manager=SessionManager(id_factory=sequential_ids),
+        )
+        assert app.semcache is None
+        client = ServeClient.in_process(app)
+        assert "semcache" not in client.statusz()
+
+
+class TestGuardrails:
+    def test_feedback_bypasses_and_never_writes(self, client, semcache):
+        session = client.create_session(db="aep", tenant="team-a")
+        client.ask(session["id"], CANONICAL)
+        assert len(semcache) == 1
+
+        corrected = client.feedback(session["id"], "we are in 2024")
+        assert "'2024-01-01'" in corrected["answer"]["sql"]
+        assert semcache.stats()["bypasses"] == 1
+        # The corrected SQL must not overwrite the cached answer.
+        assert len(semcache) == 1
+        fresh = client.create_session(db="aep", tenant="team-a")
+        reply = client.ask(fresh["id"], CANONICAL)
+        assert "'2023-01-01'" in reply["answer"]["sql"]
+        assert semcache.stats()["hits"] == 1
+
+    def test_schema_change_bypasses_and_invalidates(self, sequential_ids):
+        database = build_aep_database()
+        _traffic, demos = generate_aep_suite(n_questions=10)
+        catalog = {"aep": CatalogEntry(database, DemonstrationRetriever(demos))}
+        semcache = SemanticAnswerCache()
+        app = ServeApp(
+            catalog,
+            manager=SessionManager(id_factory=sequential_ids),
+            semcache=semcache,
+        )
+        client = ServeClient.in_process(app)
+        session = client.create_session(db="aep", tenant="team-a")
+        client.ask(session["id"], CANONICAL)
+        assert len(semcache) == 1
+
+        database.schema.add_table(
+            Table(
+                "audit_log",
+                [Column("id", DataType.INTEGER, primary_key=True)],
+            )
+        )
+        reply = client.ask(session["id"], PARAPHRASES[0])
+        assert reply["answer"]["sql"]
+        assert semcache.stats()["invalidations"] == 1
+        assert semcache.stats()["hits"] == 0
+        # The invalidating round bypassed; the next one repopulates.
+        client.ask(session["id"], PARAPHRASES[1])
+        assert len(semcache) == 1
+
+
+class TestOperatorSurfaces:
+    def test_statusz_reports_semcache_section(self, client, semcache):
+        session = client.create_session(db="aep", tenant="team-a")
+        client.ask(session["id"], CANONICAL)
+        client.ask(session["id"], PARAPHRASES[0])
+
+        payload = client.statusz()
+        section = payload["semcache"]
+        assert section["entries"] == 1
+        assert section["hits"] == 1
+        assert section["misses"] == 1
+        assert len(section["fingerprints"]["experience_platform"]) == 12
+        assert section["tenants"]["team-a"]["hits"] == 1
+
+    def test_metrics_exposes_semcache_families(self, client, enabled_obs):
+        session = client.create_session(db="aep", tenant="team-a")
+        client.ask(session["id"], CANONICAL)
+        client.ask(session["id"], PARAPHRASES[0])
+
+        text = client.metrics()
+        assert "fisql_semcache_hit_total" in text
+        assert "fisql_semcache_miss_total" in text
+        assert "fisql_serve_semcache_hit_windowed" in text
+        assert "fisql_nl2sql_predictions_total 1" in text
+
+    def test_telemetry_rates_include_semcache(self, client):
+        session = client.create_session(db="aep", tenant="team-a")
+        client.ask(session["id"], CANONICAL)
+        client.ask(session["id"], PARAPHRASES[0])
+        rates = client.statusz()["telemetry"]["rates"]
+        assert rates["1m"]["semcache_hit_rate"] == 0.5
+        assert rates["1m"]["semcache_bypass_rate"] == 0.0

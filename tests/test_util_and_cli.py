@@ -283,3 +283,120 @@ class TestCliDurabilityFlags:
             cli_main(["serve", "--request-deadline-ms", "0"])
         with pytest.raises(SystemExit):
             cli_main(["serve", "--batch-max-queue", "0"])
+
+
+class TestCliSemcacheFlags:
+    """--semantic-cache wiring: validation, stats, replay, clean stdout."""
+
+    def _run(self, capsys, argv):
+        assert cli_main(argv) == 0
+        captured = capsys.readouterr()
+        return captured.out, captured.err
+
+    def test_flag_validation(self):
+        with pytest.raises(SystemExit):
+            cli_main(
+                ["run", "figure2", "--semantic-cache-dir", "/tmp/x"]
+            )
+        with pytest.raises(SystemExit):
+            cli_main(["run", "figure2", "--semantic-cache-max", "5"])
+        with pytest.raises(SystemExit):
+            cli_main(
+                ["run", "figure2", "--semantic-cache",
+                 "--semantic-cache-max", "0"]
+            )
+        with pytest.raises(SystemExit):
+            cli_main(["serve", "--semantic-cache-dir", "/tmp/x"])
+        with pytest.raises(SystemExit):
+            cli_main(["cache", "stats"])
+
+    def test_flag_off_stays_byte_identical(self, capsys, tmp_path):
+        """The load-bearing guarantee: runs WITHOUT the flag are unchanged
+        by a semantic-cached run in between; runs WITH the flag are
+        deterministic against the same store (paraphrase collisions may
+        legitimately change which answer is served — that is what
+        ``semcache replay`` reports as divergences)."""
+        semcache_dir = str(tmp_path / "semcache")
+        baseline, baseline_err = self._run(
+            capsys, ["run", "figure2", "--scale", "small"]
+        )
+        assert "[semcache]" not in baseline_err
+
+        cached, cached_err = self._run(
+            capsys,
+            [
+                "run", "figure2", "--scale", "small",
+                "--semantic-cache", "--semantic-cache-dir", semcache_dir,
+            ],
+        )
+        assert "[semcache]" in cached_err
+        assert f"saved to {semcache_dir}" in cached_err
+        assert (tmp_path / "semcache" / "semcache.json").exists()
+        assert (tmp_path / "semcache" / "questions.jsonl").exists()
+
+        warm, warm_err = self._run(
+            capsys,
+            [
+                "run", "figure2", "--scale", "small",
+                "--semantic-cache", "--semantic-cache-dir", semcache_dir,
+            ],
+        )
+        assert warm == cached
+        assert "[semcache]" in warm_err
+
+        plain_again, plain_err = self._run(
+            capsys, ["run", "figure2", "--scale", "small"]
+        )
+        assert plain_again == baseline
+        assert "[semcache]" not in plain_err
+
+    def test_cache_subcommand_covers_semantic_store(self, capsys, tmp_path):
+        semcache_dir = str(tmp_path / "semcache")
+        self._run(
+            capsys,
+            [
+                "run", "figure2", "--scale", "small",
+                "--semantic-cache", "--semantic-cache-dir", semcache_dir,
+            ],
+        )
+        stats_out, _ = self._run(
+            capsys, ["cache", "stats", "--semantic-cache-dir", semcache_dir]
+        )
+        assert "semcache" in stats_out
+        assert "entries:       0" not in stats_out
+        assert "bypasses:" in stats_out
+        assert "fingerprints:" in stats_out
+
+        clear_out, _ = self._run(
+            capsys, ["cache", "clear", "--semantic-cache-dir", semcache_dir]
+        )
+        assert "cleared" in clear_out
+        stats_out, _ = self._run(
+            capsys, ["cache", "stats", "--semantic-cache-dir", semcache_dir]
+        )
+        assert "entries:       0" in stats_out
+
+    def test_semcache_replay_subcommand(self, capsys, tmp_path):
+        semcache_dir = str(tmp_path / "semcache")
+        with pytest.raises(SystemExit):
+            cli_main(
+                ["semcache", "replay", "--semantic-cache-dir", semcache_dir]
+            )
+        self._run(
+            capsys,
+            [
+                "run", "figure2", "--scale", "small",
+                "--semantic-cache", "--semantic-cache-dir", semcache_dir,
+            ],
+        )
+        out, _ = self._run(
+            capsys,
+            [
+                "semcache", "replay", "--scale", "small",
+                "--semantic-cache-dir", semcache_dir,
+            ],
+        )
+        assert "semcache replay" in out
+        assert "rounds:" in out
+        assert "rounds:        0" not in out
+        assert "divergences:" in out
