@@ -5,14 +5,24 @@ change the answer is stripped away. "Show the 5 cheapest flights" and
 "list five cheapest flights" must produce the *same* signature; "show the
 5 cheapest flights" and "show the 6 cheapest flights" must not. The
 extraction is deterministic and purely lexical — no model calls — built
-from four exact-match constraint classes layered over the
+from five exact-match constraint classes layered over the
 tokenize → stem → stopword-strip pipeline in :mod:`repro.nlp`:
 
 * **limits** — a number adjacent to a ranking word ("top 5", "5 cheapest")
-  becomes ``limit=5`` rather than a filter literal;
+  becomes ``limit=5`` rather than a filter literal; the ranking word's
+  stem stays in the token set, so "5 cheapest" and "5 largest" — opposite
+  sort intents — key differently;
 * **comparisons** — "more than 30" / "over 30" / "at least 30" normalize
   to operator:value pairs (``gt:30``, ``gt:30``, ``ge:30``) with the
-  phrasing consumed, so paraphrases of the same threshold collide;
+  phrasing consumed, so paraphrases of the same threshold collide. Each
+  pair is anchored to the nearest preceding content word (as a schema
+  label when it resolves, its stem otherwise): "price over 300 and
+  duration under 120" and "price under 120 and duration over 300"
+  constrain different columns and must not share a key;
+* **aggregates** — aggregation cues ("how many", "count", "number of",
+  "total", "average") decide the *shape* of the answer — COUNT(*) versus
+  a row listing — so they form their own dimension instead of washing
+  out as stopwords;
 * **entities** — quoted literals ("'Holiday Promo'") are preserved
   verbatim: they name data values, and stemming them would conflate
   distinct rows;
@@ -109,6 +119,23 @@ _COMPARISON_PHRASES: tuple[tuple[tuple[str, ...], str], ...] = (
     (("below",), "lt"),
 )
 
+#: Aggregation cues, longest first. These decide the answer's shape
+#: (COUNT vs listing vs SUM), so they are a signature dimension rather
+#: than stopwords.
+_AGGREGATE_PHRASES: tuple[tuple[tuple[str, ...], str], ...] = (
+    (("how", "many"), "count"),
+    (("how", "much"), "sum"),
+    (("total", "number"), "count"),
+    (("number", "of"), "count"),
+    (("count",), "count"),
+    (("total",), "sum"),
+    (("sum",), "sum"),
+    (("average",), "avg"),
+    (("mean",), "avg"),
+    (("minimum",), "min"),
+    (("maximum",), "max"),
+)
+
 #: Longest schema phrase (in stemmed words) the mention matcher considers.
 _MAX_MENTION_WORDS = 4
 
@@ -127,6 +154,7 @@ class IntentSignature:
     limit: Optional[int]
     comparisons: tuple[str, ...]
     literals: tuple[str, ...]
+    aggregates: tuple[str, ...]
 
     @property
     def is_empty(self) -> bool:
@@ -143,6 +171,7 @@ class IntentSignature:
                 "limit": self.limit,
                 "comparisons": list(self.comparisons),
                 "literals": list(self.literals),
+                "aggregates": list(self.aggregates),
             }
         )
 
@@ -217,10 +246,34 @@ def schema_lexicon(schema: DatabaseSchema) -> dict[str, str]:
 # Constraint extraction
 
 
+def _comparison_anchor(
+    tokens: list[str],
+    consumed: set[int],
+    index: int,
+    lexicon: dict[str, str],
+) -> Optional[str]:
+    """The nearest preceding content word, as a schema label or a stem.
+
+    Without an anchor, "price over 300 and duration under 120" and its
+    columns-swapped opposite reduce to the same floating {gt:300, lt:120}
+    set — and the cache would serve thresholds bound to the wrong columns.
+    """
+    for pos in range(index - 1, -1, -1):
+        if pos in consumed:
+            continue
+        token = tokens[pos]
+        if token in STOPWORDS or _is_number(token):
+            continue
+        stemmed = stem(token)
+        return lexicon.get(stemmed, stemmed)
+    return None
+
+
 def _extract_comparisons(
-    tokens: list[str], consumed: set[int]
+    tokens: list[str], consumed: set[int], lexicon: dict[str, str]
 ) -> list[str]:
-    """Find comparison phrases, consume them + their number, emit op:value."""
+    """Find comparison phrases, consume them + their number, emit
+    ``anchor:op:value`` (or bare ``op:value`` when nothing precedes)."""
     comparisons = []
     index = 0
     while index < len(tokens):
@@ -246,7 +299,11 @@ def _extract_comparisons(
             )
             if number_pos is None:
                 continue
-            comparisons.append(f"{op}:{tokens[number_pos]}")
+            anchor = _comparison_anchor(tokens, consumed, index, lexicon)
+            constraint = f"{op}:{tokens[number_pos]}"
+            if anchor is not None:
+                constraint = f"{anchor}:{constraint}"
+            comparisons.append(constraint)
             consumed.update(range(index, end))
             consumed.add(number_pos)
             index = end
@@ -260,7 +317,12 @@ def _extract_comparisons(
 def _extract_limit(
     tokens: list[str], consumed: set[int]
 ) -> Optional[int]:
-    """A number adjacent to a ranking word is a result limit."""
+    """A number adjacent to a ranking word is a result limit.
+
+    Only the number is consumed: the ranking word's stem must survive
+    into the token set, or "5 cheapest" and "5 largest" — opposite sort
+    directions — would collide onto one cache key.
+    """
     for index, token in enumerate(tokens):
         if index in consumed or not _is_number(token) or "." in token:
             continue
@@ -269,16 +331,44 @@ def _extract_limit(
                 continue
             if tokens[neighbor] in LIMIT_WORDS:
                 consumed.add(index)
-                consumed.add(neighbor)
                 return int(token)
     return None
+
+
+def _extract_aggregates(
+    tokens: list[str], consumed: set[int]
+) -> list[str]:
+    """Find aggregation cues, consume them, emit canonical tags."""
+    aggregates: set[str] = set()
+    index = 0
+    while index < len(tokens):
+        if index in consumed:
+            index += 1
+            continue
+        matched = False
+        for phrase, tag in _AGGREGATE_PHRASES:
+            end = index + len(phrase)
+            if end > len(tokens):
+                continue
+            if any(pos in consumed for pos in range(index, end)):
+                continue
+            if tuple(tokens[index:end]) != phrase:
+                continue
+            aggregates.add(tag)
+            consumed.update(range(index, end))
+            index = end
+            matched = True
+            break
+        if not matched:
+            index += 1
+    return sorted(aggregates)
 
 
 def build_signature(question: str, schema: DatabaseSchema) -> IntentSignature:
     """Extract the canonical :class:`IntentSignature` of a question."""
     raw = tokenize(question)
     entities = tuple(sorted(quoted_strings(question)))
-    entity_tokens = {token.lower() for entity in entities for token in [entity]}
+    entity_tokens = {entity.lower() for entity in entities}
 
     tokens = [NUMBER_WORDS.get(token, token) for token in raw]
     consumed: set[int] = {
@@ -287,8 +377,10 @@ def build_signature(question: str, schema: DatabaseSchema) -> IntentSignature:
         if token.lower() in entity_tokens
     }
 
-    comparisons = _extract_comparisons(tokens, consumed)
+    lexicon = schema_lexicon(schema)
+    comparisons = _extract_comparisons(tokens, consumed, lexicon)
     limit = _extract_limit(tokens, consumed)
+    aggregates = _extract_aggregates(tokens, consumed)
     literals = sorted(
         {
             token
@@ -308,7 +400,6 @@ def build_signature(question: str, schema: DatabaseSchema) -> IntentSignature:
         if index not in consumed and token not in STOPWORDS
     ]
 
-    lexicon = schema_lexicon(schema)
     stems = [item[1] for item in content]
     mentioned: set[str] = set()
     claimed: set[int] = set()
@@ -339,4 +430,5 @@ def build_signature(question: str, schema: DatabaseSchema) -> IntentSignature:
         limit=limit,
         comparisons=tuple(comparisons),
         literals=tuple(literals),
+        aggregates=tuple(aggregates),
     )

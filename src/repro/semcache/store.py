@@ -17,11 +17,16 @@ classification *is* the guardrail logic:
 
 Keys are ``{schema_fingerprint}:{signature_key}`` — tenant-*agnostic* by
 design: two tenants hosting byte-identical schemas share answers (the
-fingerprint proves the schemas agree), while per-tenant fingerprint
-tracking still forces each tenant through one bypass when *its* view of a
-schema changes. Persistence reuses the durability tier's checksummed
-atomic writer, so a torn or hand-edited store file quarantines and the
-cache restarts cold instead of serving garbage.
+fingerprint proves the schemas agree). The fingerprint registry itself is
+per ``(tenant, db)``: multiple live fingerprints may coexist under one
+database name, so two tenants hosting *different* schemas under the same
+name each keep hitting their own entries instead of invalidating each
+other on every alternating lookup. A fingerprint's entries are dropped
+only once no tenant references it anymore, and the tenant that observed
+the change takes exactly one bypass round. Persistence reuses the
+durability tier's checksummed atomic writer, so a torn or hand-edited
+store file quarantines and the cache restarts cold instead of serving
+garbage.
 """
 
 from __future__ import annotations
@@ -46,7 +51,7 @@ STORE_FILENAME = "semcache.json"
 #: Append-only question log consumed by ``fisql-repro semcache replay``.
 LOG_FILENAME = "questions.jsonl"
 #: Bumped when the store payload layout changes; old versions load cold.
-STORE_SCHEMA_VERSION = 1
+STORE_SCHEMA_VERSION = 2
 #: Default entry bound when ``max_entries`` is not given.
 DEFAULT_MAX_ENTRIES = 4096
 
@@ -101,8 +106,11 @@ class SemanticAnswerCache:
             raise ValueError("max_entries must be >= 1")
         self._on_outcome = on_outcome
         self._lock = threading.Lock()
+        # The question log gets its own lock: in serve mode the append
+        # is disk I/O per round, and it must not serialize lookup/store
+        # on other threads behind the classification lock.
+        self._log_lock = threading.Lock()
         self._entries: dict[str, dict[str, object]] = {}
-        self._fingerprints: dict[str, str] = {}
         self._tenants: dict[str, _TenantView] = {}
         self._stats = _empty_stats()
         self._load()
@@ -145,13 +153,13 @@ class SemanticAnswerCache:
                     self._entries[key] = entry
         fingerprints = payload.get("fingerprints")
         if isinstance(fingerprints, dict):
-            self._fingerprints.update(
-                {
-                    db: fingerprint
-                    for db, fingerprint in fingerprints.items()
-                    if isinstance(db, str) and isinstance(fingerprint, str)
-                }
-            )
+            for tenant, dbs in fingerprints.items():
+                if not (isinstance(tenant, str) and isinstance(dbs, dict)):
+                    continue
+                view = self._tenant(tenant)
+                for db, fingerprint in dbs.items():
+                    if isinstance(db, str) and isinstance(fingerprint, str):
+                        view.fingerprints[db] = fingerprint
         stats = payload.get("stats")
         if isinstance(stats, dict):
             for name in self._stats:
@@ -168,7 +176,11 @@ class SemanticAnswerCache:
             payload = {
                 "version": STORE_SCHEMA_VERSION,
                 "entries": dict(self._entries),
-                "fingerprints": dict(self._fingerprints),
+                "fingerprints": {
+                    tenant: dict(view.fingerprints)
+                    for tenant, view in self._tenants.items()
+                    if view.fingerprints
+                },
                 "stats": dict(self._stats),
             }
         return write_checksummed_json(path, payload)
@@ -202,45 +214,38 @@ class SemanticAnswerCache:
         self._tenant(tenant).stats[plural] += 1
         self._count(outcome, tenant)
 
+    def _live_fingerprints(self) -> set[str]:
+        return {
+            fingerprint
+            for view in self._tenants.values()
+            for fingerprint in view.fingerprints.values()
+        }
+
     def _classify(
         self, tenant: str, schema: DatabaseSchema, question: str, mutate: bool
     ) -> SemcacheLookup:
         db = schema.name
         fingerprint = schema_fingerprint(schema)
 
-        known = self._fingerprints.get(db)
-        if known is not None and known != fingerprint:
-            # The database itself mutated: stored answers are stale.
-            if mutate:
-                dropped = [
-                    key
-                    for key in self._entries
-                    if key.startswith(known + ":")
-                ]
-                for key in dropped:
-                    del self._entries[key]
-                self._fingerprints[db] = fingerprint
-                self._tenant(tenant).fingerprints[db] = fingerprint
-                self._record("invalidate", tenant)
-                self._record("bypass", tenant)
-            return SemcacheLookup(
-                outcome="bypass",
-                tenant=tenant,
-                db=db,
-                question=question,
-                fingerprint=fingerprint,
-                reason="schema_changed",
-            )
-        if mutate and known is None:
-            self._fingerprints[db] = fingerprint
-
         tenant_view = self._tenant(tenant)
-        tenant_known = tenant_view.fingerprints.get(db)
-        if tenant_known is not None and tenant_known != fingerprint:
-            # This tenant's view of the schema changed even though the
-            # global registry agrees: bypass once, then track the new one.
+        known = tenant_view.fingerprints.get(db)
+        if known is not None and known != fingerprint:
+            # This tenant's view of the database mutated: its old answers
+            # are stale. Retire the old fingerprint's entries only once
+            # no tenant still lives on it — another tenant may
+            # legitimately host a different schema under the same name.
             if mutate:
                 tenant_view.fingerprints[db] = fingerprint
+                if known not in self._live_fingerprints():
+                    dropped = [
+                        key
+                        for key in self._entries
+                        if key.startswith(known + ":")
+                    ]
+                    for key in dropped:
+                        del self._entries[key]
+                    if dropped:
+                        self._record("invalidate", tenant)
                 self._record("bypass", tenant)
             return SemcacheLookup(
                 outcome="bypass",
@@ -341,7 +346,11 @@ class SemanticAnswerCache:
         if lookup.outcome != "miss" or lookup.key is None or not sql:
             return False
         with self._lock:
-            if self._fingerprints.get(lookup.db) != lookup.fingerprint:
+            view = self._tenants.get(lookup.tenant)
+            if (
+                view is None
+                or view.fingerprints.get(lookup.db) != lookup.fingerprint
+            ):
                 return False
             self._entries[lookup.key] = {
                 "db": lookup.db,
@@ -378,7 +387,7 @@ class SemanticAnswerCache:
             "sql": served_sql,
         }
         line = canonical_json(record) + "\n"
-        with self._lock:
+        with self._log_lock:
             path.parent.mkdir(parents=True, exist_ok=True)
             with open(path, "a", encoding="utf-8") as handle:
                 handle.write(line)
@@ -394,8 +403,22 @@ class SemanticAnswerCache:
         with self._lock:
             view = dict(self._stats)
             view["entries"] = len(self._entries)
-            view["fingerprints"] = len(self._fingerprints)
+            view["fingerprints"] = len(self._live_fingerprints())
             return view
+
+    def _fingerprints_by_db(self) -> dict[str, list[str]]:
+        """Every live display fingerprint per db name — possibly several,
+        when tenants host different schemas under the same name."""
+        by_db: dict[str, set[str]] = {}
+        for view in self._tenants.values():
+            for db, fingerprint in view.fingerprints.items():
+                by_db.setdefault(db, set()).add(fingerprint)
+        return {
+            db: sorted(
+                display_fingerprint(fingerprint) for fingerprint in prints
+            )
+            for db, prints in sorted(by_db.items())
+        }
 
     def statusz_view(self) -> dict[str, object]:
         """The ``/statusz`` section: totals plus per-tenant breakdowns."""
@@ -408,10 +431,7 @@ class SemanticAnswerCache:
                 "bypasses": self._stats["bypasses"],
                 "invalidations": self._stats["invalidations"],
                 "evictions": self._stats["evictions"],
-                "fingerprints": {
-                    db: display_fingerprint(fingerprint)
-                    for db, fingerprint in sorted(self._fingerprints.items())
-                },
+                "fingerprints": self._fingerprints_by_db(),
                 "tenants": {
                     tenant: {
                         "hits": view.stats["hits"],
@@ -433,7 +453,6 @@ class SemanticAnswerCache:
         with self._lock:
             dropped = len(self._entries)
             self._entries.clear()
-            self._fingerprints.clear()
             for view in self._tenants.values():
                 view.fingerprints.clear()
             return dropped

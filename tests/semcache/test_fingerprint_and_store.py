@@ -204,14 +204,58 @@ class TestInvalidation:
         cache.lookup("team-a", old, "how many items")
         cache.lookup("team-b", old, "how many items")
 
-        # team-a observes the mutation first and takes the global bypass.
+        # team-a observes the mutation first and takes its bypass.
         assert cache.lookup("team-a", new, "q").reason == "schema_changed"
-        # team-b's recorded view is stale even though the registry moved on.
+        # team-b's recorded view is stale and takes its own bypass.
         stale = cache.lookup("team-b", new, "how many items")
         assert stale.outcome == "bypass"
         assert stale.reason == "schema_changed"
         # One bypass each; both tenants then classify normally again.
         assert cache.lookup("team-b", new, "how many items").outcome == "miss"
+
+    def test_same_db_name_different_schemas_do_not_thrash(self):
+        # Two tenants hosting *different* schemas under one database name
+        # must not invalidate each other on every alternating lookup.
+        cache = SemanticAnswerCache()
+        shop_a = make_schema()
+        shop_b = make_schema(extra_table=True)
+        cache.store(
+            cache.lookup("team-a", shop_a, "how many items"), "SELECT 1"
+        )
+        cache.store(
+            cache.lookup("team-b", shop_b, "how many items"), "SELECT 2"
+        )
+        for _ in range(3):
+            assert cache.lookup("team-a", shop_a, "how many items").sql == (
+                "SELECT 1"
+            )
+            assert cache.lookup("team-b", shop_b, "how many items").sql == (
+                "SELECT 2"
+            )
+        assert len(cache) == 2
+        assert cache.stats()["invalidations"] == 0
+        assert cache.stats()["bypasses"] == 0
+        assert cache.stats()["fingerprints"] == 2
+
+    def test_entries_survive_while_any_tenant_references_them(self):
+        cache = SemanticAnswerCache()
+        old = make_schema()
+        new = make_schema(extra_table=True)
+        cache.store(cache.lookup("team-a", old, "how many items"), "SELECT 1")
+        cache.lookup("team-b", old, "how many items")
+
+        # team-a migrates; team-b still lives on the old fingerprint, so
+        # the shared entry must survive.
+        assert cache.lookup("team-a", new, "q").reason == "schema_changed"
+        assert len(cache) == 1
+        assert cache.stats()["invalidations"] == 0
+        assert cache.lookup("team-b", old, "how many items").outcome == "hit"
+
+        # team-b migrates too: nothing references the old fingerprint
+        # anymore, so its entries finally drop.
+        assert cache.lookup("team-b", new, "q").reason == "schema_changed"
+        assert len(cache) == 0
+        assert cache.stats()["invalidations"] == 1
 
 
 class TestEviction:

@@ -46,7 +46,7 @@ class TestReplay:
         )
         records = [
             ask("how many items", "SELECT COUNT(*)"),  # agreeing hit
-            ask("show the items", "SELECT 'other'"),  # diverging hit
+            ask("count the items", "SELECT 'other'"),  # diverging hit
             ask("items over 10", "SELECT 1"),  # miss
             ask("anything", None, kind="feedback"),  # guardrail bypass
             ask("how many rows", "SELECT 2", db="mystery"),  # unknown db
@@ -61,7 +61,7 @@ class TestReplay:
         assert report["unknown_databases"] == 1
         assert report["divergence_count"] == 1
         divergence = report["divergences"][0]
-        assert divergence["question"] == "show the items"
+        assert divergence["question"] == "count the items"
         assert divergence["recorded_sql"] == "SELECT 'other'"
         assert divergence["cached_sql"] == "SELECT COUNT(*)"
 

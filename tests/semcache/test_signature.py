@@ -49,7 +49,11 @@ class TestParaphraseCollision:
             ("flights costing more than 300", "flights costing over 300"),
             (
                 "How many flights are there?",
-                "Show me all the flights",
+                "what is the number of flights",
+            ),
+            (
+                "How many flights are there?",
+                "count the flights",
             ),
             (
                 "cheapest flights in January",
@@ -67,10 +71,20 @@ class TestParaphraseCollision:
         "left,right",
         [
             ("show the 5 cheapest flights", "show the 6 cheapest flights"),
+            # Opposite sort intents share a limit but not a direction.
+            ("show the 5 cheapest flights", "show the 5 largest flights"),
+            ("show the 5 oldest flights", "show the 5 newest flights"),
             ("flights over 300", "flights at least 300"),
             ("flights over 300", "flights under 300"),
             ("flights in 2023", "flights in 2024"),
             ("flights more than 20", "flights no more than 20"),
+            # A COUNT answer is not a row listing.
+            ("How many flights are there?", "Show me all the flights"),
+            # Thresholds bound to different columns must not collide.
+            (
+                "flights with price over 300 and departure_date over 20",
+                "flights with price over 20 and departure_date over 300",
+            ),
         ],
     )
     def test_different_constraints_do_not_collide(self, schema, left, right):
@@ -104,13 +118,42 @@ class TestConstraintExtraction:
             "flights over 30",
             "flights above 30",
         ):
-            assert build_signature(phrasing, schema).comparisons == ("gt:30",)
+            assert build_signature(phrasing, schema).comparisons == (
+                "table:flights:gt:30",
+            )
         assert build_signature(
             "flights at least 30", schema
-        ).comparisons == ("ge:30",)
+        ).comparisons == ("table:flights:ge:30",)
         assert build_signature(
             "flights no more than 30", schema
-        ).comparisons == ("le:30",)
+        ).comparisons == ("table:flights:le:30",)
+
+    def test_comparisons_anchor_to_their_column(self, schema):
+        sig = build_signature("flights with price over 300", schema)
+        assert sig.comparisons == ("column:flights.price:gt:300",)
+        # A word outside the schema vocabulary still anchors by stem.
+        sig = build_signature("flights with duration under 120", schema)
+        assert sig.comparisons == ("duration:lt:120",)
+        # Nothing precedes the phrase: the comparison floats unanchored.
+        sig = build_signature("over 300 flights", schema)
+        assert sig.comparisons == ("gt:300",)
+
+    def test_aggregate_cues_are_a_dimension(self, schema):
+        count = build_signature("how many flights", schema)
+        assert count.aggregates == ("count",)
+        listing = build_signature("show the flights", schema)
+        assert listing.aggregates == ()
+        assert count != listing
+        assert build_signature(
+            "average price of flights", schema
+        ).aggregates == ("avg",)
+
+    def test_limit_keeps_ranking_direction(self, schema):
+        cheapest = build_signature("show the 5 cheapest flights", schema)
+        largest = build_signature("show the 5 largest flights", schema)
+        assert cheapest.limit == 5
+        assert largest.limit == 5
+        assert cheapest != largest
 
     def test_quoted_entities_preserve_case(self, schema):
         upper = build_signature("flights on 'Big Air'", schema)
@@ -128,7 +171,7 @@ class TestConstraintExtraction:
 class TestUnsignable:
     @pytest.mark.parametrize(
         "question",
-        ["", "   ", "\t\n", "the of and a", "你好吗", "？！", "。。。"],
+        ["", "   ", "\t\n", "the of and a", "how many?", "你好吗", "？！", "。。。"],
     )
     def test_nothing_anchored_is_empty(self, schema, question):
         assert build_signature(question, schema).is_empty
@@ -137,9 +180,9 @@ class TestUnsignable:
         assert not build_signature("flights", schema).is_empty
 
     def test_empty_signature_property(self):
-        empty = IntentSignature((), (), (), None, (), ())
+        empty = IntentSignature((), (), (), None, (), (), ())
         assert empty.is_empty
-        anchored = IntentSignature(("flight",), (), (), None, (), ())
+        anchored = IntentSignature(("flight",), (), (), None, (), (), ())
         assert not anchored.is_empty
 
 
