@@ -8,6 +8,14 @@ layer is >= 2x for parallel-warm over sequential-cold; the test asserts
 the outputs stayed byte-identical while getting there, so the speedup is
 never bought with drift.
 
+The snapshot also carries a per-core scaling curve for the process tier:
+cold Table 2 at workers 1/2/4 in both ``thread`` and ``process`` mode,
+against the same on-disk suites. Byte parity is asserted for every cell
+unconditionally; the >1.25x parallel-cold bar for 4 process workers only
+applies when the box actually has >= 4 cores (``cpu_count`` is recorded
+so the snapshot is honest about what it was measured on — a single-core
+container cannot speed anything up by forking).
+
 Suite construction is excluded from every timing (the pristine context is
 prebuilt and its suites shared), isolating the execution path this layer
 actually changed.
@@ -16,6 +24,8 @@ actually changed.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import time
 from pathlib import Path
 
@@ -29,6 +39,9 @@ SNAPSHOT_PATH = Path(__file__).resolve().parent.parent / "BENCH_exec.json"
 
 WORKERS = 4
 BATCH_SIZE = 8
+CURVE_WORKERS = (1, 2, 4)
+CURVE_MODES = ("thread", "process")
+PROCESS_SPEEDUP_BAR = 1.25
 
 
 def _timed_table2(context):
@@ -36,6 +49,38 @@ def _timed_table2(context):
     result = run_table2(context)
     elapsed = time.perf_counter() - started
     return render_table2(result), elapsed
+
+
+def _scaling_curve():
+    """Cold Table 2 across worker counts and modes, suites from disk."""
+    with tempfile.TemporaryDirectory() as suite_dir:
+        build_context(scale="small", suite_dir=suite_dir)  # prebuild suites
+        baseline_render, baseline_s = _timed_table2(
+            build_context(scale="small", suite_dir=suite_dir)
+        )
+        curve = []
+        for mode in CURVE_MODES:
+            for workers in CURVE_WORKERS:
+                render, elapsed = _timed_table2(
+                    build_context(
+                        scale="small",
+                        suite_dir=suite_dir,
+                        workers=workers,
+                        worker_mode=mode,
+                    )
+                )
+                assert render == baseline_render, (
+                    f"{mode} mode with {workers} workers drifted"
+                )
+                curve.append(
+                    {
+                        "mode": mode,
+                        "workers": workers,
+                        "ms": round(elapsed * 1000, 2),
+                        "speedup": round(baseline_s / elapsed, 2),
+                    }
+                )
+    return round(baseline_s * 1000, 2), curve
 
 
 def test_bench_exec_snapshot():
@@ -74,6 +119,19 @@ def test_bench_exec_snapshot():
         f"({sequential_s * 1000:.1f} ms -> {warm_s * 1000:.1f} ms)"
     )
 
+    scaling_sequential_ms, curve = _scaling_curve()
+    cpu_count = os.cpu_count() or 1
+    if cpu_count >= 4:
+        process_at_4 = next(
+            cell["speedup"]
+            for cell in curve
+            if cell["mode"] == "process" and cell["workers"] == 4
+        )
+        assert process_at_4 > PROCESS_SPEEDUP_BAR, (
+            f"4 process workers on {cpu_count} cores must beat "
+            f"{PROCESS_SPEEDUP_BAR}x, got {process_at_4:.2f}x"
+        )
+
     document = {
         "benchmark": "table2",
         "scale": "small",
@@ -92,6 +150,11 @@ def test_bench_exec_snapshot():
             "cold_misses": cold_stats["misses"],
             "cold_hits": cold_stats["hits"],
             "entries": len(cache),
+        },
+        "scaling": {
+            "cpu_count": cpu_count,
+            "sequential_cold_ms": scaling_sequential_ms,
+            "curve": curve,
         },
         "byte_identical_outputs": True,
     }

@@ -5,10 +5,14 @@ Subcommands::
     fisql-repro run figure2 --scale medium          # paper artifacts
     fisql-repro run all --scale small --metrics --trace /tmp/t.jsonl
     fisql-repro run all --journal /tmp/j --resume   # crash-safe resume
+    fisql-repro run table2 --workers 4 --worker-mode process \
+        --suite-dir /tmp/suites                     # multi-core sweep
     fisql-repro serve --port 8080 --scale small     # session server
+    fisql-repro serve --transport async --port 8080 # asyncio transport
     fisql-repro top --port 8080 --interval 2        # live /statusz dashboard
     fisql-repro cache stats --cache-dir /tmp/cache  # cache store ops
     fisql-repro semcache replay --semantic-cache-dir /tmp/sc  # replay log
+    fisql-repro journal compact --journal /tmp/j    # fold sealed segments
     fisql-repro trace-summary /tmp/t.jsonl          # re-render a trace
 
 Back-compat: the bare artifact form still works — ``fisql-repro figure2
@@ -74,7 +78,15 @@ _ARTIFACTS = {
     "table3": (run_table3, render_table3),
 }
 
-_SUBCOMMANDS = ("run", "serve", "top", "cache", "semcache", "trace-summary")
+_SUBCOMMANDS = (
+    "run",
+    "serve",
+    "top",
+    "cache",
+    "semcache",
+    "journal",
+    "trace-summary",
+)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -179,6 +191,17 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     run.add_argument(
+        "--worker-mode",
+        choices=("thread", "process"),
+        default="thread",
+        help=(
+            "how --workers N shards run: 'thread' shares one process "
+            "(GIL-bound), 'process' uses worker processes for true "
+            "multi-core sweeps (requires --suite-dir; results stay "
+            "byte-identical; default: thread)"
+        ),
+    )
+    run.add_argument(
         "--batch-size",
         type=int,
         default=1,
@@ -238,6 +261,26 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
         "--port", type=int, default=8080, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--transport",
+        choices=("thread", "async"),
+        default="thread",
+        help=(
+            "HTTP transport: 'thread' = one thread per connection "
+            "(stdlib ThreadingHTTPServer), 'async' = one asyncio event "
+            "loop + a bounded request executor (default: thread)"
+        ),
+    )
+    serve.add_argument(
+        "--async-workers",
+        type=int,
+        metavar="N",
+        help=(
+            "request-executor threads under --transport async "
+            "(default: 8; LLM-bound requests beyond 5N queued or "
+            "running are shed)"
+        ),
     )
     serve.add_argument(
         "--scale",
@@ -497,6 +540,27 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     semcache.set_defaults(func=_cmd_semcache)
 
+    journal = subparsers.add_parser(
+        "journal",
+        help="inspect or compact a run journal directory",
+    )
+    journal.add_argument(
+        "action",
+        choices=("compact", "stats"),
+        help=(
+            "compact = fold sealed segments into one checksummed segment "
+            "(resume-equivalent, fewer files); stats = print record and "
+            "segment counts"
+        ),
+    )
+    journal.add_argument(
+        "--journal",
+        required=True,
+        metavar="DIR",
+        help="journal directory (as passed to run/serve --journal)",
+    )
+    journal.set_defaults(func=_cmd_journal)
+
     summary = subparsers.add_parser(
         "trace-summary",
         help="re-render a saved --trace JSONL file (no re-run needed)",
@@ -582,6 +646,15 @@ def _add_semcache_arguments(sub: argparse.ArgumentParser) -> None:
             "(requires --semantic-cache; default: 4096)"
         ),
     )
+    sub.add_argument(
+        "--semantic-cache-ttl-s",
+        type=float,
+        metavar="SECONDS",
+        help=(
+            "evict semantic-cache entries older than SECONDS on lookup "
+            "(requires --semantic-cache; default: no expiry)"
+        ),
+    )
 
 
 def _build_semcache(
@@ -593,16 +666,23 @@ def _build_semcache(
             parser.error("--semantic-cache-dir requires --semantic-cache")
         if args.semantic_cache_max is not None:
             parser.error("--semantic-cache-max requires --semantic-cache")
+        if args.semantic_cache_ttl_s is not None:
+            parser.error("--semantic-cache-ttl-s requires --semantic-cache")
         return None
     if args.semantic_cache_max is not None and args.semantic_cache_max < 1:
         parser.error(
             f"--semantic-cache-max must be >= 1: {args.semantic_cache_max}"
+        )
+    if args.semantic_cache_ttl_s is not None and args.semantic_cache_ttl_s <= 0:
+        parser.error(
+            f"--semantic-cache-ttl-s must be > 0: {args.semantic_cache_ttl_s}"
         )
     from repro.semcache import SemanticAnswerCache
 
     return SemanticAnswerCache(
         directory=args.semantic_cache_dir,
         max_entries=args.semantic_cache_max,
+        ttl_s=args.semantic_cache_ttl_s,
     )
 
 
@@ -636,6 +716,24 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
         parser.error(f"--workers must be >= 1: {args.workers}")
     if args.batch_size < 1:
         parser.error(f"--batch-size must be >= 1: {args.batch_size}")
+    if args.worker_mode == "process":
+        if args.suite_dir is None:
+            parser.error(
+                "--worker-mode process requires --suite-dir (worker "
+                "processes load their benchmark suites from disk)"
+            )
+        # Worker processes rebuild the default deterministic stack from a
+        # picklable spec; per-run model wrappers don't cross the boundary.
+        for flag, value in (
+            ("--backend", args.backend),
+            ("--inject-faults", args.inject_faults),
+            ("--llm-retries", args.llm_retries),
+            ("--llm-timeout", args.llm_timeout),
+            ("--cache-dir", args.cache_dir),
+            ("--semantic-cache", args.semantic_cache or None),
+        ):
+            if value:
+                parser.error(f"{flag} is not supported with --worker-mode process")
     if args.cache_max is not None:
         if args.cache_dir is None:
             parser.error("--cache-max requires --cache-dir")
@@ -698,6 +796,7 @@ def _cmd_run(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
             journal=journal,
             suite_dir=args.suite_dir,
             semcache=semcache,
+            worker_mode=args.worker_mode,
         )
         chart_renderers = {
             "figure2": render_figure2_chart,
@@ -867,15 +966,22 @@ def _cmd_serve(
 ) -> int:
     """Preload the context, build the app, and serve until signalled."""
     from repro.serve import (
+        DEFAULT_ASYNC_WORKERS,
         ServeApp,
         SessionManager,
         SessionStore,
         TenantPolicy,
+        run_async_server,
         run_server,
     )
 
     if args.max_sessions < 1:
         parser.error(f"--max-sessions must be >= 1: {args.max_sessions}")
+    if args.async_workers is not None:
+        if args.transport != "async":
+            parser.error("--async-workers requires --transport async")
+        if args.async_workers < 1:
+            parser.error(f"--async-workers must be >= 1: {args.async_workers}")
     if args.llm_timeout is not None and args.llm_timeout <= 0:
         parser.error(f"--llm-timeout must be > 0 ms: {args.llm_timeout}")
     if args.batch_max < 1:
@@ -1003,6 +1109,18 @@ def _cmd_serve(
         # rotation without waiting for live traffic to trip a probe.
         pool.start_probing()
     try:
+        if args.transport == "async":
+            return run_async_server(
+                app,
+                host=args.host,
+                port=args.port,
+                drain_grace=args.drain_grace,
+                workers=(
+                    args.async_workers
+                    if args.async_workers is not None
+                    else DEFAULT_ASYNC_WORKERS
+                ),
+            )
         return run_server(
             app,
             host=args.host,
@@ -1136,6 +1254,44 @@ def _cmd_semcache(
         schemas.setdefault(db_id, database.schema)
     report = replay(store, schemas, records)
     print(render_replay_report(report))
+    return 0
+
+
+# -- journal -----------------------------------------------------------------------
+
+
+def _cmd_journal(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """Compact a journal's sealed segments, or print its shape."""
+    from repro.durability import compact_journal, journal_stats
+
+    try:
+        if args.action == "compact":
+            stats = compact_journal(args.journal)
+            if stats["output"] is None:
+                print(
+                    f"journal {args.journal}: nothing to compact "
+                    f"({stats['segments']} sealed segments, "
+                    f"{stats['records']} records)"
+                )
+            else:
+                line = (
+                    f"journal {args.journal}: compacted "
+                    f"{stats['segments']} sealed segments into "
+                    f"{stats['output']} ({stats['records']} records)"
+                )
+                if stats["quarantined"]:
+                    line += f"; {stats['quarantined']} corrupt quarantined"
+                print(line)
+        else:
+            stats = journal_stats(args.journal)
+            print(f"journal {args.journal}")
+            print(f"  records:         {stats['records']}")
+            print(f"  sealed segments: {stats['sealed_segments']}")
+            print(f"  active segments: {stats['active_segments']}")
+    except FileNotFoundError as error:
+        parser.error(str(error))
     return 0
 
 

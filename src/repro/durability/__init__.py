@@ -43,7 +43,12 @@ from repro.durability.crashpoints import (
     crash_point,
     disarm_crash_points,
 )
-from repro.durability.journal import JOURNAL_SCHEMA_VERSION, RunJournal
+from repro.durability.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    RunJournal,
+    compact_journal,
+    journal_stats,
+)
 from repro.durability.suites import (
     SUITE_SCHEMA_VERSION,
     load_suites,
@@ -61,8 +66,10 @@ __all__ = [
     "atomic_write_text",
     "canonical_json",
     "canonical_key",
+    "compact_journal",
     "crash_point",
     "disarm_crash_points",
+    "journal_stats",
     "load_suites",
     "quarantine_file",
     "read_checksummed_json",

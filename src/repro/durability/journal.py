@@ -53,8 +53,8 @@ JOURNAL_SCHEMA_VERSION = 1
 #: Records per segment before the active file is sealed.
 DEFAULT_SEGMENT_MAX_RECORDS = 256
 
-_ACTIVE_RE = re.compile(r"^segment-(\d{4})\.jsonl$")
-_SEALED_RE = re.compile(r"^segment-(\d{4})\.sealed\.json$")
+_ACTIVE_RE = re.compile(r"^segment-(\d{4})(?:\.w(\d+))?\.jsonl$")
+_SEALED_RE = re.compile(r"^segment-(\d{4})(?:\.w(\d+))?\.sealed\.json$")
 
 
 class RunJournal:
@@ -71,11 +71,18 @@ class RunJournal:
         directory: Union[str, Path],
         segment_max_records: int = DEFAULT_SEGMENT_MAX_RECORDS,
         fsync: bool = True,
+        worker: Optional[int] = None,
     ) -> None:
         if segment_max_records < 1:
             raise ValueError(
                 f"segment_max_records must be >= 1: {segment_max_records}"
             )
+        if worker is not None and worker < 0:
+            raise ValueError(f"worker must be >= 0: {worker}")
+        # Process-pool workers open their own journal on the shared
+        # directory; the worker tag keeps their active segments from
+        # colliding when two processes compute the same next index.
+        self._worker_tag = "" if worker is None else f".w{worker}"
         self._directory = Path(directory)
         self._directory.mkdir(parents=True, exist_ok=True)
         self._segment_max = segment_max_records
@@ -245,9 +252,20 @@ class RunJournal:
         obs.event("journal.append", key=key, kind=kind)
         return True
 
+    def absorb_worker_counts(self, appended: int = 0, replayed: int = 0) -> None:
+        """Fold a worker process's append/replay counts into this instance.
+
+        Process-pool shards journal through their own :class:`RunJournal`;
+        the parent folds their counts in so the CLI summary stays accurate.
+        """
+        with self._lock:
+            self.appended += appended
+            self.replayed += replayed
+
     def _ensure_active_locked(self) -> TextIO:
         if self._active_handle is None:
-            path = self._directory / f"segment-{self._next_index:04d}.jsonl"
+            name = f"segment-{self._next_index:04d}{self._worker_tag}.jsonl"
+            path = self._directory / name
             self._active_handle = open(path, "a", encoding="utf-8")
             self._active_path = path
             self._next_index += 1
@@ -291,3 +309,136 @@ class RunJournal:
             if self._active_handle is not None:
                 self._active_handle.close()
                 self._active_handle = None
+
+
+def compact_journal(directory: Union[str, Path]) -> dict:
+    """Merge all sealed segments into one checksummed segment.
+
+    Long journal directories accumulate sealed segments forever (every 256
+    records by default, plus one per worker process per sweep). Compaction
+    rewrites them as a single sealed segment and removes the originals.
+    It is crash-safe at every step:
+
+    * The merged segment is written (atomic replace + fsync) at an index
+      above every existing segment **before** any original is unlinked, so
+      a crash mid-compaction leaves duplicates, never gaps.
+    * Replay is key-based and later-segments-win, so duplicated records
+      absorb idempotently on the next load — and the merged segment, being
+      the highest index, wins ties exactly as the originals would have.
+    * Active (``.jsonl``) segments are left untouched: they may have a
+      live writer.
+
+    Corrupt sealed segments quarantine exactly as they would on load.
+    Returns a stats dict: ``segments`` merged, ``records`` kept,
+    ``quarantined``, and the ``output`` filename (None when there was
+    nothing to compact).
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"journal directory not found: {directory}")
+    max_index = -1
+    sealed_paths: list[tuple[int, Path]] = []
+    for path in directory.iterdir():
+        match = _SEALED_RE.match(path.name)
+        if match:
+            sealed_paths.append((int(match.group(1)), path))
+            max_index = max(max_index, int(match.group(1)))
+            continue
+        match = _ACTIVE_RE.match(path.name)
+        if match:
+            max_index = max(max_index, int(match.group(1)))
+    sealed_paths.sort()
+    records: dict[str, dict] = {}
+    sources: list[Path] = []
+    quarantined = 0
+    for _index, path in sealed_paths:
+        payload = read_checksummed_json(path, kind="journal_segment")
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != JOURNAL_SCHEMA_VERSION
+            or not isinstance(payload.get("records"), list)
+        ):
+            if payload is not None:
+                quarantine_file(path)
+                obs.count("durability.quarantined", kind="journal_segment")
+            quarantined += 1
+            continue
+        for record in payload["records"]:
+            if (
+                isinstance(record, dict)
+                and isinstance(record.get("key"), str)
+                and isinstance(record.get("kind"), str)
+                and "value" in record
+            ):
+                records[record["key"]] = record
+        sources.append(path)
+    stats = {
+        "segments": len(sources),
+        "records": len(records),
+        "quarantined": quarantined,
+        "output": None,
+    }
+    if len(sources) < 2:
+        # Zero or one healthy segment: nothing to merge.
+        return stats
+    output = directory / f"segment-{max_index + 1:04d}.sealed.json"
+    write_checksummed_json(
+        output,
+        {"version": JOURNAL_SCHEMA_VERSION, "records": list(records.values())},
+        fsync=True,
+    )
+    for path in sources:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+    obs.count("journal.segments_compacted", n=len(sources))
+    stats["output"] = output.name
+    return stats
+
+
+def journal_stats(directory: Union[str, Path]) -> dict:
+    """Read-only record and segment counts for a journal directory.
+
+    Unlike loading a :class:`RunJournal`, this never quarantines, opens a
+    new segment, or otherwise writes — safe to point at a directory with a
+    live writer. Records are counted by unique key, matching what replay
+    would see.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(f"journal directory not found: {directory}")
+    sealed = active = 0
+    keys: set = set()
+    for path in sorted(directory.iterdir()):
+        if _SEALED_RE.match(path.name):
+            sealed += 1
+            payload = read_checksummed_json(path, kind="journal_segment")
+            if isinstance(payload, dict) and isinstance(
+                payload.get("records"), list
+            ):
+                for record in payload["records"]:
+                    if isinstance(record, dict) and isinstance(
+                        record.get("key"), str
+                    ):
+                        keys.add(record["key"])
+        elif _ACTIVE_RE.match(path.name):
+            active += 1
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    for line in handle:
+                        try:
+                            record = json.loads(line)
+                        except json.JSONDecodeError:
+                            continue  # torn tail from a crashed writer
+                        if isinstance(record, dict) and isinstance(
+                            record.get("key"), str
+                        ):
+                            keys.add(record["key"])
+            except OSError:
+                pass
+    return {
+        "sealed_segments": sealed,
+        "active_segments": active,
+        "records": len(keys),
+    }

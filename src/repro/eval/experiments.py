@@ -51,18 +51,12 @@ def run_figure2(context: ExperimentContext) -> Figure2Result:
     spider_report = evaluate_model(
         model,
         context.spider.benchmark,
-        workers=context.workers,
-        batch_size=context.batch_size,
-        journal=context.journal,
-        scope=context.scope("zero_shot", "spider"),
+        **context.eval_kwargs("zero_shot", "spider"),
     )
     aep_report = evaluate_model(
         model,
         context.aep_benchmark,
-        workers=context.workers,
-        batch_size=context.batch_size,
-        journal=context.journal,
-        scope=context.scope("zero_shot", "aep"),
+        **context.eval_kwargs("zero_shot", "aep"),
     )
     return Figure2Result(
         spider_accuracy=100.0 * spider_report.accuracy,
@@ -114,42 +108,66 @@ def _assistant_model(context: ExperimentContext, dataset: str):
     return context.aep_assistant_model()
 
 
+def journaled_corrector(
+    journal,
+    scope: dict,
+    compute_one: Callable[[PredictionRecord], CorrectionOutcome],
+) -> Callable[[PredictionRecord], CorrectionOutcome]:
+    """Wrap a corrector with journal replay/append under a scope.
+
+    Shared by the thread path below and process-pool workers
+    (:mod:`repro.eval.procpool`), so both modes journal and replay
+    identically.
+    """
+    from repro.eval.journaling import (
+        correction_key,
+        outcome_from_dict,
+        outcome_to_dict,
+    )
+
+    def correct_one(record: PredictionRecord) -> CorrectionOutcome:
+        key = correction_key(scope, record)
+        hit = journal.replay(key)
+        if hit is not None:
+            return outcome_from_dict(hit["value"])
+        outcome = compute_one(record)
+        journal.append(key, "correction", outcome_to_dict(outcome))
+        return outcome
+
+    return correct_one
+
+
 def _map_corrections(
     context: ExperimentContext,
     errors: list[PredictionRecord],
     correct_one: Callable[[PredictionRecord], CorrectionOutcome],
     scope: Optional[dict] = None,
+    spec=None,
 ) -> list[CorrectionOutcome]:
     """Run one correction per error record, in record order.
 
     With ``context.workers > 1`` the per-record corrections fan out over a
-    thread pool; every correction is a deterministic function of its
-    record (annotator draws are keyed by example id), so the ordered
-    result list is identical to the sequential one.
+    thread pool — or, given a process ``spec``, over worker processes (see
+    :mod:`repro.eval.procpool`); every correction is a deterministic
+    function of its record (annotator draws are keyed by example id), so
+    the ordered result list is identical to the sequential one.
 
     When the context carries a journal, sessions already journaled under
     ``scope`` replay instead of re-running, and each fresh session is
     journaled on completion — per-record determinism is what makes the
     replayed/computed mix indistinguishable from an uninterrupted run.
     """
-    if context.journal is not None and scope is not None:
-        from repro.eval.journaling import (
-            correction_key,
-            outcome_from_dict,
-            outcome_to_dict,
+    if spec is not None and context.workers > 1 and len(errors) > 1:
+        # Workers journal through their own segments; the parent only
+        # folds their counters (see run_correction_shards).
+        from repro.eval.procpool import run_correction_shards
+
+        return run_correction_shards(
+            spec, errors, context.workers, journal=context.journal
         )
 
-        journal = context.journal
-        compute_one = correct_one
-
-        def correct_one(record: PredictionRecord) -> CorrectionOutcome:
-            key = correction_key(scope, record)
-            hit = journal.replay(key)
-            if hit is not None:
-                return outcome_from_dict(hit["value"])
-            outcome = compute_one(record)
-            journal.append(key, "correction", outcome_to_dict(outcome))
-            return outcome
+    if context.journal is not None and scope is not None:
+        correct_one = journaled_corrector(context.journal, scope, correct_one)
 
     if context.workers <= 1 or len(errors) <= 1:
         return [correct_one(record) for record in errors]
@@ -160,14 +178,18 @@ def _map_corrections(
         return list(executor.map(correct_one, errors))
 
 
-def _run_fisql(
+def make_fisql_corrector(
     context: ExperimentContext,
     dataset: str,
-    errors: list[PredictionRecord],
     routing: bool,
     highlights: bool,
     max_rounds: int,
-) -> list[CorrectionOutcome]:
+) -> Callable[[PredictionRecord], CorrectionOutcome]:
+    """Build the per-record FISQL correction closure.
+
+    A factory (rather than inline in :func:`_run_fisql`) so process-pool
+    workers can rebuild the identical corrector from a run-spec.
+    """
     model = _assistant_model(context, dataset)
     pipeline = FisqlPipeline(
         model=model, llm=context.llm, routing=routing, highlights=highlights
@@ -188,13 +210,36 @@ def _run_fisql(
         except LLMError as error:
             return _failed_outcome(record.example.example_id, error)
 
+    return correct_one
+
+
+def _run_fisql(
+    context: ExperimentContext,
+    dataset: str,
+    errors: list[PredictionRecord],
+    routing: bool,
+    highlights: bool,
+    max_rounds: int,
+) -> list[CorrectionOutcome]:
+    correct_one = make_fisql_corrector(
+        context, dataset, routing=routing, highlights=highlights,
+        max_rounds=max_rounds,
+    )
     scope = dict(
         context.scope("fisql", dataset),
         routing=routing,
         highlights=highlights,
         max_rounds=max_rounds,
     )
-    return _map_corrections(context, errors, correct_one, scope)
+    spec = context.correction_spec(
+        dataset,
+        "fisql",
+        scope,
+        routing=routing,
+        highlights=highlights,
+        max_rounds=max_rounds,
+    )
+    return _map_corrections(context, errors, correct_one, scope, spec=spec)
 
 
 def _failed_outcome(example_id: str, error: Exception) -> CorrectionOutcome:
@@ -207,11 +252,10 @@ def _failed_outcome(example_id: str, error: Exception) -> CorrectionOutcome:
     )
 
 
-def _run_query_rewrite(
-    context: ExperimentContext,
-    dataset: str,
-    errors: list[PredictionRecord],
-) -> list[CorrectionOutcome]:
+def make_query_rewrite_corrector(
+    context: ExperimentContext, dataset: str
+) -> Callable[[PredictionRecord], CorrectionOutcome]:
+    """Build the per-record Query Rewrite baseline closure (see above)."""
     model = _assistant_model(context, dataset)
     baseline = QueryRewriteBaseline(llm=context.llm, model=model)
     annotator = context.annotator_for(dataset)
@@ -236,8 +280,22 @@ def _run_query_rewrite(
                     outcome.corrected_round = 1
         return outcome
 
+    return correct_one
+
+
+def _run_query_rewrite(
+    context: ExperimentContext,
+    dataset: str,
+    errors: list[PredictionRecord],
+) -> list[CorrectionOutcome]:
+    scope = context.scope("query_rewrite", dataset)
+    spec = context.correction_spec(dataset, "query_rewrite", scope)
     return _map_corrections(
-        context, errors, correct_one, context.scope("query_rewrite", dataset)
+        context,
+        errors,
+        make_query_rewrite_corrector(context, dataset),
+        scope,
+        spec=spec,
     )
 
 

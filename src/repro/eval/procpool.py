@@ -1,0 +1,327 @@
+"""Process-pool shard execution: true multi-core evaluation sweeps.
+
+``--workers N`` historically sharded sweeps over a thread pool — correct,
+but GIL-bound: a *cold* sweep (no completion cache) is pure Python compute
+and threads barely beat sequential. This module runs the same contiguous
+shards in **worker processes** instead (``--worker-mode process``), where
+each core really does run its shard.
+
+The design constraint is byte-identical artifacts with the sequential and
+threaded paths, which forces a specific shape:
+
+* The parent never pickles live models, databases, or journals. It ships a
+  small frozen **run-spec** (:class:`EvalSpec` / :class:`CorrectionSpec`)
+  of JSON primitives plus each shard's example ids.
+* Each worker process rebuilds its own stack deterministically:
+  ``build_context(scale, seed, suite_dir=...)`` loads the persisted suite
+  (or, under the default Linux ``fork`` start method, inherits the
+  parent's in-process suite cache for free) and resolves the model by
+  name. Suites are pure functions of (scale, seed), so every worker sees
+  the same benchmark the parent does.
+* Workers return plain dicts (the same serializers the journal uses);
+  the parent rebuilds records around its *live* examples in shard order —
+  the exact order-preserving merge the thread path uses.
+* Each worker journals to its **own** segment (``RunJournal(worker=pid)``)
+  in the shared journal directory, so kill -9 durability and ``--resume``
+  parity hold across modes; per-worker metrics come back as
+  :meth:`MetricsRegistry.to_raw` dumps and fold into the parent registry
+  via :meth:`MetricsRegistry.merge`.
+
+Scopes deliberately exclude the worker mode (like ``workers`` and
+``batch_size``): a sweep journaled sequentially resumes under
+``--worker-mode process`` and vice versa.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+
+# -- run specs --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EvalSpec:
+    """Picklable recipe for one evaluation sweep's worker processes."""
+
+    scale: str
+    seed: int
+    suite_dir: Optional[str]
+    model: str  #: "zero_shot" or "assistant"
+    dataset: str  #: "spider" or "aep"
+    batch_size: int
+    journal_dir: Optional[str]
+    scope_items: tuple  #: sorted (key, value) pairs of the journal scope
+    instrumented: bool  #: whether workers should meter and ship metrics
+
+
+@dataclass(frozen=True)
+class CorrectionSpec:
+    """Picklable recipe for one correction sweep's worker processes."""
+
+    scale: str
+    seed: int
+    suite_dir: Optional[str]
+    dataset: str
+    method: str  #: "fisql" or "query_rewrite"
+    routing: bool
+    highlights: bool
+    max_rounds: int
+    journal_dir: Optional[str]
+    scope_items: tuple
+    instrumented: bool
+
+
+# -- worker-process plumbing ------------------------------------------------
+
+#: One journal per directory per worker process. Sealing happens at end of
+#: task, not at exit: multiprocessing children skip atexit handlers.
+_WORKER_JOURNALS: dict = {}
+
+
+def _worker_journal(journal_dir: Optional[str]):
+    if journal_dir is None:
+        return None
+    journal = _WORKER_JOURNALS.get(journal_dir)
+    if journal is None:
+        from repro.durability import RunJournal
+
+        journal = RunJournal(journal_dir, worker=os.getpid())
+        _WORKER_JOURNALS[journal_dir] = journal
+    return journal
+
+
+def _worker_obs(instrumented: bool) -> None:
+    """Give the worker a fresh, task-local metrics registry.
+
+    A forked worker inherits the parent's *enabled* registry complete with
+    its pre-fork counts; metering into that and shipping it back would
+    double-count everything on merge. Re-enabling installs fresh state, so
+    what the worker returns is exactly this task's delta.
+    """
+    if instrumented:
+        obs.enable()
+    elif obs.is_enabled():
+        obs.disable()
+
+
+def _worker_metrics(instrumented: bool) -> Optional[dict]:
+    if not instrumented:
+        return None
+    registry = obs.get_metrics()
+    return registry.to_raw() if registry is not None else None
+
+
+def _worker_context(spec):
+    from repro.eval.harness import build_context
+
+    return build_context(
+        scale=spec.scale, seed=spec.seed, suite_dir=spec.suite_dir
+    )
+
+
+def _examples_by_id(benchmark) -> dict:
+    return {example.example_id: example for example in benchmark.examples}
+
+
+def _journal_delta(journal, before: tuple) -> dict:
+    if journal is None:
+        return {"appended": 0, "replayed": 0}
+    return {
+        "appended": journal.appended - before[0],
+        "replayed": journal.replayed - before[1],
+    }
+
+
+def _journal_before(journal) -> tuple:
+    if journal is None:
+        return (0, 0)
+    return (journal.appended, journal.replayed)
+
+
+def _eval_worker(spec: EvalSpec, example_ids: tuple) -> dict:
+    """Score one shard inside a worker process; returns plain dicts."""
+    _worker_obs(spec.instrumented)
+    from repro.eval.journaling import prediction_to_dict
+    from repro.eval.metrics import _evaluate_examples
+
+    context = _worker_context(spec)
+    benchmark = context.benchmark(spec.dataset)
+    index = _examples_by_id(benchmark)
+    examples = [index[example_id] for example_id in example_ids]
+    if spec.model == "zero_shot":
+        model = context.zero_shot_model()
+    elif spec.dataset == "spider":
+        model = context.spider_assistant_model()
+    else:
+        model = context.aep_assistant_model()
+    journal = _worker_journal(spec.journal_dir)
+    before = _journal_before(journal)
+    records = _evaluate_examples(
+        model,
+        benchmark,
+        examples,
+        spec.batch_size,
+        journal,
+        dict(spec.scope_items),
+    )
+    if journal is not None:
+        # Seal now: worker processes exit via os._exit (no atexit), and a
+        # sealed segment is what `journal compact` can later fold away.
+        journal.seal()
+    return {
+        "records": [prediction_to_dict(record) for record in records],
+        "metrics": _worker_metrics(spec.instrumented),
+        "journal": _journal_delta(journal, before),
+    }
+
+
+def _correction_worker(spec: CorrectionSpec, items: tuple) -> dict:
+    """Run one shard of correction sessions inside a worker process.
+
+    ``items`` is a tuple of ``(example_id, initial_sql)`` pairs — enough to
+    rebuild each :class:`PredictionRecord` around the worker's own live
+    example, which reproduces the exact journal key the parent would use.
+    """
+    _worker_obs(spec.instrumented)
+    from repro.eval.experiments import (
+        journaled_corrector,
+        make_fisql_corrector,
+        make_query_rewrite_corrector,
+    )
+    from repro.eval.journaling import outcome_to_dict
+    from repro.eval.metrics import PredictionRecord
+
+    context = _worker_context(spec)
+    index = _examples_by_id(context.benchmark(spec.dataset))
+    records = [
+        PredictionRecord(
+            example=index[example_id], predicted_sql=initial_sql, correct=False
+        )
+        for example_id, initial_sql in items
+    ]
+    if spec.method == "fisql":
+        correct_one = make_fisql_corrector(
+            context,
+            spec.dataset,
+            routing=spec.routing,
+            highlights=spec.highlights,
+            max_rounds=spec.max_rounds,
+        )
+    elif spec.method == "query_rewrite":
+        correct_one = make_query_rewrite_corrector(context, spec.dataset)
+    else:
+        raise ValueError(f"unknown correction method {spec.method!r}")
+    journal = _worker_journal(spec.journal_dir)
+    before = _journal_before(journal)
+    if journal is not None:
+        correct_one = journaled_corrector(
+            journal, dict(spec.scope_items), correct_one
+        )
+    outcomes = [correct_one(record) for record in records]
+    if journal is not None:
+        journal.seal()
+    return {
+        "outcomes": [outcome_to_dict(outcome) for outcome in outcomes],
+        "metrics": _worker_metrics(spec.instrumented),
+        "journal": _journal_delta(journal, before),
+    }
+
+
+# -- parent-side drivers ----------------------------------------------------
+
+
+def _pool(max_workers: int) -> ProcessPoolExecutor:
+    # Pin the fork start method where it exists: workers then inherit the
+    # parent's in-process suite cache (spawn platforms fall back to the
+    # default method and rebuild deterministically from the spec).
+    try:
+        mp_context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        mp_context = None
+    return ProcessPoolExecutor(max_workers=max_workers, mp_context=mp_context)
+
+
+def _fold_result(result: dict, journal) -> None:
+    """Merge one worker's metrics and journal counters into this process."""
+    raw = result.get("metrics")
+    if raw is not None:
+        registry = obs.get_metrics()
+        if registry is not None:
+            registry.merge(MetricsRegistry.from_raw(raw))
+    if journal is not None:
+        journal.absorb_worker_counts(**result["journal"])
+
+
+def run_eval_shards(
+    spec: EvalSpec, pool: Sequence, workers: int, journal=None
+) -> list:
+    """Evaluate ``pool`` across worker processes; records in pool order."""
+    from repro.eval.journaling import prediction_from_dict
+    from repro.eval.metrics import shard_examples
+
+    shards = shard_examples(pool, workers)
+    records = []
+    with _pool(len(shards)) as executor:
+        futures = [
+            executor.submit(
+                _eval_worker,
+                spec,
+                tuple(example.example_id for example in shard),
+            )
+            for shard in shards
+        ]
+        results = [future.result() for future in futures]
+    for shard, result in zip(shards, results):
+        values = result["records"]
+        if len(values) != len(shard):
+            raise RuntimeError(
+                f"worker returned {len(values)} records for a shard of "
+                f"{len(shard)}"
+            )
+        records.extend(
+            prediction_from_dict(example, value)
+            for example, value in zip(shard, values)
+        )
+        _fold_result(result, journal)
+    return records
+
+
+def run_correction_shards(
+    spec: CorrectionSpec, errors: Sequence, workers: int, journal=None
+) -> list:
+    """Run correction sessions across worker processes, in record order."""
+    from repro.eval.journaling import outcome_from_dict
+    from repro.eval.metrics import shard_examples
+
+    shards = shard_examples(errors, workers)
+    outcomes = []
+    with _pool(len(shards)) as executor:
+        futures = [
+            executor.submit(
+                _correction_worker,
+                spec,
+                tuple(
+                    (record.example.example_id, record.predicted_sql)
+                    for record in shard
+                ),
+            )
+            for shard in shards
+        ]
+        results = [future.result() for future in futures]
+    for shard, result in zip(shards, results):
+        values = result["outcomes"]
+        if len(values) != len(shard):
+            raise RuntimeError(
+                f"worker returned {len(values)} outcomes for a shard of "
+                f"{len(shard)}"
+            )
+        outcomes.extend(outcome_from_dict(value) for value in values)
+        _fold_result(result, journal)
+    return outcomes

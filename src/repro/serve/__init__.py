@@ -16,6 +16,9 @@ Layers:
   per-session locks, TTL + LRU eviction, and a max-sessions gate.
 * :mod:`repro.serve.server`  — the routes, per-tenant resilience stacks,
   graceful drain, and the stdlib ``ThreadingHTTPServer`` binding.
+* :mod:`repro.serve.aserver` — the ``asyncio`` transport: one event loop
+  owns the sockets, a bounded executor runs the app, and loop health is
+  exported to ``/statusz`` and ``/metrics``.
 * :mod:`repro.serve.client`  — a blocking client over a real socket or an
   in-process transport (same bytes either way).
 
@@ -31,6 +34,13 @@ Start one from the CLI with ``fisql-repro serve`` or in code::
     client.feedback(session["id"], "we are in 2024")
 """
 
+from repro.serve.aserver import (
+    DEFAULT_ASYNC_WORKERS,
+    AsyncServeServer,
+    LoopHealth,
+    run_async_server,
+    start_async_in_thread,
+)
 from repro.serve.client import (
     HttpTransport,
     InProcessTransport,
@@ -72,16 +82,19 @@ from repro.serve.sessions import (
 )
 
 __all__ = [
+    "DEFAULT_ASYNC_WORKERS",
     "DEFAULT_DRAIN_GRACE",
     "DEFAULT_MAX_SESSIONS",
     "PROTOCOL_VERSION",
     "AskRequest",
+    "AsyncServeServer",
     "CatalogEntry",
     "CreateSessionRequest",
     "FeedbackRequest",
     "HttpTransport",
     "InProcessTransport",
     "LoadShedGate",
+    "LoopHealth",
     "MAX_REQUEST_ID_LENGTH",
     "ProtocolError",
     "SESSION_SCHEMA_VERSION",
@@ -101,7 +114,9 @@ __all__ = [
     "json_decode",
     "json_encode",
     "normalize_request_id",
+    "run_async_server",
     "run_server",
+    "start_async_in_thread",
     "start_in_thread",
     "turn_view",
 ]

@@ -72,6 +72,7 @@ from repro.llm.dispatch import (
     BatchingChatModel,
     CachingChatModel,
     CompletionCache,
+    LoopBatchingChatModel,
 )
 from repro.serve.overload import LoadShedGate
 from repro.llm.interface import ChatModel
@@ -229,6 +230,9 @@ class ServeApp:
         self._draining = False
         self._inflight = 0
         self._idle = threading.Condition()
+        # Async-transport context: set by the adapter before serving.
+        self._loop_batching: Optional[tuple] = None
+        self._loop_health: Optional[Callable[[], dict]] = None
 
     # -- construction ---------------------------------------------------------
 
@@ -285,6 +289,28 @@ class ServeApp:
         """The shared semantic answer store (None when not enabled)."""
         return self._semcache
 
+    # -- async-transport wiring -------------------------------------------------
+
+    def enable_loop_batching(self, loop, dispatch_executor) -> None:
+        """Coalesce tenant batches by event-loop tick instead of threads.
+
+        The async transport calls this before serving: tenant stacks built
+        afterwards use :class:`LoopBatchingChatModel` (batches form on the
+        loop, dispatch on ``dispatch_executor``) instead of the
+        cross-thread leader/follower coalescer. Must be called before the
+        first session is created — stacks are built lazily per tenant and
+        are not rebuilt.
+        """
+        self._loop_batching = (loop, dispatch_executor)
+
+    def set_loop_health(self, provider: Optional[Callable[[], dict]]) -> None:
+        """Install the transport's loop-health snapshot (lag, queue depth).
+
+        Surfaces on ``/statusz`` (``loop`` section) and ``/metrics``
+        (``fisql_serve_loop_lag_ms``, ``fisql_serve_executor_queue``).
+        """
+        self._loop_health = provider
+
     # -- tenant isolation -----------------------------------------------------------
 
     def policy_for_tenant(self, tenant: str) -> TenantPolicy:
@@ -329,6 +355,16 @@ class ServeApp:
             )
         if policy.batch_max <= 1:
             return model
+        if self._loop_batching is not None:
+            loop, dispatch_executor = self._loop_batching
+            return LoopBatchingChatModel(
+                model,
+                loop,
+                dispatch_executor,
+                max_batch=policy.batch_max,
+                max_wait_ms=policy.batch_wait_ms,
+                max_queue=policy.batch_max_queue,
+            )
         return BatchingChatModel(
             model,
             max_batch=policy.batch_max,
@@ -357,7 +393,7 @@ class ServeApp:
         with self._tenant_lock:
             models = list(self._tenant_llms.values())
         for model in models:
-            if isinstance(model, BatchingChatModel):
+            if isinstance(model, (BatchingChatModel, LoopBatchingChatModel)):
                 model.begin_drain()
         obs.count("serve.drain.begun")
 
@@ -650,7 +686,7 @@ class ServeApp:
         return sum(
             model.queued
             for model in models
-            if isinstance(model, BatchingChatModel)
+            if isinstance(model, (BatchingChatModel, LoopBatchingChatModel))
         )
 
     def _statusz_payload(self) -> dict:
@@ -669,6 +705,8 @@ class ServeApp:
             payload["backends"] = self._pool.health_snapshot()
         if self._semcache is not None:
             payload["semcache"] = self._semcache.statusz_view()
+        if self._loop_health is not None:
+            payload["loop"] = self._loop_health()
         return payload
 
     def _breaker_states(self) -> dict[str, str]:
@@ -677,7 +715,7 @@ class ServeApp:
         states: dict[str, str] = {}
         for tenant, model in models.items():
             stack = model
-            if isinstance(stack, BatchingChatModel):
+            if isinstance(stack, (BatchingChatModel, LoopBatchingChatModel)):
                 stack = stack.inner
             breaker = getattr(stack, "breaker", None)
             if breaker is not None:
@@ -693,8 +731,9 @@ class ServeApp:
         backends = (
             self._pool.health_snapshot() if self._pool is not None else None
         )
+        loop = self._loop_health() if self._loop_health is not None else None
         return render_prometheus(
-            snapshot, self._telemetry.snapshot(), backends=backends
+            snapshot, self._telemetry.snapshot(), backends=backends, loop=loop
         )
 
     def _create_session(self, raw_body: bytes) -> Tuple[int, str, bytes]:

@@ -1,0 +1,95 @@
+"""Kill -9 a *worker process* mid-sweep, resume sequentially, assert parity.
+
+The process tier's durability story: worker processes journal to their
+own segments with per-append fsync, so when one is SIGKILL'd the parent's
+pool breaks and the run dies — but everything any worker flushed survives.
+A later sequential ``--resume`` replays that prefix and re-executes only
+the rest, landing on byte-identical stdout. Worker mode is not part of
+the journal scope, so the resume crosses modes freely.
+"""
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CRASH_AFTER = 25  # appends before the worker SIGKILLs itself
+
+
+def _run_cli(*argv: str, crash_at: int = 0) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("FISQL_CRASH_POINT", None)
+    if crash_at:
+        env["FISQL_CRASH_POINT"] = f"journal.append:{crash_at}"
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        timeout=300,
+    )
+
+
+def _journal_counts(stderr: str) -> tuple[int, int]:
+    match = re.search(r"\[journal\] (\d+) appended, (\d+) replayed", stderr)
+    assert match, f"no journal summary in stderr:\n{stderr}"
+    return int(match.group(1)), int(match.group(2))
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    result = _run_cli("run", "figure2", "--scale", "small")
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestProcessWorkerCrash:
+    def test_worker_kill9_then_sequential_resume(self, tmp_path, baseline):
+        journal_dir = str(tmp_path / "journal")
+        suite_dir = str(tmp_path / "suites")
+
+        crashed = _run_cli(
+            "run",
+            "figure2",
+            "--scale",
+            "small",
+            "--workers",
+            "2",
+            "--worker-mode",
+            "process",
+            "--journal",
+            journal_dir,
+            "--suite-dir",
+            suite_dir,
+            crash_at=CRASH_AFTER,
+        )
+        # The SIGKILL lands on a *worker*; the parent sees its pool break
+        # and dies with a nonzero status before rendering anything.
+        assert crashed.returncode != 0, crashed.stdout
+        assert crashed.stdout == ""
+
+        resumed = _run_cli(
+            "run",
+            "figure2",
+            "--scale",
+            "small",
+            "--journal",
+            journal_dir,
+            "--resume",
+            "--suite-dir",
+            suite_dir,
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert resumed.stdout == baseline
+        appended, replayed = _journal_counts(resumed.stderr)
+        # Every fsync'd worker append survives the kill; how many that is
+        # depends on scheduling, but the crashed worker proves >= the
+        # crash threshold landed before the SIGKILL.
+        assert replayed >= CRASH_AFTER
+        assert appended > 0

@@ -1,0 +1,100 @@
+"""Byte-parity for ``--worker-mode process``: multi-core equals sequential.
+
+The process tier ships frozen run-specs to worker processes, which
+rebuild their own model stacks and journal to their own segments. The
+acceptance bar is the same as for threads and batching: byte-identical
+rendered artifacts and journal-resume equivalence — across modes, in
+either direction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durability import RunJournal
+from repro.eval.experiments import run_figure2, run_table2
+from repro.eval.harness import build_context
+from repro.eval.reporting import render_figure2, render_table2
+
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def suite_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("suites"))
+
+
+def _artifacts(**kwargs):
+    context = build_context(scale="small", seed=SEED, **kwargs)
+    return (
+        render_figure2(run_figure2(context)),
+        render_table2(run_table2(context)),
+    )
+
+
+@pytest.fixture(scope="module")
+def sequential(suite_dir):
+    return _artifacts(suite_dir=suite_dir)
+
+
+class TestProcessModeParity:
+    def test_process_mode_matches_sequential(self, sequential, suite_dir):
+        assert (
+            _artifacts(workers=3, worker_mode="process", suite_dir=suite_dir)
+            == sequential
+        )
+
+    def test_thread_mode_matches_sequential(self, sequential, suite_dir):
+        assert (
+            _artifacts(workers=3, worker_mode="thread", suite_dir=suite_dir)
+            == sequential
+        )
+
+    def test_single_worker_process_mode_is_sequential(
+        self, sequential, suite_dir
+    ):
+        # workers=1 short-circuits to the sequential path in any mode.
+        assert (
+            _artifacts(workers=1, worker_mode="process", suite_dir=suite_dir)
+            == sequential
+        )
+
+    def test_unknown_worker_mode_rejected(self):
+        with pytest.raises(ValueError):
+            build_context(scale="small", worker_mode="fiber")
+
+
+class TestProcessModeJournal:
+    def test_process_journal_resumes_sequentially(
+        self, sequential, suite_dir, tmp_path
+    ):
+        """A process-mode sweep journals durably: per-worker segments are
+        sealed at end of task, and a later *sequential* run replays them
+        to the same bytes — worker mode is not part of the scope."""
+        journal_dir = tmp_path / "journal"
+        journal = RunJournal(journal_dir)
+        assert (
+            _artifacts(
+                workers=3,
+                worker_mode="process",
+                suite_dir=suite_dir,
+                journal=journal,
+            )
+            == sequential
+        )
+        journal.seal()
+        journal.close()
+        appended = journal.appended
+        assert appended > 0
+        # Every worker sealed its own segments; nothing active remains
+        # except possibly the parent's (empty) segment.
+        sealed = list(journal_dir.glob("segment-*.w*.sealed.json"))
+        assert sealed, "worker processes should leave sealed segments"
+
+        resumed = RunJournal(journal_dir)
+        assert (
+            _artifacts(suite_dir=suite_dir, journal=resumed) == sequential
+        )
+        assert resumed.replayed == appended
+        assert resumed.appended == 0
+        resumed.close()

@@ -1,0 +1,272 @@
+"""The asyncio transport: same bytes as threads, plus loop-aware extras.
+
+The async adapter must be invisible at the protocol level — identical
+response bodies to the threaded transport for the same request sequence —
+while adding what only an event loop can offer: loop-lag observability,
+executor-saturation shedding before a worker is consumed, and per-tick
+batch coalescing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+import threading
+
+import pytest
+
+from repro import obs
+from repro.llm.dispatch import LoopBatchingChatModel
+from repro.serve import (
+    SessionManager,
+    ServeApp,
+    ServeClient,
+    ServeClientError,
+    TenantPolicy,
+    start_async_in_thread,
+    start_in_thread,
+)
+
+
+def _fresh_app(aep_catalog, **kwargs) -> ServeApp:
+    counter = itertools.count(1)
+    return ServeApp(
+        aep_catalog,
+        manager=SessionManager(id_factory=lambda: f"s{next(counter)}"),
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def async_handle(app):
+    handle = start_async_in_thread(app)
+    try:
+        yield handle
+    finally:
+        handle.stop()
+
+
+@pytest.fixture
+def async_client(async_handle):
+    return ServeClient.connect(port=async_handle.port)
+
+
+def _conversation(client: ServeClient) -> list:
+    """One scripted session; returns the raw (status, body) transcript."""
+    exchanges = []
+    for method, path, payload in (
+        ("POST", "/sessions", {"db": "aep", "tenant": "default"}),
+        (
+            "POST",
+            "/sessions/s1/ask",
+            {"question": "How many audiences were created in January?"},
+        ),
+        ("POST", "/sessions/s1/feedback", {"feedback": "we are in 2024"}),
+        ("GET", "/sessions/s1/transcript", None),
+        ("GET", "/sessions", None),
+        ("GET", "/healthz", None),
+        ("DELETE", "/sessions/s1", None),
+    ):
+        exchanges.append(client.request_raw(method, path, payload))
+    return exchanges
+
+
+class TestTransportParity:
+    def test_async_bytes_equal_threaded_bytes(self, aep_catalog):
+        threaded_app = _fresh_app(aep_catalog)
+        async_app = _fresh_app(aep_catalog)
+        server, _thread = start_in_thread(threaded_app)
+        handle = start_async_in_thread(async_app)
+        try:
+            threaded = _conversation(ServeClient.connect(port=server.port))
+            asynced = _conversation(ServeClient.connect(port=handle.port))
+        finally:
+            server.shutdown()
+            handle.stop()
+        assert asynced == threaded
+
+
+class TestCorrelationIds:
+    def test_echoes_well_formed_request_id(self, async_client):
+        _status, _body, headers = async_client.request_detailed(
+            "GET", "/healthz", headers={"X-Request-Id": "req-parity-1"}
+        )
+        assert headers["X-Request-Id"] == "req-parity-1"
+
+    def test_mints_when_absent(self, async_client):
+        _status, _body, headers = async_client.request_detailed(
+            "GET", "/healthz"
+        )
+        assert headers["X-Request-Id"]
+
+
+class TestLoopObservability:
+    def test_statusz_has_loop_section(self, async_client):
+        payload = async_client.statusz()
+        loop = payload["loop"]
+        assert loop["transport"] == "async"
+        assert loop["executor_workers"] >= 1
+        assert loop["executor_queue"] == 0
+        assert loop["loop_lag_ms"] >= 0.0
+        assert loop["loop_lag_max_ms"] >= loop["loop_lag_ms"] or (
+            loop["loop_lag_max_ms"] >= 0.0
+        )
+
+    def test_metrics_export_loop_gauges(self, async_client):
+        text = async_client.metrics()
+        assert 'fisql_serve_loop_lag_ms{stat="last"}' in text
+        assert 'fisql_serve_loop_lag_ms{stat="max"}' in text
+        assert "fisql_serve_executor_queue 0" in text
+
+    def test_threaded_transport_has_no_loop_section(self, aep_catalog):
+        app = _fresh_app(aep_catalog)
+        server, _thread = start_in_thread(app)
+        try:
+            client = ServeClient.connect(port=server.port)
+            assert "loop" not in client.statusz()
+            assert "fisql_serve_loop_lag_ms" not in client.metrics()
+        finally:
+            server.shutdown()
+
+
+class TestExecutorSaturation:
+    def test_sheds_llm_posts_when_backlog_full(
+        self, app, async_handle, async_client, enabled_obs
+    ):
+        session = async_client.create_session(db="aep")
+        session_id = session["id"]
+        # Force the saturation condition deterministically instead of
+        # racing real slow requests against the executor.
+        async_handle.server._inflight = 10_000
+        try:
+            with pytest.raises(ServeClientError) as excinfo:
+                async_client.ask(session_id, "How many audiences?")
+            assert excinfo.value.status == 503
+            assert excinfo.value.payload["error"]["code"] == (
+                "executor_saturated"
+            )
+            assert excinfo.value.retry_after is not None
+            # Reads and probes are never shed at the transport.
+            assert async_client.healthz()
+            assert async_client.statusz()
+        finally:
+            async_handle.server._inflight = 0
+        assert app.gate.stats()["shed"].get("executor_saturated") == 1
+        assert async_handle.server.loop_snapshot()["sheds"] == 1
+        # Back under the bound: asks are admitted again.
+        assert async_client.ask(session_id, "How many audiences?")
+
+
+class TestDrain:
+    def test_drain_sheds_new_asks_and_keeps_probes(
+        self, app, async_client
+    ):
+        session = async_client.create_session(db="aep")
+        app.begin_drain()
+        with pytest.raises(ServeClientError) as excinfo:
+            async_client.ask(session["id"], "How many audiences?")
+        assert excinfo.value.status == 503
+        assert excinfo.value.payload["error"]["code"] == "draining"
+        assert async_client.healthz()
+
+
+class TestLoopBatching:
+    def test_tenant_stack_uses_loop_batcher(self, aep_catalog):
+        app = _fresh_app(
+            aep_catalog,
+            policy=TenantPolicy(batch_max=4, batch_wait_ms=10.0),
+        )
+        handle = start_async_in_thread(app)
+        try:
+            client = ServeClient.connect(port=handle.port)
+            session = client.create_session(db="aep")
+            session_id = session["id"]
+
+            questions = [
+                "How many audiences were created in January?",
+                "How many segments were created in January?",
+                "How many audiences were created in March?",
+                "How many destinations were created in January?",
+            ]
+            results = [None] * len(questions)
+
+            def ask(index: int) -> None:
+                results[index] = client.ask(session_id, questions[index])
+
+            threads = [
+                threading.Thread(target=ask, args=(index,))
+                for index in range(len(questions))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert all(result is not None for result in results)
+
+            model = app._tenant_llms["default"]
+            assert isinstance(model, LoopBatchingChatModel)
+            assert model.dispatches >= 1
+            assert model.queued == 0
+        finally:
+            handle.stop()
+
+    def test_batcher_drains_with_the_app(self, aep_catalog):
+        app = _fresh_app(
+            aep_catalog,
+            policy=TenantPolicy(batch_max=4, batch_wait_ms=10.0),
+        )
+        handle = start_async_in_thread(app)
+        try:
+            client = ServeClient.connect(port=handle.port)
+            session = client.create_session(db="aep")
+            client.ask(session["id"], "How many audiences?")
+            app.begin_drain()
+            model = app._tenant_llms["default"]
+            assert model.draining
+            assert app.await_idle(timeout=5.0)
+        finally:
+            handle.stop()
+
+
+class TestHttpEdges:
+    def test_malformed_request_line_gets_400(self, async_handle):
+        with socket.create_connection(
+            ("127.0.0.1", async_handle.port), timeout=10
+        ) as sock:
+            sock.sendall(b"NONSENSE\r\n\r\n")
+            response = sock.recv(65536)
+        assert response.startswith(b"HTTP/1.1 400 ")
+
+    def test_bad_content_length_gets_400(self, async_handle):
+        with socket.create_connection(
+            ("127.0.0.1", async_handle.port), timeout=10
+        ) as sock:
+            sock.sendall(
+                b"POST /sessions HTTP/1.1\r\n"
+                b"Content-Length: banana\r\n\r\n"
+            )
+            response = sock.recv(65536)
+        assert response.startswith(b"HTTP/1.1 400 ")
+
+    def test_keep_alive_serves_multiple_requests(self, async_handle):
+        with socket.create_connection(
+            ("127.0.0.1", async_handle.port), timeout=10
+        ) as sock:
+            for _round in range(2):
+                sock.sendall(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+                head = b""
+                while b"\r\n\r\n" not in head:
+                    head += sock.recv(65536)
+                header_text, _sep, rest = head.partition(b"\r\n\r\n")
+                length = int(
+                    [
+                        line.split(b":")[1]
+                        for line in header_text.split(b"\r\n")
+                        if line.lower().startswith(b"content-length")
+                    ][0]
+                )
+                body = rest
+                while len(body) < length:
+                    body += sock.recv(65536)
+                assert json.loads(body)["status"] == "ok"

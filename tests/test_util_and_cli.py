@@ -400,3 +400,108 @@ class TestCliSemcacheFlags:
         assert "rounds:" in out
         assert "rounds:        0" not in out
         assert "divergences:" in out
+
+
+class TestCliConcurrencyFlags:
+    """--worker-mode/--transport wiring and the journal subcommand."""
+
+    def _run(self, capsys, argv):
+        assert cli_main(argv) == 0
+        captured = capsys.readouterr()
+        return captured.out, captured.err
+
+    def test_process_mode_flag_validation(self):
+        # Worker processes load their suites from disk.
+        with pytest.raises(SystemExit):
+            cli_main(
+                ["run", "figure2", "--workers", "2",
+                 "--worker-mode", "process"]
+            )
+        # In-memory stack state cannot cross a process boundary.
+        for extra in (
+            ["--backend", "sim=simulated"],
+            ["--inject-faults", "0.5"],
+            ["--llm-retries", "2"],
+            ["--llm-timeout", "1.0"],
+            ["--cache-dir", "/tmp/x"],
+            ["--semantic-cache"],
+        ):
+            with pytest.raises(SystemExit):
+                cli_main(
+                    ["run", "figure2", "--workers", "2",
+                     "--worker-mode", "process", "--suite-dir", "/tmp/s",
+                     *extra]
+                )
+
+    def test_async_transport_flag_validation(self):
+        with pytest.raises(SystemExit):
+            cli_main(["serve", "--async-workers", "4"])
+        with pytest.raises(SystemExit):
+            cli_main(
+                ["serve", "--transport", "async", "--async-workers", "0"]
+            )
+
+    def test_semcache_ttl_flag_validation(self):
+        with pytest.raises(SystemExit):
+            cli_main(
+                ["run", "figure2", "--semantic-cache-ttl-s", "60"]
+            )
+        with pytest.raises(SystemExit):
+            cli_main(
+                ["run", "figure2", "--semantic-cache",
+                 "--semantic-cache-ttl-s", "0"]
+            )
+
+    def test_process_mode_stdout_matches_sequential(self, capsys, tmp_path):
+        suite_dir = str(tmp_path / "suites")
+        sequential, _ = self._run(
+            capsys,
+            ["run", "figure2", "--scale", "small",
+             "--suite-dir", suite_dir],
+        )
+        parallel, _ = self._run(
+            capsys,
+            ["run", "figure2", "--scale", "small", "--workers", "2",
+             "--worker-mode", "process", "--suite-dir", suite_dir],
+        )
+        assert parallel == sequential
+
+    def test_journal_subcommand_stats_and_compact(self, capsys, tmp_path):
+        journal_dir = str(tmp_path / "journal")
+        suite_dir = str(tmp_path / "suites")
+        self._run(
+            capsys,
+            ["run", "figure2", "--scale", "small",
+             "--journal", journal_dir, "--suite-dir", suite_dir],
+        )
+        out, _ = self._run(capsys, ["journal", "stats", "--journal", journal_dir])
+        assert "records:" in out
+        assert "sealed segments:" in out
+
+        out, _ = self._run(
+            capsys, ["journal", "compact", "--journal", journal_dir]
+        )
+        assert "compacted" in out or "nothing to compact" in out
+
+        # Compaction is invisible to resume: same stdout, full replay.
+        resumed, err = self._run(
+            capsys,
+            ["run", "figure2", "--scale", "small",
+             "--journal", journal_dir, "--resume", "--suite-dir", suite_dir],
+        )
+        baseline, _ = self._run(
+            capsys,
+            ["run", "figure2", "--scale", "small", "--suite-dir", suite_dir],
+        )
+        assert resumed == baseline
+        assert "0 appended" in err
+
+    def test_journal_subcommand_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main(
+                ["journal", "stats", "--journal", str(tmp_path / "nope")]
+            )
+        with pytest.raises(SystemExit):
+            cli_main(
+                ["journal", "compact", "--journal", str(tmp_path / "nope")]
+            )
