@@ -38,6 +38,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro import obs
@@ -86,6 +87,7 @@ _SUBCOMMANDS = (
     "semcache",
     "journal",
     "trace-summary",
+    "chaos",
 )
 
 
@@ -452,6 +454,25 @@ def _build_parser() -> argparse.ArgumentParser:
             "latency objective (default: 0.95)"
         ),
     )
+    serve.add_argument(
+        "--read-timeout-ms",
+        type=float,
+        metavar="MS",
+        help=(
+            "per-read socket deadline on both transports: a peer that "
+            "trickles its request (slow loris) gets 408/closed instead "
+            "of holding a thread or buffer (default: no deadline)"
+        ),
+    )
+    serve.add_argument(
+        "--max-body-bytes",
+        type=int,
+        metavar="BYTES",
+        help=(
+            "refuse request bodies larger than BYTES with 413 before "
+            "reading them (default: 64 MiB)"
+        ),
+    )
     _add_backend_arguments(serve)
     _add_semcache_arguments(serve)
     serve.set_defaults(func=_cmd_serve)
@@ -573,6 +594,43 @@ def _build_parser() -> argparse.ArgumentParser:
         help="limit the flame rollup to N levels",
     )
     summary.set_defaults(func=_cmd_trace_summary)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run hostile-environment scenarios and assert the invariants",
+        description=(
+            "Each scenario injects a specific hostile condition — a disk "
+            "that fills mid-sweep, a slow-loris flood during drain, a "
+            "connection-killing network — and asserts the hardening "
+            "invariants: degraded-but-correct output, byte-identical "
+            "resume, zero duplicated turns, honest readiness."
+        ),
+    )
+    chaos.add_argument(
+        "--scenario",
+        action="append",
+        metavar="NAME",
+        help=(
+            "run one named scenario (repeatable; default: all). "
+            "Use --list to see the catalog."
+        ),
+    )
+    chaos.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_scenarios",
+        help="list the scenario catalog and exit",
+    )
+    chaos.add_argument(
+        "--dir",
+        metavar="DIR",
+        dest="work_dir",
+        help=(
+            "keep scenario working directories under DIR for inspection "
+            "(default: a removed temporary directory)"
+        ),
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     return parser
 
@@ -1014,6 +1072,10 @@ def _cmd_serve(
         parser.error(f"--slo-latency-ms must be > 0: {args.slo_latency_ms}")
     if not 0.0 < args.slo_target < 1.0:
         parser.error(f"--slo-target must be in (0, 1): {args.slo_target}")
+    if args.read_timeout_ms is not None and args.read_timeout_ms <= 0:
+        parser.error(f"--read-timeout-ms must be > 0: {args.read_timeout_ms}")
+    if args.max_body_bytes is not None and args.max_body_bytes < 1:
+        parser.error(f"--max-body-bytes must be >= 1: {args.max_body_bytes}")
     _validate_backend_arguments(args, parser)
     if args.hedge_after_ms is not None and args.hedge_after_ms < 0:
         parser.error(f"--hedge-after-ms must be >= 0: {args.hedge_after_ms}")
@@ -1120,12 +1182,16 @@ def _cmd_serve(
                     if args.async_workers is not None
                     else DEFAULT_ASYNC_WORKERS
                 ),
+                read_timeout_ms=args.read_timeout_ms,
+                max_body_bytes=args.max_body_bytes,
             )
         return run_server(
             app,
             host=args.host,
             port=args.port,
             drain_grace=args.drain_grace,
+            read_timeout_ms=args.read_timeout_ms,
+            max_body_bytes=args.max_body_bytes,
         )
     finally:
         if pool is not None:
@@ -1309,6 +1375,48 @@ def _cmd_trace_summary(
     except (OSError, ValueError) as error:
         parser.error(f"cannot summarize {args.path!r}: {error}")
     return 0
+
+
+# -- chaos -------------------------------------------------------------------------
+
+
+def _cmd_chaos(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """Run the selected chaos scenarios and report every invariant check."""
+    from repro.chaos.scenarios import SCENARIOS, run_scenario
+
+    if args.list_scenarios:
+        for name in sorted(SCENARIOS):
+            doc = (SCENARIOS[name].__doc__ or "").strip().splitlines()[0]
+            print(f"{name:24s} {doc}")
+        return 0
+
+    selected = args.scenario or sorted(SCENARIOS)
+    unknown = [name for name in selected if name not in SCENARIOS]
+    if unknown:
+        parser.error(
+            f"unknown scenario(s) {', '.join(sorted(set(unknown)))}; "
+            f"choose from {', '.join(sorted(SCENARIOS))}"
+        )
+
+    work_dir = Path(args.work_dir) if args.work_dir else None
+    failures = 0
+    for name in selected:
+        print(f"=== chaos: {name} ===")
+        report = run_scenario(name, work_dir=work_dir)
+        for check in report["checks"]:
+            verdict = "ok  " if check["passed"] else "FAIL"
+            line = f"  {verdict} {check['name']}"
+            if check["detail"]:
+                line += f" -- {check['detail']}"
+            print(line)
+        passed = report["passed"]
+        failures += 0 if passed else 1
+        print(f"  scenario {'passed' if passed else 'FAILED'}")
+    total = len(selected)
+    print(f"chaos: {total - failures}/{total} scenarios passed")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -30,6 +30,7 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro import obs
+from repro.chaos.diskfaults import disk_fault
 
 #: Checksum algorithm recorded in every checksummed document.
 CHECKSUM_ALGORITHM = "sha256"
@@ -79,11 +80,13 @@ def atomic_write_text(
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp_path = path.parent / f".{path.name}.tmp.{os.getpid()}"
     try:
+        disk_fault("disk.atomic_write", tmp_path=tmp_path, target=path)
         with open(tmp_path, "w", encoding="utf-8") as handle:
             handle.write(text)
             handle.flush()
             if fsync:
                 os.fsync(handle.fileno())
+        disk_fault("disk.replace", tmp_path=tmp_path, target=path)
         os.replace(tmp_path, path)
     except BaseException:
         try:

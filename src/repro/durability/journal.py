@@ -39,6 +39,7 @@ from pathlib import Path
 from typing import Optional, TextIO, Union
 
 from repro import obs
+from repro.chaos.diskfaults import disk_fault
 from repro.durability.atomic import (
     canonical_json,
     quarantine_file,
@@ -95,6 +96,12 @@ class RunJournal:
         self.replayed = 0
         self.sealed = 0
         self.quarantined = 0
+        # A failed disk write (ENOSPC, EIO, read-only remount) flips the
+        # journal into degraded read-only mode: the sweep keeps running
+        # on in-memory records, nothing new is persisted, and the losses
+        # are counted instead of crashing the run.
+        self._degraded = False
+        self.degraded_writes = 0
         self._next_index = self._load()
 
     # -- introspection --------------------------------------------------------
@@ -102,6 +109,11 @@ class RunJournal:
     @property
     def directory(self) -> Path:
         return self._directory
+
+    @property
+    def degraded(self) -> bool:
+        """True once a disk fault flipped the journal read-only."""
+        return self._degraded
 
     def __len__(self) -> int:
         with self._lock:
@@ -119,15 +131,23 @@ class RunJournal:
                 "replayed": self.replayed,
                 "sealed": self.sealed,
                 "quarantined": self.quarantined,
+                "degraded": self._degraded,
+                "degraded_writes": self.degraded_writes,
             }
 
     def summary(self) -> str:
         """One status line for the CLI (stderr, not part of artifacts)."""
         stats = self.stats()
-        return (
+        line = (
             f"{stats['appended']} appended, {stats['replayed']} replayed, "
             f"{stats['records']} total records in {self._directory}"
         )
+        if stats["degraded"]:
+            line += (
+                f" [DEGRADED: {stats['degraded_writes']} records not "
+                "persisted after a disk fault]"
+            )
+        return line
 
     # -- load -----------------------------------------------------------------
 
@@ -234,23 +254,55 @@ class RunJournal:
         with self._lock:
             if key in self._records:
                 return False
-            handle = self._ensure_active_locked()
-            handle.write(line + "\n")
-            handle.flush()
-            if self._fsync:
-                os.fsync(handle.fileno())
             record = {"key": key, "kind": kind, "value": value}
             if request_id is not None:
                 record["request_id"] = request_id
+            durable = not self._degraded
+            if durable:
+                try:
+                    disk_fault("disk.journal_append")
+                    handle = self._ensure_active_locked()
+                    handle.write(line + "\n")
+                    handle.flush()
+                    if self._fsync:
+                        os.fsync(handle.fileno())
+                except OSError as error:
+                    durable = False
+                    self._degrade_locked("append", error)
+            # The run continues on the in-memory record either way; only
+            # durability is lost, and that loss is counted.
             self._records[key] = record
-            self._active_records.append(record)
-            self.appended += 1
-            crash_point("journal.append")
-            if len(self._active_records) >= self._segment_max:
-                self._seal_active_locked()
-        obs.count("journal.appended", kind=kind)
-        obs.event("journal.append", key=key, kind=kind)
+            if durable:
+                self._active_records.append(record)
+                self.appended += 1
+                crash_point("journal.append")
+                if len(self._active_records) >= self._segment_max:
+                    self._seal_active_locked()
+            else:
+                self.degraded_writes += 1
+        if durable:
+            obs.count("journal.appended", kind=kind)
+            obs.event("journal.append", key=key, kind=kind)
+        else:
+            obs.count("durability.degraded", kind="journal")
         return True
+
+    def _degrade_locked(self, op: str, error: OSError) -> None:
+        """Flip to degraded read-only mode after a failed disk write."""
+        first = not self._degraded
+        self._degraded = True
+        if self._active_handle is not None:
+            try:
+                self._active_handle.close()
+            except OSError:
+                pass
+            self._active_handle = None
+        if first:
+            obs.event(
+                "journal.degraded",
+                op=op,
+                error=f"{type(error).__name__}: {error}",
+            )
 
     def absorb_worker_counts(self, appended: int = 0, replayed: int = 0) -> None:
         """Fold a worker process's append/replay counts into this instance.
@@ -281,14 +333,22 @@ class RunJournal:
         sealed_path = self._active_path.with_name(
             self._active_path.name.replace(".jsonl", ".sealed.json")
         )
-        write_checksummed_json(
-            sealed_path,
-            {
-                "version": JOURNAL_SCHEMA_VERSION,
-                "records": list(self._active_records),
-            },
-            fsync=self._fsync,
-        )
+        try:
+            write_checksummed_json(
+                sealed_path,
+                {
+                    "version": JOURNAL_SCHEMA_VERSION,
+                    "records": list(self._active_records),
+                },
+                fsync=self._fsync,
+            )
+        except OSError as error:
+            # The raw .jsonl stays on disk and replays on the next load,
+            # so a failed seal loses nothing already fsync'd — but the
+            # disk is clearly unwell: stop writing.
+            self._degrade_locked("seal", error)
+            obs.count("durability.degraded", kind="journal_seal")
+            return
         # The sealed copy is durable; the raw segment is now redundant.
         try:
             os.unlink(self._active_path)

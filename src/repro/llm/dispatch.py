@@ -47,6 +47,7 @@ from typing import Callable, Optional, Sequence, Union
 
 from repro import obs
 from repro.obs.context import current_request_id
+from repro.chaos.diskfaults import disk_fault
 from repro.datasets.base import Demonstration
 from repro.durability.atomic import read_checksummed_json, write_checksummed_json
 from repro.errors import LLMError, OverloadError
@@ -204,6 +205,7 @@ class CompletionCache:
         self.misses = 0
         self.loaded = 0
         self.evictions = 0
+        self.save_failed = False
 
     def __len__(self) -> int:
         with self._lock:
@@ -307,16 +309,31 @@ class CompletionCache:
         ``os.replace``: two processes that cached the same completions
         write identical bytes, and a crash mid-save leaves the previous
         file intact rather than a torn one.
+
+        A disk fault (ENOSPC, EIO, read-only filesystem) degrades
+        gracefully: the save is skipped, ``save_failed`` flips, and a
+        ``durability.degraded`` counter records the loss — a full disk
+        costs cache warmth, never the run. Returns 0 on a failed save.
         """
         directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
         with self._lock:
             entries = {
                 key: {"text": text, "notes": list(notes)}
                 for key, (text, notes) in self._entries.items()
             }
         document = {"version": CACHE_SCHEMA_VERSION, "entries": entries}
-        write_checksummed_json(directory / CACHE_FILENAME, document)
+        try:
+            disk_fault("disk.cache_save")
+            directory.mkdir(parents=True, exist_ok=True)
+            write_checksummed_json(directory / CACHE_FILENAME, document)
+        except OSError as error:
+            self.save_failed = True
+            obs.count("durability.degraded", kind="completion_cache")
+            obs.event(
+                "cache.save_failed",
+                error=f"{type(error).__name__}: {error}",
+            )
+            return 0
         return len(entries)
 
 

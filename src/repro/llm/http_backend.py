@@ -7,6 +7,7 @@ onto the :class:`~repro.errors.LLMError` taxonomy the resilience layer
 already understands:
 
 * connection refused / reset / DNS failure  -> ``TransientLLMError``
+* local exhaustion (ENOSPC/EMFILE/ENOMEM)   -> ``LLMError`` (not retried)
 * socket timeout                            -> ``LLMTimeoutError``
 * HTTP 429 (``Retry-After`` honored)        -> ``RateLimitError``
 * HTTP 5xx (``Retry-After`` honored on 503) -> ``TransientLLMError``
@@ -28,6 +29,7 @@ tests can kill and restart a backend process mid-run.
 from __future__ import annotations
 
 import argparse
+import errno
 import hashlib
 import http.client
 import json
@@ -48,6 +50,15 @@ from repro.llm.interface import ChatModel, Completion, Prompt
 
 #: Default wire-protocol model name (the paper's backend).
 DEFAULT_MODEL = "gpt-3.5-turbo"
+
+#: OSErrors that mean *this host* is exhausted, not that the backend
+#: hiccupped: out of disk, out of file descriptors (process or system),
+#: out of memory. Retrying cannot help — the retry needs the same
+#: resource — and hammering a suffocating host makes the exhaustion
+#: worse, so these map to fatal ``LLMError`` instead of transient.
+_LOCAL_EXHAUSTION_ERRNOS = frozenset(
+    {errno.ENOSPC, errno.EMFILE, errno.ENFILE, errno.ENOMEM}
+)
 
 
 def parse_retry_after(value: Optional[str]) -> Optional[float]:
@@ -141,6 +152,14 @@ class HttpChatModel:
                 f"{self._timeout_s}s: {error}"
             ) from error
         except (ConnectionError, OSError, http.client.HTTPException) as error:
+            if (
+                isinstance(error, OSError)
+                and error.errno in _LOCAL_EXHAUSTION_ERRNOS
+            ):
+                raise LLMError(
+                    f"local resource exhaustion reaching {self.base_url}: "
+                    f"{type(error).__name__}: {error}"
+                ) from error
             raise TransientLLMError(
                 f"cannot reach backend {self.base_url}: "
                 f"{type(error).__name__}: {error}"

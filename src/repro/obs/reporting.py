@@ -355,6 +355,12 @@ def _render_durability(snapshot: dict) -> str:
             f"corrupt files quarantined: {_int(sum(quarantined.values()))} "
             f"({_label_summary(quarantined)})"
         )
+    degraded = _counter_by_label(snapshot, "durability.degraded", "kind")
+    if degraded:
+        lines.append(
+            f"degraded writes (disk fault, in-memory fallback): "
+            f"{_int(sum(degraded.values()))} ({_label_summary(degraded)})"
+        )
     if not lines:
         return "(no durability activity recorded)"
     return "\n".join(lines)

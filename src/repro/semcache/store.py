@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Callable, Optional, Union
 
 from repro import obs
+from repro.chaos.diskfaults import disk_fault
 from repro.durability.atomic import (
     canonical_json,
     read_checksummed_json,
@@ -121,6 +122,10 @@ class SemanticAnswerCache:
         self._entries: dict[str, dict[str, object]] = {}
         self._tenants: dict[str, _TenantView] = {}
         self._stats = _empty_stats()
+        self.save_failed = False
+        # Once a log append fails the log is abandoned for the process:
+        # a replay log with a silent hole would audit the wrong history.
+        self._log_degraded = False
         self._load()
 
     def set_outcome_hook(
@@ -176,7 +181,12 @@ class SemanticAnswerCache:
                     self._stats[name] = value
 
     def save(self) -> Optional[Path]:
-        """Atomically persist entries, fingerprints, and counters."""
+        """Atomically persist entries, fingerprints, and counters.
+
+        A failing disk degrades gracefully: the save is skipped,
+        ``save_failed`` flips, and ``durability.degraded`` records the
+        loss — the in-memory store keeps serving. Returns None then.
+        """
         path = self._store_path()
         if path is None:
             return None
@@ -191,7 +201,17 @@ class SemanticAnswerCache:
                 },
                 "stats": dict(self._stats),
             }
-        return write_checksummed_json(path, payload)
+        try:
+            disk_fault("disk.semcache_save")
+            return write_checksummed_json(path, payload)
+        except OSError as error:
+            self.save_failed = True
+            obs.count("durability.degraded", kind="semcache")
+            obs.event(
+                "semcache.save_failed",
+                error=f"{type(error).__name__}: {error}",
+            )
+            return None
 
     # -- classification -----------------------------------------------------
 
@@ -430,10 +450,21 @@ class SemanticAnswerCache:
         }
         line = canonical_json(record) + "\n"
         with self._log_lock:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            with open(path, "a", encoding="utf-8") as handle:
-                handle.write(line)
-                handle.flush()
+            if self._log_degraded:
+                return
+            try:
+                disk_fault("disk.semcache_log")
+                path.parent.mkdir(parents=True, exist_ok=True)
+                with open(path, "a", encoding="utf-8") as handle:
+                    handle.write(line)
+                    handle.flush()
+            except OSError as error:
+                self._log_degraded = True
+                obs.count("durability.degraded", kind="semcache_log")
+                obs.event(
+                    "semcache.log_failed",
+                    error=f"{type(error).__name__}: {error}",
+                )
 
     # -- introspection ------------------------------------------------------
 

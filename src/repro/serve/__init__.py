@@ -47,8 +47,10 @@ from repro.serve.client import (
     ServeClient,
     ServeClientError,
 )
+from repro.serve.idempotency import IdempotencyIndex
 from repro.serve.persistence import SESSION_SCHEMA_VERSION, SessionStore
 from repro.serve.protocol import (
+    MAX_IDEMPOTENCY_KEY_LENGTH,
     MAX_REQUEST_ID_LENGTH,
     PROTOCOL_VERSION,
     AskRequest,
@@ -59,6 +61,7 @@ from repro.serve.protocol import (
     error_payload,
     json_decode,
     json_encode,
+    normalize_idempotency_key,
     normalize_request_id,
     turn_view,
 )
@@ -92,9 +95,11 @@ __all__ = [
     "CreateSessionRequest",
     "FeedbackRequest",
     "HttpTransport",
+    "IdempotencyIndex",
     "InProcessTransport",
     "LoadShedGate",
     "LoopHealth",
+    "MAX_IDEMPOTENCY_KEY_LENGTH",
     "MAX_REQUEST_ID_LENGTH",
     "ProtocolError",
     "SESSION_SCHEMA_VERSION",
@@ -113,6 +118,7 @@ __all__ = [
     "error_payload",
     "json_decode",
     "json_encode",
+    "normalize_idempotency_key",
     "normalize_request_id",
     "run_async_server",
     "run_server",

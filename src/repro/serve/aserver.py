@@ -27,6 +27,11 @@ routes, same bytes, same correlation-id semantics — from a single
   loop (no cross-thread condition waits) and dispatching batches on a
   separate executor so request workers never deadlock behind their own
   batch.
+* **Hostile peers are bounded.** ``Content-Length`` is checked against
+  ``max_body_bytes`` *before* the body allocation (413), malformed or
+  negative lengths are a 400, and with ``read_timeout_ms`` set every
+  read — head or body — carries a deadline, so a slow-loris peer gets a
+  408 instead of a parked coroutine holding buffers forever.
 * **The loop watches itself.** :class:`LoopHealth` measures scheduling
   lag by sleep overshoot; the snapshot feeds ``/statusz`` (``"loop"``
   section) and the ``fisql_serve_loop_lag_ms`` /
@@ -50,9 +55,11 @@ from concurrent.futures import ThreadPoolExecutor
 from http.client import responses as _HTTP_REASONS
 from typing import Callable, Optional
 
+from repro import obs
 from repro.serve.protocol import error_payload, json_encode
 from repro.serve.server import (
     DEFAULT_DRAIN_GRACE,
+    DEFAULT_MAX_BODY_BYTES,
     JSON,
     ServeApp,
     _retry_after_header,
@@ -147,17 +154,29 @@ class AsyncServeServer:
         port: int = 0,
         workers: int = DEFAULT_ASYNC_WORKERS,
         max_pending: Optional[int] = None,
+        read_timeout_ms: Optional[float] = None,
+        max_body_bytes: Optional[int] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1: {workers}")
         if max_pending is not None and max_pending < 0:
             raise ValueError(f"max_pending must be >= 0: {max_pending}")
+        if read_timeout_ms is not None and read_timeout_ms <= 0:
+            raise ValueError(f"read_timeout_ms must be > 0: {read_timeout_ms}")
+        if max_body_bytes is not None and max_body_bytes < 1:
+            raise ValueError(f"max_body_bytes must be >= 1: {max_body_bytes}")
         self.app = app
         self.host = host
         self._port = port
         self._workers = workers
         self._max_pending = (
             workers * 4 if max_pending is None else max_pending
+        )
+        self._read_timeout_s = (
+            None if read_timeout_ms is None else read_timeout_ms / 1000.0
+        )
+        self._max_body_bytes = (
+            DEFAULT_MAX_BODY_BYTES if max_body_bytes is None else max_body_bytes
         )
         self._request_pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="aserve"
@@ -237,9 +256,22 @@ class AsyncServeServer:
         try:
             while True:
                 try:
-                    head = await reader.readuntil(b"\r\n\r\n")
+                    head = await self._read(reader.readuntil(b"\r\n\r\n"))
                 except (asyncio.IncompleteReadError, ConnectionResetError):
                     break  # client closed (possibly mid-request)
+                except asyncio.TimeoutError:
+                    # Slow loris: the head never completed within the
+                    # read deadline. 408 and cut the connection loose.
+                    obs.count(
+                        "serve.transport.rejected", reason="read_timeout"
+                    )
+                    await self._write_error(
+                        writer,
+                        408,
+                        "timed out reading the request head",
+                        code="read_timeout",
+                    )
+                    break
                 except asyncio.LimitOverrunError:
                     await self._write_error(
                         writer, 431, "request header section too large"
@@ -252,18 +284,52 @@ class AsyncServeServer:
                     )
                     break
                 method, path, headers = parsed
+                raw_length = headers.get("content-length")
                 try:
-                    length = int(headers.get("content-length") or 0)
+                    length = int(raw_length or 0)
                 except ValueError:
+                    length = -1
+                if length < 0:
+                    obs.count(
+                        "serve.transport.rejected", reason="bad_content_length"
+                    )
                     await self._write_error(
-                        writer, 400, "bad Content-Length"
+                        writer,
+                        400,
+                        f"bad Content-Length: {raw_length!r}",
+                        code="bad_content_length",
+                    )
+                    break
+                if length > self._max_body_bytes:
+                    # Refused before the allocation: Content-Length is
+                    # attacker-controlled, readexactly(length) is not.
+                    obs.count(
+                        "serve.transport.rejected", reason="body_too_large"
+                    )
+                    await self._write_error(
+                        writer,
+                        413,
+                        f"request body of {length} bytes exceeds the "
+                        f"{self._max_body_bytes}-byte limit",
+                        code="body_too_large",
                     )
                     break
                 body = b""
                 if length > 0:
                     try:
-                        body = await reader.readexactly(length)
+                        body = await self._read(reader.readexactly(length))
                     except asyncio.IncompleteReadError:
+                        break
+                    except asyncio.TimeoutError:
+                        obs.count(
+                            "serve.transport.rejected", reason="read_timeout"
+                        )
+                        await self._write_error(
+                            writer,
+                            408,
+                            "timed out reading the request body",
+                            code="read_timeout",
+                        )
                         break
                 await self._respond(writer, method, path, body, headers)
                 if headers.get("connection", "").lower() == "close":
@@ -279,6 +345,12 @@ class AsyncServeServer:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+
+    async def _read(self, read_coro):
+        """One read operation, bounded by the per-read deadline (if any)."""
+        if self._read_timeout_s is None:
+            return await read_coro
+        return await asyncio.wait_for(read_coro, self._read_timeout_s)
 
     def _saturated(self, method: str, path: str) -> bool:
         if self._inflight < self._workers + self._max_pending:
@@ -357,13 +429,17 @@ class AsyncServeServer:
         await writer.drain()
 
     async def _write_error(
-        self, writer: asyncio.StreamWriter, status: int, message: str
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        message: str,
+        code: str = "bad_request",
     ) -> None:
         await self._write(
             writer,
             status,
             JSON,
-            json_encode(error_payload("bad_request", message)),
+            json_encode(error_payload(code, message)),
             {"Connection": "close"},
         )
 
@@ -403,9 +479,17 @@ async def _run_async(
     workers: int,
     max_pending: Optional[int],
     install_signals: bool,
+    read_timeout_ms: Optional[float] = None,
+    max_body_bytes: Optional[int] = None,
 ) -> int:
     server = AsyncServeServer(
-        app, host, port, workers=workers, max_pending=max_pending
+        app,
+        host,
+        port,
+        workers=workers,
+        max_pending=max_pending,
+        read_timeout_ms=read_timeout_ms,
+        max_body_bytes=max_body_bytes,
     )
     await server.start()
     loop = asyncio.get_running_loop()
@@ -440,6 +524,8 @@ def run_async_server(
     workers: int = DEFAULT_ASYNC_WORKERS,
     max_pending: Optional[int] = None,
     install_signals: bool = True,
+    read_timeout_ms: Optional[float] = None,
+    max_body_bytes: Optional[int] = None,
 ) -> int:
     """Serve until SIGINT/SIGTERM, then drain gracefully and exit 0.
 
@@ -449,7 +535,15 @@ def run_async_server(
     """
     return asyncio.run(
         _run_async(
-            app, host, port, drain_grace, workers, max_pending, install_signals
+            app,
+            host,
+            port,
+            drain_grace,
+            workers,
+            max_pending,
+            install_signals,
+            read_timeout_ms=read_timeout_ms,
+            max_body_bytes=max_body_bytes,
         )
     )
 
@@ -485,6 +579,8 @@ def start_async_in_thread(
     port: int = 0,
     workers: int = 4,
     max_pending: Optional[int] = None,
+    read_timeout_ms: Optional[float] = None,
+    max_body_bytes: Optional[int] = None,
 ) -> AsyncServerHandle:
     """Run the async transport on a daemon thread (tests and tooling).
 
@@ -497,7 +593,13 @@ def start_async_in_thread(
 
     async def _main() -> None:
         server = AsyncServeServer(
-            app, host, port, workers=workers, max_pending=max_pending
+            app,
+            host,
+            port,
+            workers=workers,
+            max_pending=max_pending,
+            read_timeout_ms=read_timeout_ms,
+            max_body_bytes=max_body_bytes,
         )
         await server.start()
         stop = asyncio.Event()

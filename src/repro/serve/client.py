@@ -18,12 +18,19 @@ status and the structured error payload (``error.code`` et al.).
 from __future__ import annotations
 
 import http.client
+import itertools
 import json
-from typing import Optional, Protocol, Tuple
+import os
+import time
+from typing import Callable, Optional, Protocol, Tuple
 
 from repro.errors import ReproError
 from repro.serve.protocol import json_encode
 from repro.serve.server import ServeApp
+
+#: Statuses the server sends *before* doing any work — a retry cannot
+#: double-apply anything, idempotency key or not.
+RETRYABLE_STATUSES = frozenset({408, 429, 503})
 
 
 class ServeClientError(ReproError):
@@ -161,17 +168,70 @@ class InProcessTransport:
         return status, payload
 
 
-class ServeClient:
-    """A small blocking client for examples, tests, and load generators."""
+def _default_key_factory() -> Callable[[], str]:
+    """Idempotency keys unique across client instances and restarts."""
+    counter = itertools.count(1)
+    prefix = os.urandom(4).hex()
 
-    def __init__(self, transport: Transport) -> None:
+    def make() -> str:
+        return f"ik-{prefix}-{next(counter):06d}"
+
+    return make
+
+
+class ServeClient:
+    """A small blocking client for examples, tests, and load generators.
+
+    With ``max_retries > 0`` the client retries safely on its own:
+
+    * Shed responses (408/429/503) are retried for *any* request — the
+      server refuses those before doing work — sleeping the server's
+      ``Retry-After`` hint when present, exponential backoff otherwise.
+    * Network failures (connection reset, timeout) are ambiguous: the
+      turn may have been applied and only the response lost. They are
+      retried only for GETs, or for mutations stamped with an
+      ``Idempotency-Key`` — which :meth:`ask` and :meth:`feedback`
+      generate automatically once retries are enabled, so a replayed
+      retry returns the original response instead of a duplicate turn.
+
+    At the default ``max_retries=0`` no key is ever generated and no
+    sleep ever happens: request bytes and behaviour are identical to a
+    client without the feature.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        max_retries: int = 0,
+        retry_backoff_s: float = 0.05,
+        sleep: Callable[[float], None] = time.sleep,
+        key_factory: Optional[Callable[[], str]] = None,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0: {max_retries}")
+        if retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be >= 0: {retry_backoff_s}"
+            )
         self._transport = transport
+        self._max_retries = max_retries
+        self._retry_backoff_s = retry_backoff_s
+        self._sleep = sleep
+        self._key_factory = key_factory or _default_key_factory()
+        self.retries = 0
 
     @classmethod
     def connect(
-        cls, host: str = "127.0.0.1", port: int = 8080, timeout: float = 30.0
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        timeout: float = 30.0,
+        max_retries: int = 0,
     ) -> "ServeClient":
-        return cls(HttpTransport(host, port, timeout=timeout))
+        return cls(
+            HttpTransport(host, port, timeout=timeout),
+            max_retries=max_retries,
+        )
 
     @classmethod
     def in_process(cls, app: ServeApp) -> "ServeClient":
@@ -202,21 +262,64 @@ class ServeClient:
         body = json_encode(payload) if payload is not None else None
         return self._transport.request_detailed(method, path, body, headers)
 
+    def _backoff(self, attempt: int, retry_after: Optional[float]) -> float:
+        if retry_after is not None:
+            return retry_after
+        return self._retry_backoff_s * (2 ** (attempt - 1))
+
     def _request(
-        self, method: str, path: str, payload: Optional[dict] = None
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        headers: Optional[dict] = None,
     ) -> dict:
-        status, raw, response_headers = self.request_detailed(
-            method, path, payload
+        replay_safe = method == "GET" or bool(
+            headers and "Idempotency-Key" in headers
         )
-        try:
-            parsed = json.loads(raw.decode("utf-8")) if raw else {}
-        except (UnicodeDecodeError, json.JSONDecodeError):
-            parsed = {"error": {"code": "bad_body", "message": repr(raw)}}
-        if status >= 400:
-            raise ServeClientError(
-                status, parsed, retry_after=_retry_after_from(response_headers)
-            )
-        return parsed
+        attempt = 0
+        while True:
+            try:
+                status, raw, response_headers = self.request_detailed(
+                    method, path, payload, headers
+                )
+            except (
+                ConnectionError,
+                TimeoutError,
+                http.client.HTTPException,
+                OSError,
+            ):
+                # The request may have been applied with only the reply
+                # lost — retry only when a replay cannot double-apply.
+                if attempt >= self._max_retries or not replay_safe:
+                    raise
+                attempt += 1
+                self.retries += 1
+                self._sleep(self._backoff(attempt, None))
+                continue
+            try:
+                parsed = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                parsed = {"error": {"code": "bad_body", "message": repr(raw)}}
+            if status >= 400:
+                error = ServeClientError(
+                    status,
+                    parsed,
+                    retry_after=_retry_after_from(response_headers),
+                )
+                if attempt < self._max_retries and status in RETRYABLE_STATUSES:
+                    attempt += 1
+                    self.retries += 1
+                    self._sleep(self._backoff(attempt, error.retry_after))
+                    continue
+                raise error
+            return parsed
+
+    def _mutation_headers(self) -> Optional[dict]:
+        """An ``Idempotency-Key`` for ask/feedback once retries are on."""
+        if self._max_retries < 1:
+            return None
+        return {"Idempotency-Key": self._key_factory()}
 
     # -- endpoints ------------------------------------------------------------------
 
@@ -243,7 +346,10 @@ class ServeClient:
     def ask(self, session_id: str, question: str) -> dict:
         """Ask a fresh question; returns the response payload."""
         return self._request(
-            "POST", f"/sessions/{session_id}/ask", {"question": question}
+            "POST",
+            f"/sessions/{session_id}/ask",
+            {"question": question},
+            headers=self._mutation_headers(),
         )
 
     def feedback(
@@ -257,7 +363,10 @@ class ServeClient:
         if highlight is not None:
             body["highlight"] = highlight
         return self._request(
-            "POST", f"/sessions/{session_id}/feedback", body
+            "POST",
+            f"/sessions/{session_id}/feedback",
+            body,
+            headers=self._mutation_headers(),
         )
 
     def transcript(self, session_id: str) -> dict:

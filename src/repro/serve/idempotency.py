@@ -1,0 +1,108 @@
+"""Exactly-once turn application: per-session idempotency replay.
+
+A client that times out on ``POST /sessions/{id}/ask`` cannot know
+whether the turn was applied — the response may have died on the wire
+*after* the chat state advanced and the journal line was written.
+Blind retries then double-apply the turn: the transcript grows twice,
+feedback lands on the wrong SQL, and the journal double-counts.
+
+The fix is the standard one: the client stamps each mutating request
+with an ``Idempotency-Key`` header, and the server remembers, per
+session, the response it already produced for that key. A retry with
+the same key replays the stored bytes — same status, same body — and
+touches neither the chat state nor the journal.
+
+:class:`IdempotencyIndex` is that memory. Design points:
+
+* **Per-session, under the session lock.** Keys only need to be unique
+  within one conversation, and every mutating turn already serializes
+  on the per-session lock — so the index needs no lock of its own.
+* **Bounded.** At most ``max_keys`` entries, FIFO: a retry storm can
+  only replay recent turns, and an evicted key degrades to at-least-
+  once (exactly the pre-feature behaviour), never to unbounded memory.
+* **Persisted with the session.** The index travels through
+  :class:`~repro.serve.persistence.SessionStore` alongside the chat
+  state, so evict → resume → retry still deduplicates.
+* **Success-only.** Only 2xx responses are recorded: a 503 or 429 must
+  not be replayed at a caller who is retrying precisely to escape it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+#: Per-session replay memory: deep enough for any sane retry window,
+#: small enough that 128 resident sessions stay negligible.
+DEFAULT_MAX_KEYS = 64
+
+
+class IdempotencyIndex:
+    """Bounded key -> recorded-response map for one session."""
+
+    def __init__(self, max_keys: int = DEFAULT_MAX_KEYS) -> None:
+        if max_keys < 1:
+            raise ValueError(f"max_keys must be >= 1: {max_keys}")
+        self._max_keys = max_keys
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
+        self.replays = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: str) -> Optional[dict]:
+        """The recorded response for a key, or None on first sight.
+
+        A hit counts as a replay: the caller serves the stored bytes
+        instead of re-running the turn.
+        """
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.replays += 1
+        return entry
+
+    def store(self, key: str, route: str, status: int, body: bytes) -> None:
+        """Record the response a key produced (oldest key falls out)."""
+        self._entries[key] = {
+            "route": route,
+            "status": status,
+            "body": body.decode("utf-8"),
+        }
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._max_keys:
+            self._entries.popitem(last=False)
+
+    # -- persistence ----------------------------------------------------------
+
+    def state(self) -> list[dict]:
+        """JSON-ready entries, oldest first (insertion order preserved)."""
+        return [
+            dict(entry, key=key) for key, entry in self._entries.items()
+        ]
+
+    def restore(self, entries: object) -> int:
+        """Reload entries saved by :meth:`state`; returns how many took.
+
+        Tolerant by construction — a hand-edited or stale document drops
+        bad entries instead of poisoning the session: replay degrades to
+        at-least-once, which is where we started.
+        """
+        if not isinstance(entries, list):
+            return 0
+        restored = 0
+        for entry in entries:
+            if not isinstance(entry, dict):
+                continue
+            key = entry.get("key")
+            status = entry.get("status")
+            body = entry.get("body")
+            route = entry.get("route")
+            if (
+                isinstance(key, str)
+                and isinstance(status, int)
+                and isinstance(body, str)
+                and isinstance(route, str)
+            ):
+                self.store(key, route, status, body.encode("utf-8"))
+                restored += 1
+        return restored

@@ -24,6 +24,8 @@ import threading
 from pathlib import Path
 from typing import Optional, Union
 
+from repro import obs
+from repro.chaos.diskfaults import disk_fault
 from repro.durability.atomic import (
     read_checksummed_json,
     write_checksummed_json,
@@ -46,6 +48,7 @@ class SessionStore:
         self._lock = threading.Lock()
         self.saved = 0
         self.restored = 0
+        self.save_failures = 0
 
     @property
     def directory(self) -> Path:
@@ -63,9 +66,25 @@ class SessionStore:
         )
 
     def save(
-        self, session_id: str, tenant: str, db_id: str, state: dict
+        self,
+        session_id: str,
+        tenant: str,
+        db_id: str,
+        state: dict,
+        idempotency: Optional[list] = None,
     ) -> bool:
-        """Persist one evicted session; False when the id is unsafe."""
+        """Persist one evicted session; False when the id is unsafe.
+
+        A disk fault (full, read-only, I/O error) is absorbed rather than
+        propagated: the eviction proceeds on in-memory state, the failure
+        is counted as a degraded write, and False is returned. Sessions
+        are independent files, so later saves retry the disk fresh.
+
+        ``idempotency`` carries the session's replayable-response entries
+        (:meth:`~repro.serve.idempotency.IdempotencyIndex.state`). The
+        field is written only when non-empty, so documents from runs that
+        never used ``Idempotency-Key`` stay byte-identical to older ones.
+        """
         path = self._path_for(session_id)
         if path is None:
             return False
@@ -76,8 +95,21 @@ class SessionStore:
             "db": db_id,
             "state": state,
         }
+        if idempotency:
+            document["idempotency"] = idempotency
         with self._lock:
-            write_checksummed_json(path, document)
+            try:
+                disk_fault("disk.session_save")
+                write_checksummed_json(path, document)
+            except OSError as error:
+                self.save_failures += 1
+                obs.count("durability.degraded", kind="session")
+                obs.event(
+                    "session.save_failed",
+                    session=session_id,
+                    error=f"{type(error).__name__}: {error}",
+                )
+                return False
             self.saved += 1
         return True
 

@@ -53,6 +53,34 @@ def normalize_request_id(value: Optional[str]) -> Optional[str]:
     return value
 
 
+#: Longest ``Idempotency-Key`` the server will track per session.
+MAX_IDEMPOTENCY_KEY_LENGTH = 128
+
+
+def normalize_idempotency_key(value: str) -> str:
+    """A caller's ``Idempotency-Key``, accepted or refused with a 400.
+
+    Unlike a malformed request id — which the server silently replaces,
+    because correlation is best-effort — a malformed idempotency key
+    must be an error: silently ignoring it would hand the caller
+    at-least-once semantics while they believe they have exactly-once.
+    """
+    trimmed = value.strip()
+    if (
+        not trimmed
+        or len(trimmed) > MAX_IDEMPOTENCY_KEY_LENGTH
+        or not _REQUEST_ID_OK.match(trimmed)
+    ):
+        raise ProtocolError(
+            400,
+            "bad_idempotency_key",
+            "Idempotency-Key must be 1-"
+            f"{MAX_IDEMPOTENCY_KEY_LENGTH} chars of [A-Za-z0-9._:/-] "
+            "starting with an alphanumeric",
+        )
+    return trimmed
+
+
 class ProtocolError(ReproError):
     """A request the server refuses, with an HTTP status and error code."""
 

@@ -56,6 +56,7 @@ from __future__ import annotations
 import math
 import re
 import signal
+import socket
 import threading
 import time
 from dataclasses import dataclass, field
@@ -91,6 +92,7 @@ from repro.serve.protocol import (
     error_payload,
     json_decode,
     json_encode,
+    normalize_idempotency_key,
     normalize_request_id,
     turn_view,
 )
@@ -108,6 +110,12 @@ TEXT = "text/plain; charset=utf-8"
 
 #: Seconds ``run_server`` waits for in-flight requests after a signal.
 DEFAULT_DRAIN_GRACE = 10.0
+
+#: Hard ceiling on request bodies when no ``--max-body-bytes`` is set.
+#: A ``Content-Length`` is attacker-controlled input that both transports
+#: would otherwise trust with an allocation, so "unlimited" is never the
+#: default; real protocol traffic is a few KB.
+DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
 
 
 def _retry_after_header(seconds: float) -> str:
@@ -447,11 +455,14 @@ class ServeApp:
         """
         arrived_at = self._clock()
         request_id = None
+        idempotency_key = None
         if headers:
             for name, value in headers.items():
-                if str(name).lower() == "x-request-id":
+                lowered = str(name).lower()
+                if lowered == "x-request-id" and request_id is None:
                     request_id = normalize_request_id(str(value))
-                    break
+                elif lowered == "idempotency-key":
+                    idempotency_key = str(value)
         if request_id is None:
             request_id = self._request_id_factory()
         route, session_id, allowed = self._match(path)
@@ -473,6 +484,7 @@ class ServeApp:
                             session_id,
                             raw_body,
                             arrived_at,
+                            idempotency_key,
                         )
                     sp.set("status", status)
                 obs.count("serve.requests", route=route, status=status)
@@ -520,8 +532,11 @@ class ServeApp:
         session_id: Optional[str],
         raw_body: bytes,
         arrived_at: float,
+        idempotency_key: Optional[str] = None,
     ) -> Tuple[int, str, bytes, dict]:
         try:
+            if idempotency_key is not None:
+                idempotency_key = normalize_idempotency_key(idempotency_key)
             if route == "unknown":
                 raise ProtocolError(404, "not_found", "no such route")
             if method not in allowed:
@@ -565,9 +580,13 @@ class ServeApp:
             if route == "session":
                 return self._session_info(session_id)
             if route == "ask":
-                return self._ask(session_id, raw_body, arrived_at)
+                return self._ask(
+                    session_id, raw_body, arrived_at, idempotency_key
+                )
             if route == "feedback":
-                return self._feedback(session_id, raw_body, arrived_at)
+                return self._feedback(
+                    session_id, raw_body, arrived_at, idempotency_key
+                )
             if route == "transcript":
                 return self._transcript(session_id)
             raise ProtocolError(404, "not_found", "no such route")
@@ -790,19 +809,54 @@ class ServeApp:
             raise UnknownSessionError(session_id)
         return tenant
 
+    def _replay(
+        self, record: SessionRecord, key: str, route: str
+    ) -> Optional[Tuple[int, str, bytes, dict]]:
+        """The stored response for a seen key, or None on first sight.
+
+        Replays serve the original bytes — same status, same body — so a
+        retry is indistinguishable from the first response except for the
+        ``Idempotency-Replayed`` marker header, and neither the chat state
+        nor the journal moves a second time.
+        """
+        entry = record.idempotency.lookup(key)
+        if entry is None:
+            return None
+        obs.count("serve.idempotent_replays", route=route)
+        obs.event(
+            "serve.idempotent_replay",
+            session=record.session_id,
+            route=route,
+            key=key,
+        )
+        return (
+            entry["status"],
+            JSON,
+            entry["body"].encode("utf-8"),
+            {"Idempotency-Replayed": "true"},
+        )
+
     def _ask(
-        self, session_id: str, raw_body: bytes, arrived_at: float
+        self,
+        session_id: str,
+        raw_body: bytes,
+        arrived_at: float,
+        idempotency_key: Optional[str] = None,
     ) -> Tuple[int, str, bytes]:
         request = AskRequest.from_payload(json_decode(raw_body))
         with self._gate.admit(self._peek_tenant(session_id)):
             with self._manager.acquire(session_id) as record:
+                if idempotency_key is not None:
+                    replay = self._replay(record, idempotency_key, "ask")
+                    if replay is not None:
+                        return replay
                 # The session lock can queue us behind a slow turn; shed
                 # rather than start work the caller stopped waiting for.
                 self._gate.check_deadline(arrived_at)
                 response = record.chat.ask(request.question)
                 obs.count("serve.asks", tenant=record.tenant)
                 self._journal_turn(record, "ask")
-                return self._json(
+                result = self._json(
                     200,
                     {
                         "session_id": record.session_id,
@@ -810,13 +864,26 @@ class ServeApp:
                         "turns": len(record.chat.turns),
                     },
                 )
+                if idempotency_key is not None:
+                    record.idempotency.store(
+                        idempotency_key, "ask", result[0], result[2]
+                    )
+                return result
 
     def _feedback(
-        self, session_id: str, raw_body: bytes, arrived_at: float
+        self,
+        session_id: str,
+        raw_body: bytes,
+        arrived_at: float,
+        idempotency_key: Optional[str] = None,
     ) -> Tuple[int, str, bytes]:
         request = FeedbackRequest.from_payload(json_decode(raw_body))
         with self._gate.admit(self._peek_tenant(session_id)):
             with self._manager.acquire(session_id) as record:
+                if idempotency_key is not None:
+                    replay = self._replay(record, idempotency_key, "feedback")
+                    if replay is not None:
+                        return replay
                 self._gate.check_deadline(arrived_at)
                 if record.chat.current_sql is None:
                     raise ProtocolError(
@@ -829,7 +896,7 @@ class ServeApp:
                 )
                 obs.count("serve.feedbacks", tenant=record.tenant)
                 self._journal_turn(record, "feedback")
-                return self._json(
+                result = self._json(
                     200,
                     {
                         "session_id": record.session_id,
@@ -837,6 +904,11 @@ class ServeApp:
                         "turns": len(record.chat.turns),
                     },
                 )
+                if idempotency_key is not None:
+                    record.idempotency.store(
+                        idempotency_key, "feedback", result[0], result[2]
+                    )
+                return result
 
     def _journal_turn(self, record: SessionRecord, route: str) -> None:
         """Durably record one completed turn (when serving with a journal).
@@ -874,27 +946,102 @@ class ServeApp:
 
 
 class _RequestHandler(BaseHTTPRequestHandler):
-    """Thin shim: read the body, delegate to the app, write the reply."""
+    """Thin shim: read the body, delegate to the app, write the reply.
+
+    Transport defenses live here, before the app sees a byte:
+
+    * **Read deadline** — when the server carries ``read_timeout_ms``,
+      the socket gets that timeout. A slow-loris peer that trickles its
+      header bytes is cut off by ``handle_one_request``'s own timeout
+      handling; one that stalls mid-body gets a 408 and the connection
+      is closed.
+    * **Body cap** — a ``Content-Length`` beyond ``max_body_bytes`` is
+      refused with 413 *without reading the body*; a malformed or
+      negative one is a 400 (it used to be silently treated as zero,
+      which diverged from the async transport's parser).
+    * **Torn body** — a peer that closes mid-body yields a short read;
+      that is a 400, never a half-request handed to the app.
+    """
 
     protocol_version = "HTTP/1.1"
     server_version = "fisql-serve"
 
-    def _dispatch(self) -> None:
+    def setup(self) -> None:
+        timeout_ms = getattr(self.server, "read_timeout_ms", None)
+        if timeout_ms is not None:
+            self.timeout = timeout_ms / 1000.0
+        super().setup()
+
+    def _reject(self, status: int, code: str, message: str) -> None:
+        """Refuse at the transport layer, mirroring the app's error JSON."""
+        obs.count("serve.transport.rejected", reason=code)
+        body = json_encode(error_payload(code, message))
+        # The request body was not (fully) consumed: the connection's
+        # framing is unknown, so it must not be reused.
+        self.close_connection = True
         try:
-            length = int(self.headers.get("Content-Length") or 0)
-        except ValueError:
-            length = 0
-        raw = self.rfile.read(length) if length > 0 else b""
+            self.send_response(status)
+            self.send_header("Content-Type", JSON)
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header("Connection", "close")
+            self.end_headers()
+            self.wfile.write(body)
+        except OSError:
+            pass  # peer already gone; nothing to tell them
+
+    def _dispatch(self) -> None:
+        length_header = self.headers.get("Content-Length")
+        length = 0
+        if length_header is not None:
+            try:
+                length = int(length_header)
+            except ValueError:
+                length = -1
+            if length < 0:
+                self._reject(
+                    400,
+                    "bad_content_length",
+                    f"malformed Content-Length: {length_header!r}",
+                )
+                return
+        limit = getattr(self.server, "max_body_bytes", None)
+        if limit is None:
+            limit = DEFAULT_MAX_BODY_BYTES
+        if length > limit:
+            self._reject(
+                413,
+                "body_too_large",
+                f"request body of {length} bytes exceeds the "
+                f"{limit}-byte limit",
+            )
+            return
+        try:
+            raw = self.rfile.read(length) if length > 0 else b""
+        except (TimeoutError, socket.timeout):
+            self._reject(
+                408, "read_timeout", "timed out reading the request body"
+            )
+            return
+        if len(raw) < length:
+            self._reject(
+                400,
+                "incomplete_body",
+                f"connection closed after {len(raw)} of {length} body bytes",
+            )
+            return
         status, ctype, body, extra_headers = self.server.app.handle_request(
             self.command, self.path, raw, headers=dict(self.headers.items())
         )
-        self.send_response(status)
-        self.send_header("Content-Type", ctype)
-        self.send_header("Content-Length", str(len(body)))
-        for name, value in extra_headers.items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", ctype)
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in extra_headers.items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except OSError:
+            self.close_connection = True
 
     do_GET = _dispatch
     do_POST = _dispatch
@@ -910,18 +1057,37 @@ class ServeHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address: Tuple[str, int], app: ServeApp) -> None:
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        app: ServeApp,
+        read_timeout_ms: Optional[float] = None,
+        max_body_bytes: Optional[int] = None,
+    ) -> None:
         super().__init__(address, _RequestHandler)
         self.app = app
+        self.read_timeout_ms = read_timeout_ms
+        self.max_body_bytes = max_body_bytes
 
     @property
     def port(self) -> int:
         return self.server_address[1]
 
 
-def start_in_thread(app: ServeApp, host: str = "127.0.0.1", port: int = 0):
+def start_in_thread(
+    app: ServeApp,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    read_timeout_ms: Optional[float] = None,
+    max_body_bytes: Optional[int] = None,
+):
     """Bind and serve on a daemon thread; returns ``(server, thread)``."""
-    server = ServeHTTPServer((host, port), app)
+    server = ServeHTTPServer(
+        (host, port),
+        app,
+        read_timeout_ms=read_timeout_ms,
+        max_body_bytes=max_body_bytes,
+    )
     thread = threading.Thread(
         target=server.serve_forever, name="fisql-serve", daemon=True
     )
@@ -935,9 +1101,16 @@ def run_server(
     port: int = 8080,
     drain_grace: float = DEFAULT_DRAIN_GRACE,
     install_signals: bool = True,
+    read_timeout_ms: Optional[float] = None,
+    max_body_bytes: Optional[int] = None,
 ) -> int:
     """Serve until SIGINT/SIGTERM, then drain gracefully and exit 0."""
-    server = ServeHTTPServer((host, port), app)
+    server = ServeHTTPServer(
+        (host, port),
+        app,
+        read_timeout_ms=read_timeout_ms,
+        max_body_bytes=max_body_bytes,
+    )
 
     def _shutdown() -> None:
         app.begin_drain()

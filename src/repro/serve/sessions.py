@@ -35,6 +35,7 @@ from typing import Callable, Iterator, Optional
 from repro import obs
 from repro.core.chat import ChatSession
 from repro.errors import ReproError
+from repro.serve.idempotency import IdempotencyIndex
 from repro.serve.persistence import SessionStore
 
 #: Default registry capacity.
@@ -76,6 +77,7 @@ class SessionRecord:
         "created_at",
         "last_used_at",
         "requests",
+        "idempotency",
     )
 
     def __init__(
@@ -94,6 +96,9 @@ class SessionRecord:
         self.created_at = now
         self.last_used_at = now
         self.requests = 0
+        # Mutated only under `lock` (turns serialize on it), persisted
+        # alongside the chat state so retries survive evict/resume.
+        self.idempotency = IdempotencyIndex()
 
 
 def _default_id_factory() -> Callable[[], str]:
@@ -224,6 +229,8 @@ class SessionManager:
             if saved is not None:
                 chat.restore_state(saved["state"])
             record = SessionRecord(session_id, tenant, db_id, chat, now)
+            if saved is not None:
+                record.idempotency.restore(saved.get("idempotency"))
             self._records[session_id] = record
             self.created += 1
             obs.count("serve.sessions.created", tenant=tenant)
@@ -337,6 +344,7 @@ class SessionManager:
                 record.tenant,
                 record.db_id,
                 record.chat.state(),
+                idempotency=record.idempotency.state(),
             ):
                 self.persisted += 1
                 obs.count("serve.sessions.persisted", reason=reason)

@@ -1,0 +1,183 @@
+"""The disk-fault shim: deterministic hits, seeded profiles, torn renames.
+
+The shim is the foundation the degradation tests stand on, so its own
+contract is pinned precisely: exact hit counts, sticky semantics, seeded
+reproducibility, env-var arming, and the torn-replace special case that
+leaves real corrupt bytes for the checksummed reader to quarantine.
+"""
+
+from __future__ import annotations
+
+import errno
+
+import pytest
+
+from repro.chaos.diskfaults import (
+    DISK_FAULT_ENV,
+    DiskFaultProfile,
+    arm_disk_fault,
+    arm_disk_profile,
+    disarm_disk_faults,
+    disk_fault,
+    disk_fault_stats,
+)
+from repro.durability.atomic import (
+    atomic_write_text,
+    read_checksummed_json,
+    write_checksummed_json,
+)
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    disarm_disk_faults()
+    yield
+    disarm_disk_faults()
+
+
+class TestArming:
+    def test_unarmed_is_a_noop(self):
+        for _ in range(100):
+            disk_fault("disk.journal_append")
+        assert disk_fault_stats() == {"hits": {}, "injected": 0}
+
+    def test_fails_exactly_the_named_hit(self):
+        arm_disk_fault("disk.journal_append", on_hit=3, error="enospc")
+        disk_fault("disk.journal_append")
+        disk_fault("disk.journal_append")
+        with pytest.raises(OSError) as excinfo:
+            disk_fault("disk.journal_append")
+        assert excinfo.value.errno == errno.ENOSPC
+        assert "injected" in str(excinfo.value)
+        # Non-sticky: the disk "recovers" after the one failure.
+        disk_fault("disk.journal_append")
+        stats = disk_fault_stats()
+        assert stats["hits"]["disk.journal_append"] == 4
+        assert stats["injected"] == 1
+
+    def test_sticky_keeps_failing(self):
+        arm_disk_fault("disk.session_save", on_hit=2, sticky=True)
+        disk_fault("disk.session_save")
+        for _ in range(3):
+            with pytest.raises(OSError):
+                disk_fault("disk.session_save")
+        assert disk_fault_stats()["injected"] == 3
+
+    def test_sites_are_independent(self):
+        arm_disk_fault("disk.cache_save", on_hit=1)
+        disk_fault("disk.journal_append")  # different site: untouched
+        with pytest.raises(OSError):
+            disk_fault("disk.cache_save")
+
+    def test_error_names_map_to_errnos(self):
+        for name, code in (
+            ("enospc", errno.ENOSPC),
+            ("eio", errno.EIO),
+            ("erofs", errno.EROFS),
+            ("emfile", errno.EMFILE),
+        ):
+            disarm_disk_faults()
+            arm_disk_fault("disk.atomic_write", error=name)
+            with pytest.raises(OSError) as excinfo:
+                disk_fault("disk.atomic_write")
+            assert excinfo.value.errno == code
+
+    def test_bad_arming_is_rejected(self):
+        with pytest.raises(ValueError):
+            arm_disk_fault("disk.journal_append", on_hit=0)
+        with pytest.raises(ValueError):
+            arm_disk_fault("disk.journal_append", error="gremlins")
+
+    def test_disarm_resets_counters(self):
+        arm_disk_fault("disk.journal_append", on_hit=1)
+        with pytest.raises(OSError):
+            disk_fault("disk.journal_append")
+        disarm_disk_faults()
+        disk_fault("disk.journal_append")  # unarmed again: no-op, no counting
+        assert disk_fault_stats() == {"hits": {}, "injected": 0}
+
+
+class TestProfile:
+    def test_same_seed_fails_the_same_writes(self):
+        def failures(seed: int) -> list:
+            disarm_disk_faults()
+            arm_disk_profile(DiskFaultProfile(rate=0.3, seed=seed))
+            failed = []
+            for index in range(50):
+                try:
+                    disk_fault("disk.atomic_write")
+                except OSError:
+                    failed.append(index)
+            return failed
+
+        first = failures(7)
+        assert first  # 30% of 50 draws fails at least once
+        assert failures(7) == first
+        assert failures(8) != first
+
+    def test_rate_zero_never_fires(self):
+        arm_disk_profile(DiskFaultProfile(rate=0.0, seed=1))
+        for _ in range(50):
+            disk_fault("disk.semcache_save")
+        assert disk_fault_stats()["injected"] == 0
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            DiskFaultProfile(rate=1.5)
+        with pytest.raises(ValueError):
+            DiskFaultProfile(rate=0.1, error="gremlins")
+
+
+class TestEnvArming:
+    def test_env_spec_arms_a_site(self, monkeypatch):
+        monkeypatch.setenv(
+            DISK_FAULT_ENV, "disk.journal_append:2:eio:sticky"
+        )
+        disk_fault("disk.journal_append")
+        with pytest.raises(OSError) as excinfo:
+            disk_fault("disk.journal_append")
+        assert excinfo.value.errno == errno.EIO
+        with pytest.raises(OSError):  # sticky via env too
+            disk_fault("disk.journal_append")
+
+    def test_env_spec_other_site_is_noop(self, monkeypatch):
+        monkeypatch.setenv(DISK_FAULT_ENV, "disk.journal_append:1:eio")
+        disk_fault("disk.session_save")
+        assert disk_fault_stats()["injected"] == 0
+
+    def test_malformed_env_spec_is_ignored(self, monkeypatch):
+        monkeypatch.setenv(DISK_FAULT_ENV, "disk.journal_append:banana")
+        disk_fault("disk.journal_append")
+        assert disk_fault_stats()["injected"] == 0
+
+
+class TestTornReplace:
+    def test_torn_replace_leaves_corrupt_bytes(self, tmp_path):
+        """A torn rename leaves a half-written target; the checksummed
+        reader must quarantine it rather than load it."""
+        target = tmp_path / "doc.json"
+        write_checksummed_json(target, {"rows": list(range(64))})
+        intact = target.read_bytes()
+
+        arm_disk_fault("disk.replace", error="torn")
+        with pytest.raises(OSError) as excinfo:
+            write_checksummed_json(target, {"rows": list(range(128))})
+        assert excinfo.value.errno == errno.EIO
+
+        torn = target.read_bytes()
+        assert torn != intact
+        assert 0 < len(torn)
+        disarm_disk_faults()
+        assert read_checksummed_json(target, kind="test") is None
+        assert not target.exists()  # quarantined aside
+        assert list(tmp_path.glob("doc.json.corrupt*"))
+
+    def test_atomic_write_fault_preserves_the_old_file(self, tmp_path):
+        """ENOSPC at the temp-file stage must leave the target intact."""
+        target = tmp_path / "doc.json"
+        atomic_write_text(target, "old\n")
+        arm_disk_fault("disk.atomic_write", error="enospc")
+        with pytest.raises(OSError):
+            atomic_write_text(target, "new\n")
+        assert target.read_text() == "old\n"
+        assert not list(tmp_path.glob(".doc.json.tmp*"))

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import errno
+
 import pytest
 
 from repro.errors import LLMError, RateLimitError, TransientLLMError
@@ -104,6 +106,42 @@ class TestHttpChatModel:
             model = HttpChatModel(server.base_url)
             with pytest.raises(TransientLLMError):
                 model.complete(prompt())
+
+    @pytest.mark.parametrize(
+        "code",
+        [errno.ENOSPC, errno.EMFILE, errno.ENFILE, errno.ENOMEM],
+    )
+    def test_local_exhaustion_is_fatal_not_transient(self, code):
+        """Out of disk/fds/memory on *this* host: a retry needs the very
+        resource that is gone, so the error must not be retried."""
+        model = HttpChatModel("http://127.0.0.1:1/v1")
+
+        class Exhausted:
+            def request(self, *_args, **_kwargs):
+                raise OSError(code, "exhausted")
+
+            def close(self):
+                pass
+
+        model._connection = Exhausted  # type: ignore[method-assign]
+        with pytest.raises(LLMError) as excinfo:
+            model.complete(prompt())
+        assert not isinstance(excinfo.value, TransientLLMError)
+        assert "local resource exhaustion" in str(excinfo.value)
+
+    def test_other_oserrors_stay_transient(self):
+        model = HttpChatModel("http://127.0.0.1:1/v1")
+
+        class Refused:
+            def request(self, *_args, **_kwargs):
+                raise OSError(errno.ECONNREFUSED, "refused")
+
+            def close(self):
+                pass
+
+        model._connection = Refused  # type: ignore[method-assign]
+        with pytest.raises(TransientLLMError):
+            model.complete(prompt())
 
     def test_batch_falls_back_to_sequential(self):
         with FakeOpenAIServer() as server:

@@ -1,0 +1,291 @@
+"""Exactly-once turns: the Idempotency-Key header end to end.
+
+Three layers, pinned separately: the bounded per-session index, the
+server's replay path (same bytes, no second turn, survives evict +
+resume), and the client's self-retry loop (Retry-After honoured,
+ambiguous network errors retried only when a replay cannot
+double-apply).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+import pytest
+
+from repro.serve import (
+    MAX_IDEMPOTENCY_KEY_LENGTH,
+    IdempotencyIndex,
+    ServeApp,
+    ServeClient,
+    ServeClientError,
+    SessionManager,
+    SessionStore,
+    normalize_idempotency_key,
+)
+from repro.serve.client import InProcessTransport
+from repro.serve.protocol import ProtocolError
+
+QUESTION = "How many audiences were created in January?"
+
+
+class TestNormalize:
+    def test_good_keys_pass_through(self):
+        for key in ("ik-1", "a", "A.b:c/d_e-f", "x" * MAX_IDEMPOTENCY_KEY_LENGTH):
+            assert normalize_idempotency_key(key) == key
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", " ", "-starts-with-dash", "spaces inside", "ü", "x" * 129],
+    )
+    def test_bad_keys_raise_400(self, bad):
+        with pytest.raises(ProtocolError) as excinfo:
+            normalize_idempotency_key(bad)
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "bad_idempotency_key"
+
+
+class TestIndex:
+    def test_store_then_lookup_replays(self):
+        index = IdempotencyIndex()
+        assert index.lookup("k1") is None
+        index.store("k1", "ask", 200, b'{"ok": 1}')
+        entry = index.lookup("k1")
+        assert entry == {"route": "ask", "status": 200, "body": '{"ok": 1}'}
+        assert index.replays == 1
+
+    def test_bounded_fifo_eviction(self):
+        index = IdempotencyIndex(max_keys=3)
+        for n in range(5):
+            index.store(f"k{n}", "ask", 200, b"{}")
+        assert len(index) == 3
+        assert index.lookup("k0") is None
+        assert index.lookup("k1") is None
+        assert index.lookup("k4") is not None
+
+    def test_state_restore_roundtrip(self):
+        index = IdempotencyIndex()
+        index.store("k1", "ask", 200, b'{"n": 1}')
+        index.store("k2", "feedback", 200, b'{"n": 2}')
+        clone = IdempotencyIndex()
+        assert clone.restore(index.state()) == 2
+        assert clone.lookup("k2")["body"] == '{"n": 2}'
+        assert clone.state() == index.state()
+
+    def test_restore_tolerates_junk(self):
+        index = IdempotencyIndex()
+        assert index.restore(None) == 0
+        assert index.restore("garbage") == 0
+        assert (
+            index.restore(
+                [
+                    "not-a-dict",
+                    {"key": "ok", "status": "200", "body": "x", "route": "ask"},
+                    {"key": "good", "status": 200, "body": "{}", "route": "ask"},
+                ]
+            )
+            == 1
+        )
+        assert index.lookup("good") is not None
+
+
+def _ask_with_key(client: ServeClient, session_id: str, key: str):
+    return client.request_detailed(
+        "POST",
+        f"/sessions/{session_id}/ask",
+        {"question": QUESTION},
+        headers={"Idempotency-Key": key},
+    )
+
+
+class TestServeReplay:
+    def test_same_key_replays_same_bytes_without_a_new_turn(self, app):
+        client = ServeClient.in_process(app)
+        session_id = client.create_session(db="aep")["id"]
+        status1, body1, headers1 = _ask_with_key(client, session_id, "k-1")
+        turns_after_first = client.session_info(session_id)["turns"]
+
+        status2, body2, headers2 = _ask_with_key(client, session_id, "k-1")
+        assert (status2, body2) == (status1, body1)
+        assert "Idempotency-Replayed" not in headers1
+        assert headers2.get("Idempotency-Replayed") == "true"
+        assert client.session_info(session_id)["turns"] == turns_after_first
+
+    def test_fresh_key_applies_a_fresh_turn(self, app):
+        client = ServeClient.in_process(app)
+        session_id = client.create_session(db="aep")["id"]
+        _ask_with_key(client, session_id, "k-1")
+        turns = client.session_info(session_id)["turns"]
+        _status, _body, headers = _ask_with_key(client, session_id, "k-2")
+        assert "Idempotency-Replayed" not in headers
+        assert client.session_info(session_id)["turns"] == turns + 2
+
+    def test_feedback_replays_too(self, app):
+        client = ServeClient.in_process(app)
+        session_id = client.create_session(db="aep")["id"]
+        client.ask(session_id, QUESTION)
+        first = client.request_detailed(
+            "POST",
+            f"/sessions/{session_id}/feedback",
+            {"feedback": "we are in 2024"},
+            headers={"Idempotency-Key": "fb-1"},
+        )
+        second = client.request_detailed(
+            "POST",
+            f"/sessions/{session_id}/feedback",
+            {"feedback": "we are in 2024"},
+            headers={"Idempotency-Key": "fb-1"},
+        )
+        assert second[:2] == first[:2]
+        assert second[2].get("Idempotency-Replayed") == "true"
+
+    def test_malformed_key_is_rejected(self, app):
+        client = ServeClient.in_process(app)
+        session_id = client.create_session(db="aep")["id"]
+        status, body, _headers = client.request_detailed(
+            "POST",
+            f"/sessions/{session_id}/ask",
+            {"question": QUESTION},
+            headers={"Idempotency-Key": "bad key!"},
+        )
+        assert status == 400
+        assert json.loads(body)["error"]["code"] == "bad_idempotency_key"
+        assert client.session_info(session_id)["turns"] == 0
+
+    def test_error_responses_are_not_recorded(self, app):
+        """A key on a failed request must not pin the failure forever."""
+        client = ServeClient.in_process(app)
+        session_id = client.create_session(db="aep")["id"]
+        status, _body, _headers = client.request_detailed(
+            "POST",
+            f"/sessions/{session_id}/feedback",
+            {"feedback": "too early"},
+            headers={"Idempotency-Key": "early"},
+        )
+        assert status == 409  # feedback before any question
+        client.ask(session_id, QUESTION)
+        status, _body, headers = client.request_detailed(
+            "POST",
+            f"/sessions/{session_id}/feedback",
+            {"feedback": "we are in 2024"},
+            headers={"Idempotency-Key": "early"},
+        )
+        assert status == 200  # re-executed, not a replayed 409
+        assert "Idempotency-Replayed" not in headers
+
+    def test_replay_survives_evict_and_resume(self, aep_catalog, tmp_path):
+        counter = itertools.count(1)
+        store = SessionStore(tmp_path / "sessions")
+        app = ServeApp(
+            aep_catalog,
+            manager=SessionManager(
+                id_factory=lambda: f"s{next(counter)}",
+                store=store,
+                max_sessions=1,
+            ),
+        )
+        client = ServeClient.in_process(app)
+        session_id = client.create_session(db="aep")["id"]
+        first = _ask_with_key(client, session_id, "durable-key")
+        assert first[0] == 200
+
+        client.create_session(db="aep")  # LRU-evicts s1 to the store
+        assert store.ids() == [session_id]
+
+        resumed = client.request_raw(
+            "POST", "/sessions", {"db": "aep", "resume": session_id}
+        )
+        assert resumed[0] in (200, 201)
+        replay = _ask_with_key(client, session_id, "durable-key")
+        assert replay[:2] == first[:2]
+        assert replay[2].get("Idempotency-Replayed") == "true"
+
+
+class _ScriptedTransport:
+    """Replays a script of responses/exceptions; records every request."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.requests: list = []
+
+    def request_detailed(self, method, path, body=None, headers=None):
+        self.requests.append((method, path, dict(headers or {})))
+        step = self.script.pop(0)
+        if isinstance(step, Exception):
+            raise step
+        return step
+
+    def request(self, method, path, body=None, headers=None):
+        status, payload, _headers = self.request_detailed(
+            method, path, body, headers
+        )
+        return status, payload
+
+
+_OK = (200, b'{"session": {"id": "s1"}, "turns": 2}', {})
+_SHED = (503, b'{"error": {"code": "draining"}}', {"Retry-After": "0.25"})
+
+
+class TestClientRetry:
+    def test_retry_honours_retry_after(self):
+        transport = _ScriptedTransport([_SHED, _OK])
+        sleeps: list = []
+        client = ServeClient(transport, max_retries=2, sleep=sleeps.append)
+        assert client.ask("s1", QUESTION)["turns"] == 2
+        assert sleeps == [0.25]
+        assert client.retries == 1
+
+    def test_exponential_backoff_without_hint(self):
+        shed = (503, b'{"error": {"code": "draining"}}', {})
+        transport = _ScriptedTransport([shed, shed, shed])
+        sleeps: list = []
+        client = ServeClient(
+            transport, max_retries=2, retry_backoff_s=0.05, sleep=sleeps.append
+        )
+        with pytest.raises(ServeClientError) as excinfo:
+            client.ask("s1", QUESTION)
+        assert excinfo.value.status == 503
+        assert sleeps == [0.05, 0.1]
+
+    def test_network_error_retried_with_same_key(self):
+        transport = _ScriptedTransport([ConnectionResetError("gone"), _OK])
+        client = ServeClient(transport, max_retries=2, sleep=lambda _s: None)
+        assert client.ask("s1", QUESTION)
+        keys = [
+            headers.get("Idempotency-Key")
+            for _m, _p, headers in transport.requests
+        ]
+        assert keys[0] is not None
+        assert keys == [keys[0]] * 2  # the retry replays the same key
+
+    def test_network_error_not_retried_without_key(self):
+        """DELETE carries no key: a replay could double-apply, so the
+        ambiguous network error surfaces instead of retrying."""
+        transport = _ScriptedTransport([ConnectionResetError("gone")])
+        client = ServeClient(transport, max_retries=2, sleep=lambda _s: None)
+        with pytest.raises(ConnectionResetError):
+            client.delete_session("s1")
+        assert len(transport.requests) == 1
+
+    def test_non_retryable_status_surfaces_immediately(self):
+        gone = (404, b'{"error": {"code": "unknown_session"}}', {})
+        transport = _ScriptedTransport([gone])
+        client = ServeClient(transport, max_retries=3, sleep=lambda _s: None)
+        with pytest.raises(ServeClientError) as excinfo:
+            client.ask("s1", QUESTION)
+        assert excinfo.value.status == 404
+        assert client.retries == 0
+
+    def test_default_client_sends_no_key(self, app):
+        transport = _ScriptedTransport([_OK])
+        client = ServeClient(transport)  # max_retries=0
+        client.ask("s1", QUESTION)
+        _method, _path, headers = transport.requests[0]
+        assert "Idempotency-Key" not in headers
+
+    def test_in_process_transport_is_the_default_path(self, app):
+        """The scripted transport mirrors InProcessTransport's surface."""
+        client = ServeClient(InProcessTransport(app))
+        session_id = client.create_session(db="aep")["id"]
+        assert client.ask(session_id, QUESTION)["turns"] == 2
